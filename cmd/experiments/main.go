@@ -1,0 +1,133 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation. With no arguments it runs everything; otherwise pass one or
+// more experiment ids:
+//
+//	experiments fig9 fig13
+//	experiments all
+//
+// Available ids: table1, table2, fig2, fig4, fig6, fig7, fig9, fig10,
+// fig11, fig12, fig13, fig14, fig15, ext-gmon, validation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fastsc/internal/expt"
+)
+
+type runner struct {
+	id  string
+	run func() error
+}
+
+func main() {
+	runners := []runner{
+		{"table1", func() error { show(expt.TableStrategies()); return nil }},
+		{"table2", func() error { show(expt.TableBenchmarks()); return nil }},
+		{"fig2", func() error { show(expt.Fig2InteractionStrength()); return nil }},
+		{"fig4", func() error { show(expt.Fig4TransmonSpectrum()); return nil }},
+		{"fig6", func() error {
+			t, err := expt.Fig6Toy()
+			if err != nil {
+				return err
+			}
+			show(t)
+			return nil
+		}},
+		{"fig7", func() error { show(expt.Fig7MeshColoring()); return nil }},
+		{"fig9", func() error {
+			r, err := expt.Fig9SuccessRates()
+			if err != nil {
+				return err
+			}
+			show(r.Table)
+			return nil
+		}},
+		{"fig10", func() error {
+			r, err := expt.Fig10DepthDecoherence()
+			if err != nil {
+				return err
+			}
+			show(r.DepthTable)
+			show(r.DecoherenceTable)
+			return nil
+		}},
+		{"fig11", func() error {
+			r, err := expt.Fig11ColorSweep()
+			if err != nil {
+				return err
+			}
+			show(r.Table)
+			return nil
+		}},
+		{"fig12", func() error {
+			r, err := expt.Fig12ResidualCoupling()
+			if err != nil {
+				return err
+			}
+			show(r.Table)
+			return nil
+		}},
+		{"fig13", func() error {
+			r, err := expt.Fig13Connectivity()
+			if err != nil {
+				return err
+			}
+			show(r.Table)
+			return nil
+		}},
+		{"fig14", func() error {
+			t, err := expt.Fig14ExampleFrequencies()
+			if err != nil {
+				return err
+			}
+			show(t)
+			return nil
+		}},
+		{"fig15", func() error { show(expt.Fig15Chevrons()); return nil }},
+		{"ext-gmon", func() error {
+			r, err := expt.ExtGmonDynamic()
+			if err != nil {
+				return err
+			}
+			show(r.Table)
+			return nil
+		}},
+		{"validation", func() error {
+			r, err := expt.ValidationHeuristic(150)
+			if err != nil {
+				return err
+			}
+			show(r.Table)
+			return nil
+		}},
+	}
+
+	want := os.Args[1:]
+	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {
+		want = nil
+		for _, r := range runners {
+			want = append(want, r.id)
+		}
+	}
+	byID := map[string]runner{}
+	for _, r := range runners {
+		byID[r.id] = r
+	}
+	for _, id := range want {
+		r, ok := byID[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		if err := r.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func show(t *expt.Table) {
+	fmt.Println(t.String())
+}

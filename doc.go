@@ -1,0 +1,11 @@
+// Package fastsc is a Go reproduction of "Systematic Crosstalk Mitigation
+// for Superconducting Qubits via Frequency-Aware Compilation" (Ding et al.,
+// MICRO 2020): the ColorDynamic frequency-aware compiler, its four baseline
+// strategies, the transmon-physics substrate, NISQ benchmark generators, a
+// noisy state-vector simulator, and a harness regenerating every table and
+// figure of the paper's evaluation.
+//
+// The library lives under internal/; see internal/core for the compilation
+// entry point, cmd/fastsc for the CLI, cmd/experiments for the paper
+// harness, and bench_test.go for the per-figure benchmarks.
+package fastsc

@@ -1,0 +1,55 @@
+// Topology explorer: the §VII-F scenario as a library user would run it.
+// Builds a family of device connectivities of increasing density (linear →
+// express cubes → grid → 2-D express cubes), compiles a parallel workload
+// on each, and reports where the sweet spot between connectivity (less
+// routing) and frequency crowding (more crosstalk) falls.
+//
+// Run with: go run ./examples/topology_explorer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastsc/internal/bench"
+	"fastsc/internal/core"
+	"fastsc/internal/phys"
+	"fastsc/internal/topology"
+)
+
+func main() {
+	const n = 16
+	devices := []*topology.Device{
+		topology.Linear(n),
+		topology.Express1D(n, 4),
+		topology.Express1D(n, 2),
+		topology.Grid(4, 4),
+		topology.Express2D(4, 4, 3),
+		topology.Express2D(4, 4, 2),
+	}
+
+	fmt.Printf("%-12s %8s %8s %12s %12s %8s\n",
+		"device", "couplers", "swaps", "U success", "CD success", "CD/U")
+	for _, dev := range devices {
+		sys := phys.NewSystem(dev, phys.DefaultParams(), 42)
+		// A chain-structured variational workload routed onto each device.
+		prog := bench.QGAN(n, 3, 9)
+		u, err := core.Compile(prog, sys, core.BaselineU, core.Config{Placement: core.PlaceSnake})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cd, err := core.Compile(prog, sys, core.ColorDynamic, core.Config{Placement: core.PlaceSnake})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio := 0.0
+		if u.Report.Success > 0 {
+			ratio = cd.Report.Success / u.Report.Success
+		}
+		fmt.Printf("%-12s %8d %8d %12.4g %12.4g %8.2f\n",
+			dev.Name, dev.Coupling.NumEdges(), cd.SwapCount,
+			u.Report.Success, cd.Report.Success, ratio)
+	}
+	fmt.Println("\ndense connectivity reduces routing but crowds the spectrum;")
+	fmt.Println("frequency-aware compilation recovers most of the loss (paper §VII-F).")
+}

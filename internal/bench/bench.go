@@ -1,0 +1,230 @@
+// Package bench generates the NISQ benchmark circuits of Table II:
+// Bernstein–Vazirani (BV), QAOA MAX-CUT on Erdős–Rényi graphs, linear Ising
+// chain simulation, quantum GAN ansatz circuits, and Sycamore-style XEB
+// (cross-entropy benchmarking) cycles. All generators are deterministic for
+// a given seed.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/graph"
+	"fastsc/internal/topology"
+)
+
+// BV returns the Bernstein–Vazirani circuit on n qubits (n−1 data qubits
+// plus the oracle ancilla, qubit n−1). The secret string is drawn from the
+// seed. Structure: X+H on the ancilla, H on data, CNOTs from the secret
+// bits into the ancilla, H on data.
+func BV(n int, seed int64) *circuit.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("bench: BV needs >= 2 qubits, got %d", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	anc := n - 1
+	c := circuit.New(n)
+	c.X(anc)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	secretBits := 0
+	for q := 0; q < n-1; q++ {
+		if rng.Intn(2) == 1 {
+			c.CNOT(q, anc)
+			secretBits++
+		}
+	}
+	if secretBits == 0 { // guarantee a non-trivial oracle
+		c.CNOT(0, anc)
+	}
+	for q := 0; q < n-1; q++ {
+		c.H(q)
+	}
+	return c
+}
+
+// QAOA returns a depth-1 QAOA MAX-CUT circuit for an Erdős–Rényi random
+// graph G(n, 1/2): H on all qubits, a ZZ-phase (CNOT·RZ·CNOT) per graph
+// edge, then the RX mixer.
+func QAOA(n int, seed int64) *circuit.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("bench: QAOA needs >= 2 qubits, got %d", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	gamma := rng.Float64() * math.Pi
+	beta := rng.Float64() * math.Pi
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				edges = append(edges, graph.NewEdge(i, j))
+			}
+		}
+	}
+	if len(edges) == 0 {
+		edges = append(edges, graph.NewEdge(0, 1))
+	}
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for _, e := range edges {
+		c.CNOT(e.U, e.V)
+		c.RZ(e.V, 2*gamma)
+		c.CNOT(e.U, e.V)
+	}
+	for q := 0; q < n; q++ {
+		c.RX(q, 2*beta)
+	}
+	return c
+}
+
+// Ising returns a digitized adiabatic simulation of a transverse-field
+// Ising spin chain of length n (Barends et al. 2016): `steps` Trotter steps,
+// each applying single-qubit RZ/RX fields followed by nearest-neighbor ZZ
+// couplings along the chain. steps <= 0 defaults to n (circuit depth grows
+// with system size, as in the paper where ising(16) decoheres away).
+func Ising(n, steps int) *circuit.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("bench: Ising needs >= 2 qubits, got %d", n))
+	}
+	if steps <= 0 {
+		steps = n
+	}
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.H(q) // ground state of the initial transverse field
+	}
+	const (
+		dt = 0.25
+		j  = 1.0 // coupling strength
+		h  = 0.8 // transverse field
+	)
+	for s := 0; s < steps; s++ {
+		for q := 0; q < n; q++ {
+			c.RX(q, 2*h*dt)
+		}
+		// Even bonds then odd bonds, the standard brickwork.
+		for parity := 0; parity < 2; parity++ {
+			for q := parity; q+1 < n; q += 2 {
+				c.CNOT(q, q+1)
+				c.RZ(q+1, 2*j*dt)
+				c.CNOT(q, q+1)
+			}
+		}
+	}
+	return c
+}
+
+// QGAN returns a quantum-GAN generator ansatz over n qubits (training data
+// of dimension 2^n, Lloyd & Weedbrook): `layers` alternating layers of RY
+// rotations and a brickwork CNOT entangler (even bonds then odd bonds along
+// the chain, so entangling gates run in parallel), with a final RY layer.
+// layers <= 0 defaults to 2.
+func QGAN(n int, layers int, seed int64) *circuit.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("bench: QGAN needs >= 2 qubits, got %d", n))
+	}
+	if layers <= 0 {
+		layers = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.RY(q, rng.Float64()*math.Pi)
+		}
+		for parity := 0; parity < 2; parity++ {
+			for q := parity; q+1 < n; q += 2 {
+				c.CNOT(q, q+1)
+			}
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.RY(q, rng.Float64()*math.Pi)
+	}
+	return c
+}
+
+// XEB returns a cross-entropy-benchmarking circuit with `cycles` cycles,
+// generated directly on the device (Arute et al.): each cycle applies a
+// random single-qubit gate from {√X, √Y, √W} to every qubit (never
+// repeating the previous cycle's gate on the same qubit) followed by iSWAP
+// gates on one tiling pattern of couplers, cycling through the patterns.
+func XEB(dev *topology.Device, cycles int, seed int64) *circuit.Circuit {
+	if cycles < 1 {
+		panic(fmt.Sprintf("bench: XEB needs >= 1 cycle, got %d", cycles))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	patterns := xebPatterns(dev)
+	c := circuit.New(dev.Qubits)
+	kinds := []circuit.Kind{circuit.SX, circuit.SY, circuit.SW}
+	last := make([]int, dev.Qubits)
+	for q := range last {
+		last[q] = -1
+	}
+	for cy := 0; cy < cycles; cy++ {
+		for q := 0; q < dev.Qubits; q++ {
+			k := rng.Intn(len(kinds))
+			for k == last[q] {
+				k = rng.Intn(len(kinds))
+			}
+			last[q] = k
+			c.Add(circuit.Gate{Kind: kinds[k], Qubits: []int{q}})
+		}
+		if len(patterns) > 0 {
+			for _, e := range patterns[cy%len(patterns)] {
+				c.ISwap(e.U, e.V)
+			}
+		}
+	}
+	return c
+}
+
+// xebPatterns partitions the device couplers into the tiling layers used by
+// the XEB cycles: ABCD parity patterns on grids, greedy matchings elsewhere.
+func xebPatterns(dev *topology.Device) [][]graph.Edge {
+	byClass := make(map[int][]graph.Edge)
+	maxClass := -1
+	if dev.IsGrid() {
+		for _, e := range dev.Edges() {
+			cu, cv := dev.Coords[e.U], dev.Coords[e.V]
+			var cl int
+			if cu.Row == cv.Row {
+				cl = min2(cu.Col, cv.Col) % 2
+			} else {
+				cl = 2 + min2(cu.Row, cv.Row)%2
+			}
+			byClass[cl] = append(byClass[cl], e)
+			if cl > maxClass {
+				maxClass = cl
+			}
+		}
+	} else {
+		lg, couplers := graph.LineGraph(dev.Coupling)
+		coloring := graph.WelshPowell(lg)
+		for v, cl := range coloring {
+			byClass[cl] = append(byClass[cl], couplers[v])
+			if cl > maxClass {
+				maxClass = cl
+			}
+		}
+	}
+	var out [][]graph.Edge
+	for cl := 0; cl <= maxClass; cl++ {
+		if len(byClass[cl]) > 0 {
+			out = append(out, byClass[cl])
+		}
+	}
+	return out
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

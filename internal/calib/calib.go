@@ -1,0 +1,181 @@
+// Package calib implements the "Crosstalk Model Characterization" stage of
+// the paper's flow (Fig 3): it measures a device's parameters the way an
+// experimentalist would — by driving the actual dynamics and fitting the
+// response — rather than reading the fabrication values. Couplings are
+// extracted from simulated chevron experiments (the Fig 15 oscillations:
+// bring a pair on resonance, scan hold time, fit the first full-transfer
+// peak at t = 1/(4g)); sweet spots from flux scans. The resulting
+// Calibration can be applied to a phys.System so the compiler operates on
+// measured rather than nominal numbers, exactly as a real control stack
+// recalibrates between runs.
+package calib
+
+import (
+	"fmt"
+	"math"
+
+	"fastsc/internal/graph"
+	"fastsc/internal/phys"
+)
+
+// Calibration holds measured device parameters.
+type Calibration struct {
+	// Coupling maps each coupler to its measured strength in GHz.
+	Coupling map[graph.Edge]float64
+	// OmegaMax holds each qubit's measured upper sweet-spot frequency.
+	OmegaMax []float64
+}
+
+// Options tunes the characterization procedure.
+type Options struct {
+	// TimePoints is the number of samples in each chevron time scan.
+	TimePoints int
+	// MaxHold is the longest hold time probed, ns. It bounds the smallest
+	// measurable coupling at g = 1/(4·MaxHold).
+	MaxHold float64
+	// FluxPoints is the resolution of the sweet-spot flux scan.
+	FluxPoints int
+}
+
+// DefaultOptions covers couplings down to ~1.6 MHz.
+func DefaultOptions() Options {
+	return Options{TimePoints: 160, MaxHold: 160, FluxPoints: 101}
+}
+
+// Characterize measures every coupler and qubit of the system.
+func Characterize(sys *phys.System, opt Options) (*Calibration, error) {
+	if opt.TimePoints <= 2 || opt.MaxHold <= 0 || opt.FluxPoints <= 2 {
+		return nil, fmt.Errorf("calib: invalid options %+v", opt)
+	}
+	cal := &Calibration{
+		Coupling: make(map[graph.Edge]float64, len(sys.Coupling)),
+		OmegaMax: make([]float64, sys.Device.Qubits),
+	}
+	for q := 0; q < sys.Device.Qubits; q++ {
+		cal.OmegaMax[q] = measureSweetSpot(sys.Transmon(q), opt)
+	}
+	for _, e := range sys.Device.Edges() {
+		g, err := MeasureCoupling(sys, e, opt)
+		if err != nil {
+			return nil, fmt.Errorf("calib: coupler %v: %w", e, err)
+		}
+		cal.Coupling[e] = g
+	}
+	return cal, nil
+}
+
+// measureSweetSpot scans flux and returns the peak 0-1 frequency.
+func measureSweetSpot(tr phys.Transmon, opt Options) float64 {
+	best := 0.0
+	for i := 0; i < opt.FluxPoints; i++ {
+		phi := -0.5 + float64(i)/float64(opt.FluxPoints-1)
+		if f := tr.Freq01(phi); f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+// MeasureCoupling runs a simulated resonant-exchange experiment on one
+// coupler: both qubits are flux-tuned to a common probe frequency, the
+// |01⟩→|10⟩ transfer is recorded against hold time (a cut through the
+// Fig 15 chevron), and the first full-transfer time t* gives g = 1/(4t*).
+func MeasureCoupling(sys *phys.System, e graph.Edge, opt Options) (float64, error) {
+	trA, trB := sys.Transmon(e.U), sys.Transmon(e.V)
+	probe, err := commonProbe(trA, trB)
+	if err != nil {
+		return 0, err
+	}
+	phiA, err := trA.FluxFor(probe)
+	if err != nil {
+		return 0, err
+	}
+	phiB, err := trB.FluxFor(probe)
+	if err != nil {
+		return 0, err
+	}
+	tt := phys.TwoTransmon{A: trA, B: trB, PhiA: phiA, PhiB: phiB, G: sys.G0(e.U, e.V)}
+
+	// Coarse scan for the first transfer maximum.
+	dt := opt.MaxHold / float64(opt.TimePoints)
+	bestT, bestP := 0.0, -1.0
+	prev := 0.0
+	for i := 1; i <= opt.TimePoints; i++ {
+		t := float64(i) * dt
+		p := tt.SwapTransfer(t)
+		if p > bestP {
+			bestT, bestP = t, p
+		}
+		// Stop once clearly past the first peak.
+		if bestP > 0.9 && p < prev {
+			break
+		}
+		prev = p
+	}
+	if bestP < 0.5 {
+		return 0, fmt.Errorf("no resonant transfer observed (peak %.3f); coupling below measurable floor", bestP)
+	}
+	// Refine by ternary search around the coarse peak.
+	lo, hi := math.Max(dt/2, bestT-dt), bestT+dt
+	for i := 0; i < 40; i++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if tt.SwapTransfer(m1) < tt.SwapTransfer(m2) {
+			lo = m1
+		} else {
+			hi = m2
+		}
+	}
+	tPeak := (lo + hi) / 2
+	return 1 / (4 * tPeak), nil
+}
+
+// commonProbe picks a probe frequency reachable by both qubits, just below
+// the smaller sweet spot (staying clear of the band edge).
+func commonProbe(a, b phys.Transmon) (float64, error) {
+	hi := math.Min(a.OmegaMax, b.OmegaMax) - 0.05
+	loA, _ := a.TunableRange()
+	loB, _ := b.TunableRange()
+	lo := math.Max(loA, loB)
+	if hi <= lo {
+		return 0, fmt.Errorf("qubit ranges do not overlap")
+	}
+	return hi, nil
+}
+
+// Apply returns a copy of the system with measured parameters substituted:
+// coupler strengths from the chevron fits and qubit maxima from the flux
+// scans. The compiler can then be driven entirely by characterization data.
+func (c *Calibration) Apply(sys *phys.System) *phys.System {
+	out := &phys.System{
+		Device:   sys.Device,
+		Qubits:   make([]phys.Transmon, len(sys.Qubits)),
+		Coupling: make(map[graph.Edge]float64, len(sys.Coupling)),
+		Params:   sys.Params,
+	}
+	copy(out.Qubits, sys.Qubits)
+	for q := range out.Qubits {
+		out.Qubits[q].OmegaMax = c.OmegaMax[q]
+	}
+	for e, g := range c.Coupling {
+		out.Coupling[e] = g
+	}
+	return out
+}
+
+// MaxCouplingError returns the largest relative deviation between the
+// calibration and the system's nominal couplings — a quality measure for
+// the characterization procedure.
+func (c *Calibration) MaxCouplingError(sys *phys.System) float64 {
+	worst := 0.0
+	for e, g := range c.Coupling {
+		nominal := sys.Coupling[e]
+		if nominal == 0 {
+			continue
+		}
+		if rel := math.Abs(g-nominal) / nominal; rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}

@@ -1,0 +1,116 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/core"
+	"fastsc/internal/graph"
+	"fastsc/internal/phys"
+	"fastsc/internal/topology"
+)
+
+func TestMeasureCouplingRecoversG0(t *testing.T) {
+	sys := phys.NewSystem(topology.Grid(2, 2), phys.DefaultParams(), 42)
+	for _, e := range sys.Device.Edges() {
+		g, err := MeasureCoupling(sys, e, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		nominal := sys.Coupling[e]
+		if rel := math.Abs(g-nominal) / nominal; rel > 0.05 {
+			t.Fatalf("coupler %v: measured %.5f vs nominal %.5f (%.1f%% off)",
+				e, g, nominal, rel*100)
+		}
+	}
+}
+
+func TestCharacterizeFullDevice(t *testing.T) {
+	sys := phys.NewSystem(topology.Grid(2, 2), phys.DefaultParams(), 7)
+	cal, err := Characterize(sys, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Coupling) != sys.Device.Coupling.NumEdges() {
+		t.Fatalf("measured %d couplers, want %d", len(cal.Coupling), sys.Device.Coupling.NumEdges())
+	}
+	if cal.MaxCouplingError(sys) > 0.05 {
+		t.Fatalf("coupling characterization error %.2f%% too high", cal.MaxCouplingError(sys)*100)
+	}
+	for q := 0; q < sys.Device.Qubits; q++ {
+		want := sys.Transmon(q).OmegaMax
+		if math.Abs(cal.OmegaMax[q]-want) > 0.01 {
+			t.Fatalf("qubit %d sweet spot: %.4f vs %.4f", q, cal.OmegaMax[q], want)
+		}
+	}
+}
+
+func TestCharacterizeRejectsBadOptions(t *testing.T) {
+	sys := phys.NewSystem(topology.Grid(2, 2), phys.DefaultParams(), 7)
+	if _, err := Characterize(sys, Options{}); err == nil {
+		t.Fatal("zero options should be rejected")
+	}
+}
+
+func TestApplyProducesWorkingSystem(t *testing.T) {
+	sys := phys.NewSystem(topology.Grid(3, 3), phys.DefaultParams(), 42)
+	cal, err := Characterize(sys, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := cal.Apply(sys)
+	// The measured system must drive the full compiler pipeline.
+	circ := quickCircuit()
+	res, err := core.Compile(circ, measured, core.ColorDynamic, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Success <= 0 {
+		t.Fatal("compilation on measured system failed to produce a success estimate")
+	}
+	// Nominal and measured compilations should agree closely (the
+	// characterization is accurate).
+	nom, err := core.Compile(circ, sys, core.ColorDynamic, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Report.Success-nom.Report.Success) > 0.05 {
+		t.Fatalf("measured vs nominal success: %v vs %v", res.Report.Success, nom.Report.Success)
+	}
+}
+
+func TestApplyDoesNotMutateOriginal(t *testing.T) {
+	sys := phys.NewSystem(topology.Grid(2, 2), phys.DefaultParams(), 42)
+	cal, err := Characterize(sys, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Coupling[graph.NewEdge(0, 1)]
+	m := cal.Apply(sys)
+	m.Coupling[graph.NewEdge(0, 1)] = 99
+	m.Qubits[0].OmegaMax = 1
+	if sys.Coupling[graph.NewEdge(0, 1)] != before {
+		t.Fatal("Apply shares coupling storage with the original")
+	}
+	if sys.Qubits[0].OmegaMax == 1 {
+		t.Fatal("Apply shares qubit storage with the original")
+	}
+}
+
+func TestMeasureCouplingDetectsWeakCoupler(t *testing.T) {
+	// A coupler far below the measurable floor must be reported, not
+	// silently mis-fit.
+	sys := phys.NewSystem(topology.Grid(2, 2), phys.DefaultParams(), 42)
+	e := graph.NewEdge(0, 1)
+	sys.Coupling[e] = 1e-5 // 10 kHz: first transfer at 25 µs >> MaxHold
+	if _, err := MeasureCoupling(sys, e, DefaultOptions()); err == nil {
+		t.Fatal("immeasurably weak coupling should error")
+	}
+}
+
+func quickCircuit() *circuit.Circuit {
+	c := circuit.New(9)
+	c.H(0).CNOT(0, 1).CNOT(4, 5).CZ(7, 8)
+	return c
+}

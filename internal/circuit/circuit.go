@@ -1,0 +1,137 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Circuit is an ordered list of gates over qubits 0..NumQubits-1. The order
+// is program order; dependency analysis (layers, depth) derives parallelism
+// from per-qubit data dependencies.
+type Circuit struct {
+	NumQubits int
+	Gates     []Gate
+}
+
+// New returns an empty circuit over n qubits.
+func New(n int) *Circuit {
+	if n <= 0 {
+		panic(fmt.Sprintf("circuit: invalid qubit count %d", n))
+	}
+	return &Circuit{NumQubits: n}
+}
+
+// Add appends a gate after validating its qubit operands.
+func (c *Circuit) Add(g Gate) *Circuit {
+	want := 1
+	if g.Kind.IsTwoQubit() {
+		want = 2
+	}
+	if len(g.Qubits) != want {
+		panic(fmt.Sprintf("circuit: gate %v wants %d qubits, got %d", g.Kind, want, len(g.Qubits)))
+	}
+	for _, q := range g.Qubits {
+		if q < 0 || q >= c.NumQubits {
+			panic(fmt.Sprintf("circuit: qubit %d out of range [0,%d)", q, c.NumQubits))
+		}
+	}
+	if want == 2 && g.Qubits[0] == g.Qubits[1] {
+		panic(fmt.Sprintf("circuit: two-qubit gate %v on a single qubit %d", g.Kind, g.Qubits[0]))
+	}
+	c.Gates = append(c.Gates, g)
+	return c
+}
+
+// Convenience constructors. Each appends the gate and returns the circuit
+// for chaining.
+
+func (c *Circuit) I(q int) *Circuit     { return c.Add(Gate{Kind: I, Qubits: []int{q}}) }
+func (c *Circuit) X(q int) *Circuit     { return c.Add(Gate{Kind: X, Qubits: []int{q}}) }
+func (c *Circuit) Y(q int) *Circuit     { return c.Add(Gate{Kind: Y, Qubits: []int{q}}) }
+func (c *Circuit) Z(q int) *Circuit     { return c.Add(Gate{Kind: Z, Qubits: []int{q}}) }
+func (c *Circuit) H(q int) *Circuit     { return c.Add(Gate{Kind: H, Qubits: []int{q}}) }
+func (c *Circuit) S(q int) *Circuit     { return c.Add(Gate{Kind: S, Qubits: []int{q}}) }
+func (c *Circuit) Sdg(q int) *Circuit   { return c.Add(Gate{Kind: Sdg, Qubits: []int{q}}) }
+func (c *Circuit) T(q int) *Circuit     { return c.Add(Gate{Kind: T, Qubits: []int{q}}) }
+func (c *Circuit) Tdg(q int) *Circuit   { return c.Add(Gate{Kind: Tdg, Qubits: []int{q}}) }
+func (c *Circuit) SqrtX(q int) *Circuit { return c.Add(Gate{Kind: SX, Qubits: []int{q}}) }
+func (c *Circuit) SqrtY(q int) *Circuit { return c.Add(Gate{Kind: SY, Qubits: []int{q}}) }
+func (c *Circuit) SqrtW(q int) *Circuit { return c.Add(Gate{Kind: SW, Qubits: []int{q}}) }
+
+func (c *Circuit) RX(q int, theta float64) *Circuit {
+	return c.Add(Gate{Kind: RX, Qubits: []int{q}, Theta: theta})
+}
+func (c *Circuit) RY(q int, theta float64) *Circuit {
+	return c.Add(Gate{Kind: RY, Qubits: []int{q}, Theta: theta})
+}
+func (c *Circuit) RZ(q int, theta float64) *Circuit {
+	return c.Add(Gate{Kind: RZ, Qubits: []int{q}, Theta: theta})
+}
+
+func (c *Circuit) CZ(a, b int) *Circuit    { return c.Add(Gate{Kind: CZ, Qubits: []int{a, b}}) }
+func (c *Circuit) ISwap(a, b int) *Circuit { return c.Add(Gate{Kind: ISwap, Qubits: []int{a, b}}) }
+func (c *Circuit) SqrtISwap(a, b int) *Circuit {
+	return c.Add(Gate{Kind: SqrtISwap, Qubits: []int{a, b}})
+}
+func (c *Circuit) CNOT(control, target int) *Circuit {
+	return c.Add(Gate{Kind: CNOT, Qubits: []int{control, target}})
+}
+func (c *Circuit) SWAP(a, b int) *Circuit { return c.Add(Gate{Kind: SWAP, Qubits: []int{a, b}}) }
+
+// NumGates returns the total gate count.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// TwoQubitGateCount returns the number of two-qubit gates.
+func (c *Circuit) TwoQubitGateCount() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind.IsTwoQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// CountKind returns how many gates of kind k the circuit contains.
+func (c *Circuit) CountKind(k Kind) int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// IsNative reports whether every gate is directly implementable on the
+// tunable-transmon architecture (no CNOT/SWAP remaining).
+func (c *Circuit) IsNative() bool {
+	for _, g := range c.Gates {
+		if !g.Kind.IsNative() {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (c *Circuit) Clone() *Circuit {
+	out := New(c.NumQubits)
+	out.Gates = make([]Gate, len(c.Gates))
+	for i, g := range c.Gates {
+		qs := make([]int, len(g.Qubits))
+		copy(qs, g.Qubits)
+		out.Gates[i] = Gate{Kind: g.Kind, Qubits: qs, Theta: g.Theta}
+	}
+	return out
+}
+
+// String renders one gate per line.
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit(%d qubits, %d gates)\n", c.NumQubits, len(c.Gates))
+	for _, g := range c.Gates {
+		fmt.Fprintf(&b, "  %s\n", g)
+	}
+	return b.String()
+}

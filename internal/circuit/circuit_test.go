@@ -1,0 +1,285 @@
+package circuit
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddValidation(t *testing.T) {
+	c := New(3)
+	c.H(0).CNOT(0, 1).CZ(1, 2)
+	if c.NumGates() != 3 {
+		t.Fatalf("NumGates = %d", c.NumGates())
+	}
+	mustPanic(t, func() { c.H(3) })
+	mustPanic(t, func() { c.CZ(0, 0) })
+	mustPanic(t, func() { c.CNOT(-1, 0) })
+	mustPanic(t, func() { New(0) })
+	mustPanic(t, func() { c.Add(Gate{Kind: CZ, Qubits: []int{1}}) })
+	mustPanic(t, func() { c.Add(Gate{Kind: H, Qubits: []int{0, 1}}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestCounts(t *testing.T) {
+	c := New(4)
+	c.H(0).H(1).CNOT(0, 1).CZ(2, 3).ISwap(0, 2)
+	if c.TwoQubitGateCount() != 3 {
+		t.Fatalf("TwoQubitGateCount = %d", c.TwoQubitGateCount())
+	}
+	if c.CountKind(H) != 2 || c.CountKind(CZ) != 1 {
+		t.Fatal("CountKind wrong")
+	}
+	if c.IsNative() {
+		t.Fatal("circuit with CNOT should not be native")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	c := New(2)
+	c.H(0).CNOT(0, 1)
+	d := c.Clone()
+	d.Gates[0].Qubits[0] = 1
+	if c.Gates[0].Qubits[0] != 0 {
+		t.Fatal("Clone shares qubit slices")
+	}
+	d.H(1)
+	if c.NumGates() != 2 {
+		t.Fatal("Clone shares gate slice")
+	}
+}
+
+func TestASAPLayersSimple(t *testing.T) {
+	// H(0) and H(1) parallel; CNOT(0,1) depends on both; H(0) after.
+	c := New(2)
+	c.H(0).H(1).CNOT(0, 1).H(0)
+	layers := c.ASAPLayers()
+	want := [][]int{{0, 1}, {2}, {3}}
+	if !reflect.DeepEqual(layers, want) {
+		t.Fatalf("layers = %v, want %v", layers, want)
+	}
+	if c.Depth() != 3 {
+		t.Fatalf("Depth = %d", c.Depth())
+	}
+}
+
+func TestASAPLayersDisjointGatesShareLayer(t *testing.T) {
+	c := New(4)
+	c.CZ(0, 1).CZ(2, 3)
+	if d := c.Depth(); d != 1 {
+		t.Fatalf("disjoint gates should share a layer, depth = %d", d)
+	}
+}
+
+func TestCriticalityChain(t *testing.T) {
+	// Chain on one qubit: criticality counts remaining gates.
+	c := New(1)
+	c.H(0).X(0).Y(0)
+	crit := c.Criticality()
+	if !reflect.DeepEqual(crit, []int{3, 2, 1}) {
+		t.Fatalf("criticality = %v", crit)
+	}
+}
+
+func TestCriticalityTwoQubit(t *testing.T) {
+	// CNOT(0,1) then long chain on 1: gate 0 inherits chain criticality.
+	c := New(3)
+	c.CNOT(0, 1).H(1).H(1).H(2)
+	crit := c.Criticality()
+	if crit[0] != 3 { // CNOT + H + H
+		t.Fatalf("crit[0] = %d, want 3", crit[0])
+	}
+	if crit[3] != 1 {
+		t.Fatalf("independent gate criticality = %d, want 1", crit[3])
+	}
+}
+
+func TestFrontierIssuesInDependencyOrder(t *testing.T) {
+	c := New(2)
+	c.H(0).CNOT(0, 1).H(1)
+	f := NewFrontier(c)
+	ready := f.Ready()
+	if !reflect.DeepEqual(ready, []int{0}) {
+		t.Fatalf("initial ready = %v", ready)
+	}
+	f.Issue(0)
+	if got := f.Ready(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("after H: ready = %v", got)
+	}
+	f.Issue(1)
+	f.Issue(2)
+	if !f.Done() {
+		t.Fatal("frontier not done after issuing all gates")
+	}
+}
+
+func TestFrontierTwoQubitNeedsBothHeads(t *testing.T) {
+	c := New(2)
+	c.H(0).CZ(0, 1)
+	f := NewFrontier(c)
+	// CZ is head on qubit 1 but not on qubit 0 -> not ready.
+	ready := f.Ready()
+	if !reflect.DeepEqual(ready, []int{0}) {
+		t.Fatalf("ready = %v, want [0]", ready)
+	}
+}
+
+func TestFrontierPostponement(t *testing.T) {
+	c := New(4)
+	c.CZ(0, 1).CZ(2, 3)
+	f := NewFrontier(c)
+	ready := f.Ready()
+	if len(ready) != 2 {
+		t.Fatalf("both CZs should be ready, got %v", ready)
+	}
+	// Postpone gate 0, issue only gate 1.
+	f.Issue(1)
+	if got := f.Ready(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("postponed gate should stay ready, got %v", got)
+	}
+	f.Issue(0)
+	if !f.Done() {
+		t.Fatal("not done")
+	}
+}
+
+func TestFrontierIssuePanics(t *testing.T) {
+	c := New(2)
+	c.H(0).CZ(0, 1)
+	f := NewFrontier(c)
+	mustPanic(t, func() { f.Issue(1) }) // dependencies unmet
+	f.Issue(0)
+	f.Issue(1)
+	mustPanic(t, func() { f.Issue(1) }) // double issue
+}
+
+// randomCircuit builds an arbitrary circuit for property tests.
+func randomCircuit(rng *rand.Rand, nQubits, nGates int) *Circuit {
+	c := New(nQubits)
+	for i := 0; i < nGates; i++ {
+		if nQubits >= 2 && rng.Float64() < 0.4 {
+			a := rng.Intn(nQubits)
+			b := rng.Intn(nQubits)
+			for b == a {
+				b = rng.Intn(nQubits)
+			}
+			kinds := []Kind{CZ, ISwap, SqrtISwap, CNOT, SWAP}
+			c.Add(Gate{Kind: kinds[rng.Intn(len(kinds))], Qubits: []int{a, b}})
+		} else {
+			kinds := []Kind{H, X, S, T, SX}
+			c.Add(Gate{Kind: kinds[rng.Intn(len(kinds))], Qubits: []int{rng.Intn(nQubits)}})
+		}
+	}
+	return c
+}
+
+// Property: greedily issuing every ready gate reproduces the ASAP layering.
+func TestFrontierGreedyEqualsASAP(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 2+rng.Intn(5), 1+rng.Intn(30))
+		var layers [][]int
+		f := NewFrontier(c)
+		for !f.Done() {
+			ready := f.Ready()
+			if len(ready) == 0 {
+				return false // deadlock
+			}
+			layers = append(layers, ready)
+			for _, idx := range ready {
+				f.Issue(idx)
+			}
+		}
+		return reflect.DeepEqual(layers, c.ASAPLayers())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: issuing a random nonempty subset of ready gates each round still
+// terminates with every gate issued exactly once (the queueing scheduler
+// relies on this liveness).
+func TestFrontierRandomSubsetsTerminate(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 2+rng.Intn(4), 1+rng.Intn(25))
+		f := NewFrontier(c)
+		issued := 0
+		for rounds := 0; !f.Done(); rounds++ {
+			if rounds > 1000 {
+				return false
+			}
+			ready := f.Ready()
+			if len(ready) == 0 {
+				return false
+			}
+			// Issue a random nonempty prefix.
+			k := 1 + rng.Intn(len(ready))
+			for _, idx := range ready[:k] {
+				f.Issue(idx)
+				issued++
+			}
+		}
+		return issued == c.NumGates() && f.Remaining() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decomposition preserves gate dependencies — depth never
+// decreases and the two-qubit interaction multiset (as unordered pairs) is
+// preserved or expanded on the same pairs.
+func TestDecomposePropertyPairsPreserved(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 2+rng.Intn(4), 1+rng.Intn(20))
+		for _, s := range []DecomposeStrategy{Hybrid, PureCZ, PureISwap} {
+			d := Decompose(c, s)
+			if !d.IsNative() {
+				return false
+			}
+			pairsBefore := interactionPairs(c)
+			pairsAfter := interactionPairs(d)
+			for pair := range pairsAfter {
+				if !pairsBefore[pair] {
+					return false // decomposition invented a new coupling
+				}
+			}
+			for pair := range pairsBefore {
+				if !pairsAfter[pair] {
+					return false // decomposition dropped a coupling
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func interactionPairs(c *Circuit) map[[2]int]bool {
+	pairs := make(map[[2]int]bool)
+	for _, g := range c.Gates {
+		if g.Kind.IsTwoQubit() {
+			a, b := g.Qubits[0], g.Qubits[1]
+			if a > b {
+				a, b = b, a
+			}
+			pairs[[2]int{a, b}] = true
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,158 @@
+package circuit
+
+// Dependency analysis. Two gates depend on each other when they share a
+// qubit; the earlier one (program order) must complete first. This induces
+// the layered view of a circuit ("circuit slicing", §V-B2) and the
+// critical-path criticality used by the noise-aware queueing scheduler
+// (§V-B6).
+
+// ASAPLayers partitions gate indices into as-soon-as-possible layers: a gate
+// is placed one layer after the latest layer among the gates it depends on.
+// The result is the standard "sliced" circuit; len(result) is the depth.
+func (c *Circuit) ASAPLayers() [][]int {
+	lastLayer := make([]int, c.NumQubits) // per qubit: layer of its last gate + 1
+	for i := range lastLayer {
+		lastLayer[i] = 0
+	}
+	var layers [][]int
+	for idx, g := range c.Gates {
+		layer := 0
+		for _, q := range g.Qubits {
+			if lastLayer[q] > layer {
+				layer = lastLayer[q]
+			}
+		}
+		for len(layers) <= layer {
+			layers = append(layers, nil)
+		}
+		layers[layer] = append(layers[layer], idx)
+		for _, q := range g.Qubits {
+			lastLayer[q] = layer + 1
+		}
+	}
+	return layers
+}
+
+// Depth returns the number of ASAP layers.
+func (c *Circuit) Depth() int { return len(c.ASAPLayers()) }
+
+// Criticality returns, for each gate index, the length (in gates) of the
+// longest dependency chain starting at that gate, itself included. Gates
+// with larger criticality lie on the program critical path and are
+// scheduled first by the queueing scheduler.
+func (c *Circuit) Criticality() []int {
+	n := len(c.Gates)
+	crit := make([]int, n)
+	// nextOnQubit[q] tracks, while scanning backwards, the criticality of
+	// the next gate touching q.
+	nextCrit := make([]int, c.NumQubits)
+	for i := n - 1; i >= 0; i-- {
+		g := c.Gates[i]
+		best := 0
+		for _, q := range g.Qubits {
+			if nextCrit[q] > best {
+				best = nextCrit[q]
+			}
+		}
+		crit[i] = best + 1
+		for _, q := range g.Qubits {
+			nextCrit[q] = crit[i]
+		}
+	}
+	return crit
+}
+
+// Frontier iterates a circuit in dependency order while letting the caller
+// postpone ready gates — exactly the queueing discipline of Algorithm 1. At
+// any point, Ready() lists the gates whose per-qubit predecessors have all
+// been issued; the scheduler issues a subset and the rest remain ready in
+// later rounds.
+type Frontier struct {
+	c *Circuit
+	// nextIdx[q] is the position in perQubit[q] of the next unissued gate.
+	perQubit [][]int
+	nextIdx  []int
+	issued   []bool
+	remain   int
+}
+
+// NewFrontier builds the per-qubit dependency streams for c.
+func NewFrontier(c *Circuit) *Frontier {
+	f := &Frontier{
+		c:        c,
+		perQubit: make([][]int, c.NumQubits),
+		nextIdx:  make([]int, c.NumQubits),
+		issued:   make([]bool, len(c.Gates)),
+		remain:   len(c.Gates),
+	}
+	for i, g := range c.Gates {
+		for _, q := range g.Qubits {
+			f.perQubit[q] = append(f.perQubit[q], i)
+		}
+	}
+	return f
+}
+
+// Ready returns the indices of gates whose dependencies are satisfied, in
+// ascending program order.
+func (f *Frontier) Ready() []int {
+	var ready []int
+	seen := make(map[int]bool)
+	for q := 0; q < f.c.NumQubits; q++ {
+		if f.nextIdx[q] >= len(f.perQubit[q]) {
+			continue
+		}
+		idx := f.perQubit[q][f.nextIdx[q]]
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		// A two-qubit gate is ready only if it is the head on both qubits.
+		g := f.c.Gates[idx]
+		ok := true
+		for _, qq := range g.Qubits {
+			if f.nextIdx[qq] >= len(f.perQubit[qq]) || f.perQubit[qq][f.nextIdx[qq]] != idx {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ready = append(ready, idx)
+		}
+	}
+	sortInts(ready)
+	return ready
+}
+
+// Issue marks gate idx as executed. It panics if the gate is not ready.
+func (f *Frontier) Issue(idx int) {
+	if f.issued[idx] {
+		panic("circuit: gate issued twice")
+	}
+	g := f.c.Gates[idx]
+	for _, q := range g.Qubits {
+		if f.nextIdx[q] >= len(f.perQubit[q]) || f.perQubit[q][f.nextIdx[q]] != idx {
+			panic("circuit: issuing gate with unmet dependencies")
+		}
+	}
+	for _, q := range g.Qubits {
+		f.nextIdx[q]++
+	}
+	f.issued[idx] = true
+	f.remain--
+}
+
+// Done reports whether every gate has been issued.
+func (f *Frontier) Done() bool { return f.remain == 0 }
+
+// Remaining returns the number of unissued gates.
+func (f *Frontier) Remaining() int { return f.remain }
+
+func sortInts(xs []int) {
+	// insertion sort; frontiers are small.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+var allSingleQubitKinds = []Kind{I, X, Y, Z, H, S, Sdg, T, Tdg, SX, SY, SW, RX, RY, RZ}
+var allTwoQubitKinds = []Kind{CZ, ISwap, SqrtISwap, CNOT, SWAP}
+
+func TestAllSingleQubitMatricesUnitary(t *testing.T) {
+	for _, k := range allSingleQubitKinds {
+		m := Matrix1(k, 0.7)
+		if !IsUnitary2(m, 1e-12) {
+			t.Errorf("%v matrix not unitary", k)
+		}
+	}
+}
+
+func TestAllTwoQubitMatricesUnitary(t *testing.T) {
+	for _, k := range allTwoQubitKinds {
+		if !IsUnitary4(Matrix2Q(k), 1e-12) {
+			t.Errorf("%v matrix not unitary", k)
+		}
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	for _, k := range allSingleQubitKinds {
+		if k.IsTwoQubit() {
+			t.Errorf("%v misclassified as two-qubit", k)
+		}
+		if !k.IsNative() {
+			t.Errorf("single-qubit %v should be native", k)
+		}
+	}
+	for _, k := range allTwoQubitKinds {
+		if !k.IsTwoQubit() {
+			t.Errorf("%v misclassified as single-qubit", k)
+		}
+	}
+	if CNOT.IsNative() || SWAP.IsNative() {
+		t.Error("CNOT/SWAP must not be native")
+	}
+	if !CZ.IsNative() || !ISwap.IsNative() || !SqrtISwap.IsNative() {
+		t.Error("CZ/iSWAP/√iSWAP must be native")
+	}
+}
+
+func eq2UpToPhase(a, b Mat2, tol float64) bool {
+	var tr complex128
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			tr += cmplx.Conj(a[j][i]) * b[j][i]
+		}
+	}
+	return math.Abs(cmplx.Abs(tr)-2) < tol
+}
+
+func TestSqrtGatesSquare(t *testing.T) {
+	if !eq2UpToPhase(Mul2(Matrix1(SX, 0), Matrix1(SX, 0)), Matrix1(X, 0), 1e-9) {
+		t.Error("SX² != X")
+	}
+	if !eq2UpToPhase(Mul2(Matrix1(SY, 0), Matrix1(SY, 0)), Matrix1(Y, 0), 1e-9) {
+		t.Error("SY² != Y")
+	}
+	// SW² = W = (X+Y)/√2 = [[0, (1−i)/√2], [(1+i)/√2, 0]].
+	sq := complex(1/math.Sqrt2, 0)
+	w := Mat2{
+		{0, sq * complex(1, -1)},
+		{sq * complex(1, 1), 0},
+	}
+	if !eq2UpToPhase(Mul2(Matrix1(SW, 0), Matrix1(SW, 0)), w, 1e-9) {
+		t.Error("SW² != (X+Y)/√2")
+	}
+}
+
+func TestRotationLimits(t *testing.T) {
+	if !eq2UpToPhase(Matrix1(RX, math.Pi), Matrix1(X, 0), 1e-9) {
+		t.Error("RX(π) != X up to phase")
+	}
+	if !eq2UpToPhase(Matrix1(RY, math.Pi), Matrix1(Y, 0), 1e-9) {
+		t.Error("RY(π) != Y up to phase")
+	}
+	if !eq2UpToPhase(Matrix1(RZ, math.Pi), Matrix1(Z, 0), 1e-9) {
+		t.Error("RZ(π) != Z up to phase")
+	}
+	if !eq2UpToPhase(Matrix1(RZ, math.Pi/2), Matrix1(S, 0), 1e-9) {
+		t.Error("RZ(π/2) != S up to phase")
+	}
+}
+
+func TestSqrtISwapSquares(t *testing.T) {
+	sq := Matrix2Q(SqrtISwap)
+	if !EqualUpToGlobalPhase4(Mul4(sq, sq), Matrix2Q(ISwap), 1e-9) {
+		t.Error("(√iSWAP)² != iSWAP")
+	}
+}
+
+func TestISwapPaperConvention(t *testing.T) {
+	m := Matrix2Q(ISwap)
+	if m[1][2] != complex(0, -1) || m[2][1] != complex(0, -1) {
+		t.Errorf("iSWAP off-diagonals should be -i (paper convention), got %v, %v", m[1][2], m[2][1])
+	}
+}
+
+func TestMatrix1PanicsOnTwoQubitKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Matrix1(CZ) did not panic")
+		}
+	}()
+	Matrix1(CZ, 0)
+}
+
+func TestMatrix2QPanicsOnSingleQubitKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Matrix2Q(H) did not panic")
+		}
+	}()
+	Matrix2Q(H)
+}
+
+func TestGateString(t *testing.T) {
+	g := Gate{Kind: CZ, Qubits: []int{2, 3}}
+	if s := g.String(); s != "cz(2,3)" {
+		t.Errorf("String = %q", s)
+	}
+	r := Gate{Kind: RX, Qubits: []int{5}, Theta: math.Pi}
+	if s := r.String(); s != "rx(3.1416)(5)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestGateOn(t *testing.T) {
+	g := Gate{Kind: CZ, Qubits: []int{2, 3}}
+	if !g.On(2) || !g.On(3) || g.On(4) {
+		t.Error("On misreports membership")
+	}
+}
+
+func TestSwap4Conjugation(t *testing.T) {
+	// Swapping qubit roles of CNOT turns control into target.
+	sw := Swap4(Matrix2Q(CNOT))
+	// CNOT with control=second qubit: |01⟩→|11⟩, |11⟩→|01⟩.
+	want := Mat4{{1, 0, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0}, {0, 1, 0, 0}}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if sw[i][j] != want[i][j] {
+				t.Fatalf("Swap4(CNOT)[%d][%d] = %v, want %v", i, j, sw[i][j], want[i][j])
+			}
+		}
+	}
+	// CZ and SWAP are symmetric.
+	for _, k := range []Kind{CZ, ISwap, SqrtISwap, SWAP} {
+		m := Matrix2Q(k)
+		s := Swap4(m)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if cmplx.Abs(m[i][j]-s[i][j]) > 1e-12 {
+					t.Fatalf("%v should be symmetric under qubit exchange", k)
+				}
+			}
+		}
+	}
+}

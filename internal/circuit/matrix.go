@@ -1,0 +1,147 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Mat2 is a single-qubit operator in the {|0⟩, |1⟩} basis.
+type Mat2 [2][2]complex128
+
+// Mat4 is a two-qubit operator in the {|00⟩, |01⟩, |10⟩, |11⟩} basis, with
+// the first qubit as the high-order bit.
+type Mat4 [4][4]complex128
+
+// Mul2 returns a·b.
+func Mul2(a, b Mat2) Mat2 {
+	var c Mat2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				c[i][j] += a[i][k] * b[k][j]
+			}
+		}
+	}
+	return c
+}
+
+// Mul4 returns a·b.
+func Mul4(a, b Mat4) Mat4 {
+	var c Mat4
+	for i := 0; i < 4; i++ {
+		for k := 0; k < 4; k++ {
+			if a[i][k] == 0 {
+				continue
+			}
+			for j := 0; j < 4; j++ {
+				c[i][j] += a[i][k] * b[k][j]
+			}
+		}
+	}
+	return c
+}
+
+// Dagger2 returns the conjugate transpose of a.
+func Dagger2(a Mat2) Mat2 {
+	var c Mat2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			c[i][j] = cmplx.Conj(a[j][i])
+		}
+	}
+	return c
+}
+
+// Dagger4 returns the conjugate transpose of a.
+func Dagger4(a Mat4) Mat4 {
+	var c Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			c[i][j] = cmplx.Conj(a[j][i])
+		}
+	}
+	return c
+}
+
+// Kron returns a⊗b (a acts on the first / high-order qubit).
+func Kron(a, b Mat2) Mat4 {
+	var c Mat4
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				for l := 0; l < 2; l++ {
+					c[2*i+k][2*j+l] = a[i][j] * b[k][l]
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Identity4 returns the two-qubit identity.
+func Identity4() Mat4 {
+	var c Mat4
+	for i := range c {
+		c[i][i] = 1
+	}
+	return c
+}
+
+// IsUnitary2 reports whether a†a = I within tolerance.
+func IsUnitary2(a Mat2, tol float64) bool {
+	p := Mul2(Dagger2(a), a)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(p[i][j]-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsUnitary4 reports whether a†a = I within tolerance.
+func IsUnitary4(a Mat4, tol float64) bool {
+	p := Mul4(Dagger4(a), a)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(p[i][j]-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualUpToGlobalPhase4 reports whether a = e^{iγ}·b for some phase γ,
+// i.e. |tr(a†b)| = 4 within tolerance.
+func EqualUpToGlobalPhase4(a, b Mat4, tol float64) bool {
+	var tr complex128
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			tr += cmplx.Conj(a[j][i]) * b[j][i]
+		}
+	}
+	return math.Abs(cmplx.Abs(tr)-4) < tol
+}
+
+// Swap4 reorders a two-qubit operator so that the roles of the first and
+// second qubit are exchanged: SWAP·a·SWAP.
+func Swap4(a Mat4) Mat4 {
+	perm := [4]int{0, 2, 1, 3}
+	var c Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			c[perm[i]][perm[j]] = a[i][j]
+		}
+	}
+	return c
+}

@@ -1,0 +1,125 @@
+// Package core is the public entry point of the FastSC-Go library: it takes
+// a logical circuit and a characterized device, routes the circuit onto the
+// device topology, compiles it with one of the five frequency-tuning
+// strategies of Table I, and evaluates the paper's worst-case success-rate
+// heuristic (eq. 4) on the resulting schedule.
+//
+// Typical use:
+//
+//	dev := topology.Grid(4, 4)
+//	sys := phys.NewSystem(dev, phys.DefaultParams(), seed)
+//	res, err := core.Compile(circ, sys, core.ColorDynamic, core.Config{})
+//	fmt.Println(res.Report.Success)
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/mapping"
+	"fastsc/internal/noise"
+	"fastsc/internal/phys"
+	"fastsc/internal/schedule"
+)
+
+// Strategy names accepted by Compile.
+const (
+	BaselineN    = "Baseline N"
+	BaselineG    = "Baseline G"
+	BaselineU    = "Baseline U"
+	BaselineS    = "Baseline S"
+	ColorDynamic = "ColorDynamic"
+)
+
+// Strategies lists all strategy names in Table I order.
+func Strategies() []string {
+	return []string{BaselineN, BaselineG, BaselineU, BaselineS, ColorDynamic}
+}
+
+// Placement selects the initial logical-to-physical embedding.
+type Placement int
+
+const (
+	// PlaceIdentity maps logical qubit i to physical qubit i.
+	PlaceIdentity Placement = iota
+	// PlaceSnake lays logical qubits along the device's boustrophedon
+	// order, the natural embedding for chain-structured circuits (ISING,
+	// QGAN).
+	PlaceSnake
+)
+
+// Config tunes a compilation run. The zero value uses the paper's defaults.
+type Config struct {
+	// Schedule holds the scheduler options (crosstalk distance, color
+	// budget, decomposition strategy, gmon residual coupling).
+	Schedule schedule.Options
+	// Noise holds the evaluator options; the zero value means
+	// noise.DefaultOptions.
+	Noise *noise.Options
+	// Placement selects the initial embedding (default PlaceIdentity).
+	Placement Placement
+}
+
+// Result bundles everything a compilation produces.
+type Result struct {
+	// Schedule is the timed, frequency-annotated program.
+	Schedule *schedule.Schedule
+	// Report is the worst-case success estimate and its error breakdown.
+	Report *noise.Report
+	// SwapCount is the number of routing SWAPs inserted.
+	SwapCount int
+	// CompileTime is the wall-clock compilation latency (routing through
+	// scheduling; evaluation excluded), the Fig 13 metric.
+	CompileTime time.Duration
+}
+
+// Compile routes, schedules and evaluates circ on sys under the named
+// strategy.
+func Compile(circ *circuit.Circuit, sys *phys.System, strategy string, cfg Config) (*Result, error) {
+	comp := schedule.ByName(strategy)
+	if comp == nil {
+		return nil, fmt.Errorf("core: unknown strategy %q (want one of %v)", strategy, Strategies())
+	}
+
+	start := time.Now()
+	var initial *mapping.Mapping
+	if cfg.Placement == PlaceSnake {
+		initial = mapping.FromOrder(circ.NumQubits, mapping.SnakeOrder(sys.Device), sys.Device.Qubits)
+	}
+	routed, err := mapping.Route(circ, sys.Device, initial)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := comp.Compile(routed.Routed, sys, cfg.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	nopt := noise.DefaultOptions()
+	if cfg.Noise != nil {
+		nopt = *cfg.Noise
+	}
+	rep := noise.Evaluate(sched, nopt)
+	return &Result{
+		Schedule:    sched,
+		Report:      rep,
+		SwapCount:   routed.SwapCount,
+		CompileTime: elapsed,
+	}, nil
+}
+
+// CompileAll runs every strategy on the same circuit and system, returning
+// results keyed by strategy name.
+func CompileAll(circ *circuit.Circuit, sys *phys.System, cfg Config) (map[string]*Result, error) {
+	out := make(map[string]*Result, 5)
+	for _, s := range Strategies() {
+		res, err := Compile(circ, sys, s, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: strategy %s: %w", s, err)
+		}
+		out[s] = res
+	}
+	return out, nil
+}

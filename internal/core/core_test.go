@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"fastsc/internal/bench"
+	"fastsc/internal/circuit"
+	"fastsc/internal/noise"
+	"fastsc/internal/phys"
+	"fastsc/internal/schedule"
+	"fastsc/internal/topology"
+)
+
+func sys9() *phys.System {
+	return phys.NewSystem(topology.SquareGrid(9), phys.DefaultParams(), 42)
+}
+
+func TestCompileAllStrategies(t *testing.T) {
+	sys := sys9()
+	c := bench.QGAN(9, 2, 1)
+	results, err := CompileAll(c, sys, Config{Placement: PlaceSnake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d results, want 5", len(results))
+	}
+	for name, res := range results {
+		if res.Report.Success <= 0 || res.Report.Success > 1 {
+			t.Fatalf("%s: success %v out of range", name, res.Report.Success)
+		}
+		if res.Schedule.Strategy != name {
+			t.Fatalf("%s: schedule labeled %s", name, res.Schedule.Strategy)
+		}
+		if err := res.Schedule.Verify(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.CompileTime <= 0 {
+			t.Fatalf("%s: compile time not recorded", name)
+		}
+	}
+}
+
+func TestCompileUnknownStrategy(t *testing.T) {
+	sys := sys9()
+	c := circuit.New(2)
+	c.H(0)
+	if _, err := Compile(c, sys, "Baseline Z", Config{}); err == nil {
+		t.Fatal("unknown strategy should error")
+	}
+}
+
+func TestCompileRoutesAutomatically(t *testing.T) {
+	sys := sys9()
+	c := circuit.New(9)
+	c.CNOT(0, 8) // needs routing on a 3x3 grid
+	res, err := Compile(c, sys, ColorDynamic, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount == 0 {
+		t.Fatal("corner-to-corner CNOT should require routing swaps")
+	}
+}
+
+func TestSnakePlacementHelpsChains(t *testing.T) {
+	sys := sys9()
+	c := bench.Ising(9, 2)
+	id, err := Compile(c, sys, ColorDynamic, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snake, err := Compile(c, sys, ColorDynamic, Config{Placement: PlaceSnake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snake.SwapCount > id.SwapCount {
+		t.Fatalf("snake placement should not need more swaps: %d vs %d",
+			snake.SwapCount, id.SwapCount)
+	}
+	if snake.SwapCount != 0 {
+		t.Fatalf("chain on snake should need 0 swaps, got %d", snake.SwapCount)
+	}
+}
+
+func TestXEBNeedsNoRouting(t *testing.T) {
+	sys := sys9()
+	c := bench.XEB(sys.Device, 4, 1)
+	res, err := Compile(c, sys, BaselineU, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != 0 {
+		t.Fatalf("device-generated XEB should route trivially, got %d swaps", res.SwapCount)
+	}
+}
+
+func TestCustomNoiseOptions(t *testing.T) {
+	sys := sys9()
+	c := bench.XEB(sys.Device, 3, 1)
+	opt := noise.DefaultOptions()
+	opt.Gate2Error = 0.2 // absurdly high intrinsic error
+	res, err := Compile(c, sys, ColorDynamic, Config{Noise: &opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Compile(c, sys, ColorDynamic, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Success >= base.Report.Success {
+		t.Fatal("higher intrinsic error should lower success")
+	}
+}
+
+func TestScheduleOptionsPassThrough(t *testing.T) {
+	sys := sys9()
+	c := bench.XEB(sys.Device, 4, 1)
+	res, err := Compile(c, sys, ColorDynamic, Config{
+		Schedule: schedule.Options{MaxColors: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.MaxColorsUsed > 1 {
+		t.Fatalf("MaxColors=1 not honored: used %d", res.Schedule.MaxColorsUsed)
+	}
+}
+
+func TestStrategiesList(t *testing.T) {
+	ss := Strategies()
+	if len(ss) != 5 || ss[4] != ColorDynamic || ss[0] != BaselineN {
+		t.Fatalf("strategies = %v", ss)
+	}
+	for _, s := range ss {
+		if schedule.ByName(s) == nil {
+			t.Fatalf("strategy %q not registered in schedule package", s)
+		}
+	}
+}

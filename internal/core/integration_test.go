@@ -1,0 +1,216 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"fastsc/internal/bench"
+	"fastsc/internal/circuit"
+	"fastsc/internal/core"
+	"fastsc/internal/graph"
+	"fastsc/internal/phys"
+	"fastsc/internal/pulse"
+	"fastsc/internal/schedule"
+	"fastsc/internal/sim"
+	"fastsc/internal/topology"
+)
+
+// TestFullPipelineMatrix drives every strategy over every benchmark family
+// on several topologies, checking the complete chain: routing → scheduling
+// → invariants → pulse lowering → evaluation.
+func TestFullPipelineMatrix(t *testing.T) {
+	devices := []*topology.Device{
+		topology.SquareGrid(9),
+		topology.Linear(9),
+		topology.Express1D(9, 3),
+		topology.Ring(9),
+	}
+	for _, dev := range devices {
+		sys := phys.NewSystem(dev, phys.DefaultParams(), 42)
+		workloads := map[string]struct {
+			c *circuit.Circuit
+			p core.Placement
+		}{
+			"bv":    {bench.BV(9, 1), core.PlaceIdentity},
+			"ising": {bench.Ising(9, 2), core.PlaceSnake},
+			"qgan":  {bench.QGAN(9, 2, 1), core.PlaceSnake},
+			"xeb":   {bench.XEB(dev, 3, 1), core.PlaceIdentity},
+		}
+		for wname, w := range workloads {
+			for _, strat := range core.Strategies() {
+				res, err := core.Compile(w.c, sys, strat, core.Config{Placement: w.p})
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", dev.Name, wname, strat, err)
+				}
+				if err := res.Schedule.Verify(); err != nil {
+					t.Fatalf("%s/%s/%s: %v", dev.Name, wname, strat, err)
+				}
+				prog, err := pulse.Lower(res.Schedule)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: pulse: %v", dev.Name, wname, strat, err)
+				}
+				if err := prog.Validate(res.Schedule); err != nil {
+					t.Fatalf("%s/%s/%s: pulse validate: %v", dev.Name, wname, strat, err)
+				}
+				if s := res.Report.Success; s < 0 || s > 1 || math.IsNaN(s) {
+					t.Fatalf("%s/%s/%s: success %v", dev.Name, wname, strat, s)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledCircuitsStayUnitarilyCorrect routes+decomposes a logical
+// circuit through the full compiler and re-simulates the compiled gate list
+// against the logical one.
+func TestCompiledCircuitsStayUnitarilyCorrect(t *testing.T) {
+	dev := topology.SquareGrid(4)
+	sys := phys.NewSystem(dev, phys.DefaultParams(), 42)
+	logical := circuit.New(4)
+	logical.H(0).CNOT(0, 1).SWAP(1, 3).CZ(3, 2).CNOT(2, 0).RZ(1, 0.7)
+	want := sim.RunIdeal(logical)
+
+	for _, strat := range core.Strategies() {
+		res, err := core.Compile(logical, sys, strat, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Replay the compiled circuit and undo the routing permutation by
+		// tracking logical positions through inserted SWAPs — here we know
+		// no routing swaps occurred (all pairs coupled on the 2x2? (1,3)
+		// and (3,2) and (2,0) are couplers; (0,1) too).
+		if res.SwapCount != 0 {
+			t.Fatalf("%s: unexpected routing swaps %d", strat, res.SwapCount)
+		}
+		got := sim.RunIdeal(res.Schedule.Compiled)
+		if f := want.Fidelity(got); math.Abs(f-1) > 1e-9 {
+			t.Fatalf("%s: compiled circuit fidelity to logical = %v", strat, f)
+		}
+	}
+}
+
+// TestScheduleGateOrderRespectsDependencies replays each schedule and
+// verifies that per-qubit gate order matches the compiled circuit's
+// program order.
+func TestScheduleGateOrderRespectsDependencies(t *testing.T) {
+	dev := topology.SquareGrid(16)
+	sys := phys.NewSystem(dev, phys.DefaultParams(), 42)
+	c := bench.XEB(dev, 5, 3)
+	for _, strat := range core.Strategies() {
+		res, err := core.Compile(c, sys, strat, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build the per-qubit expected streams from the compiled circuit.
+		expect := make(map[int][]circuit.Gate)
+		for _, g := range res.Schedule.Compiled.Gates {
+			for _, q := range g.Qubits {
+				expect[q] = append(expect[q], g)
+			}
+		}
+		cursor := make(map[int]int)
+		for si, sl := range res.Schedule.Slices {
+			for _, ev := range sl.Gates {
+				for _, q := range ev.Gate.Qubits {
+					idx := cursor[q]
+					if idx >= len(expect[q]) {
+						t.Fatalf("%s: qubit %d overflows its gate stream at slice %d", strat, q, si)
+					}
+					want := expect[q][idx]
+					if want.Kind != ev.Gate.Kind {
+						t.Fatalf("%s: qubit %d slice %d: got %v, want %v", strat, q, si, ev.Gate, want)
+					}
+					cursor[q]++
+				}
+			}
+		}
+	}
+}
+
+// --- failure injection ---
+
+func TestDisconnectedDeviceRoutingFails(t *testing.T) {
+	// Two disconnected pairs: a CNOT across components must error, not
+	// hang or panic.
+	dev := topology.FromEdges("split", 4, []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(2, 3)})
+	sys := phys.NewSystem(dev, phys.DefaultParams(), 1)
+	c := circuit.New(4)
+	c.CNOT(0, 3)
+	if _, err := core.Compile(c, sys, core.ColorDynamic, core.Config{}); err == nil {
+		t.Fatal("routing across disconnected components should fail")
+	}
+}
+
+func TestNarrowTunableRangeFails(t *testing.T) {
+	// A nearly untunable chip cannot host the frequency partition.
+	p := phys.DefaultParams()
+	p.Asymmetry = 0.999 // OmegaMin ≈ OmegaMax: no room to partition
+	sys := phys.NewSystem(topology.Grid(2, 2), p, 1)
+	c := circuit.New(4)
+	c.CZ(0, 1)
+	if _, err := core.Compile(c, sys, core.ColorDynamic, core.Config{}); err == nil {
+		t.Fatal("compilation should fail when the tunable range cannot host the partition")
+	}
+}
+
+func TestHugeFabricationSpreadFails(t *testing.T) {
+	// Absurd fabrication spread can invert the common range.
+	p := phys.DefaultParams()
+	p.OmegaSigma = 3.0
+	sys := phys.NewSystem(topology.Grid(3, 3), p, 5)
+	lo, hi := sys.CommonRange()
+	if hi > lo {
+		t.Skip("this seed still has a usable common range")
+	}
+	c := circuit.New(9)
+	c.CZ(0, 1)
+	if _, err := core.Compile(c, sys, core.ColorDynamic, core.Config{}); err == nil {
+		t.Fatal("inverted common range should fail cleanly")
+	}
+}
+
+func TestSingleQubitDeviceTrivialProgram(t *testing.T) {
+	// Degenerate device: one qubit, no couplers. Single-qubit programs
+	// must still compile.
+	dev := topology.Linear(1)
+	sys := phys.NewSystem(dev, phys.DefaultParams(), 1)
+	c := circuit.New(1)
+	c.H(0).RZ(0, 0.3).H(0)
+	res, err := core.Compile(c, sys, core.ColorDynamic, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Success <= 0.9 {
+		t.Fatalf("trivial program success %v", res.Report.Success)
+	}
+}
+
+func TestEmptyCircuitCompiles(t *testing.T) {
+	sys := phys.NewSystem(topology.Grid(2, 2), phys.DefaultParams(), 1)
+	c := circuit.New(4)
+	res, err := core.Compile(c, sys, core.ColorDynamic, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Depth() != 0 || res.Report.Success != 1 {
+		t.Fatalf("empty program: depth %d success %v", res.Schedule.Depth(), res.Report.Success)
+	}
+}
+
+func TestMaxColorsOneStillCompletes(t *testing.T) {
+	// The tightest tunability budget must still schedule everything.
+	sys := phys.NewSystem(topology.SquareGrid(16), phys.DefaultParams(), 42)
+	c := bench.XEB(sys.Device, 8, 3)
+	res, err := core.Compile(c, sys, core.ColorDynamic, core.Config{
+		Schedule: schedule.Options{MaxColors: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.MaxColorsUsed > 1 {
+		t.Fatalf("budget violated: %d colors", res.Schedule.MaxColorsUsed)
+	}
+}

@@ -1,0 +1,105 @@
+// Package expt regenerates every table and figure of the paper's
+// evaluation (§VI–§VII and the appendices). Each Fig*/Table* function
+// returns a Table of the same rows/series the paper plots; cmd/experiments
+// prints them and bench_test.go drives them as benchmarks.
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/core"
+	"fastsc/internal/phys"
+	"fastsc/internal/topology"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // e.g. "fig9"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// DeviceSeed is the fixed chip-sampling seed used across experiments so
+// that every strategy sees the same fabricated device.
+const DeviceSeed = 42
+
+// GridSystem returns the standard n-qubit square-grid system.
+func GridSystem(n int) *phys.System {
+	return phys.NewSystem(topology.SquareGrid(n), phys.DefaultParams(), DeviceSeed)
+}
+
+// SystemFor returns a system over an arbitrary device.
+func SystemFor(dev *topology.Device) *phys.System {
+	return phys.NewSystem(dev, phys.DefaultParams(), DeviceSeed)
+}
+
+// Benchmark describes one evaluation workload (a Table II entry instance).
+type Benchmark struct {
+	Name      string
+	Qubits    int
+	Placement core.Placement
+	// Build generates the logical circuit for the given device. Most
+	// generators ignore the device; XEB is generated on it directly.
+	Build func(dev *topology.Device, seed int64) *circuit.Circuit
+}
+
+// Circuit builds the benchmark circuit for a device.
+func (b Benchmark) Circuit(dev *topology.Device) *circuit.Circuit {
+	return b.Build(dev, benchSeed)
+}
+
+// benchSeed fixes the workload instances (secret strings, random graphs,
+// variational angles, XEB gate draws).
+const benchSeed = 7
+
+func fmtG(v float64) string {
+	if v != 0 && (v < 1e-3 || v >= 1e4) {
+		return fmt.Sprintf("%.3e", v)
+	}
+	return fmt.Sprintf("%.4f", v)
+}

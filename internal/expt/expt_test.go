@@ -1,0 +1,303 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"fastsc/internal/core"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "t",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	s := tab.String()
+	for _, want := range []string{"== t: demo ==", "333", "a note", "---"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 22 {
+		t.Fatalf("Fig 9 suite has %d entries, want 22 (as in the paper)", len(suite))
+	}
+	names := map[string]bool{}
+	for _, b := range suite {
+		if names[b.Name] {
+			t.Fatalf("duplicate benchmark %s", b.Name)
+		}
+		names[b.Name] = true
+		if b.Qubits < 2 {
+			t.Fatalf("%s has %d qubits", b.Name, b.Qubits)
+		}
+	}
+	// The paper's exclusions must hold.
+	if names["qaoa(16)"] || names["ising(16)"] {
+		t.Fatal("qaoa(16)/ising(16) are excluded in the paper (success < 1e-4)")
+	}
+	// The headline families must all be present.
+	for _, want := range []string{"bv(16)", "qgan(25)", "xeb(25,15)", "ising(4)"} {
+		if !names[want] {
+			t.Fatalf("suite missing %s", want)
+		}
+	}
+}
+
+func TestBenchmarkCircuitsCompile(t *testing.T) {
+	for _, b := range Suite() {
+		sys := GridSystem(b.Qubits)
+		c := b.Circuit(sys.Device)
+		if c.NumQubits > sys.Device.Qubits {
+			t.Fatalf("%s: circuit too wide", b.Name)
+		}
+		if c.NumGates() == 0 {
+			t.Fatalf("%s: empty circuit", b.Name)
+		}
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tab := Fig2InteractionStrength()
+	if len(tab.Rows) < 10 {
+		t.Fatalf("sweep too coarse: %d rows", len(tab.Rows))
+	}
+	// Peak must sit at resonance (ωA = 5.44), i.e. in the middle rows.
+	var maxRow int
+	var maxVal float64
+	for i, row := range tab.Rows {
+		var v float64
+		if _, err := sscan(row[1], &v); err != nil {
+			t.Fatal(err)
+		}
+		if v > maxVal {
+			maxVal, maxRow = v, i
+		}
+	}
+	if maxRow == 0 || maxRow == len(tab.Rows)-1 {
+		t.Fatal("interaction strength should peak at resonance, not at the sweep edge")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tab := Fig4TransmonSpectrum()
+	if len(tab.Rows) != 41 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// ω01 at φ=0 (middle row) must exceed the mid-band value at φ=0.25
+	// (the flux period is 1, so φ=±1 are sweet spots again).
+	var atZero, atQuarter float64
+	if _, err := sscan(tab.Rows[20][1], &atZero); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(tab.Rows[25][1], &atQuarter); err != nil {
+		t.Fatal(err)
+	}
+	if atZero <= atQuarter {
+		t.Fatalf("spectrum should peak at zero flux: %v vs %v at φ=0.25", atZero, atQuarter)
+	}
+}
+
+func TestFig7Claims(t *testing.T) {
+	tab := Fig7MeshColoring()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][3] != "2" {
+		t.Fatalf("connectivity graph should 2-color, got %s", tab.Rows[0][3])
+	}
+	for _, row := range tab.Rows {
+		if row[4] != "true" {
+			t.Fatalf("coloring of %s not proper", row[0])
+		}
+	}
+}
+
+func TestFig9Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig 9 sweep in -short mode")
+	}
+	r, err := Fig9SuccessRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != 22 {
+		t.Fatalf("rows = %d", len(r.Table.Rows))
+	}
+	// Headline claims (direction, not magnitude).
+	if r.MeanCDOverU < 2 {
+		t.Fatalf("ColorDynamic should clearly beat Baseline U on average, ratio %v", r.MeanCDOverU)
+	}
+	if r.GeoMeanCDOverG < 0.2 || r.GeoMeanCDOverG > 5 {
+		t.Fatalf("ColorDynamic should be within a small factor of Baseline G, got %v", r.GeoMeanCDOverG)
+	}
+	// Per-benchmark: CD must beat U on the parallel deep workloads.
+	for _, name := range []string{"xeb(16,15)", "xeb(25,15)", "qgan(25)"} {
+		cd := r.Success[name][core.ColorDynamic]
+		u := r.Success[name][core.BaselineU]
+		if cd <= u {
+			t.Fatalf("%s: CD %v should beat U %v", name, cd, u)
+		}
+	}
+}
+
+func TestFig10Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig 10 sweep in -short mode")
+	}
+	r, err := Fig10DepthDecoherence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline U must serialize: strictly deeper than ColorDynamic on the
+	// largest parallel workload.
+	if r.Depth["xeb(25,15)"][core.BaselineU] <= r.Depth["xeb(25,15)"][core.ColorDynamic] {
+		t.Fatal("Baseline U should be deeper than ColorDynamic on xeb(25,15)")
+	}
+	// ColorDynamic's decoherence should be below Baseline U's on average
+	// (paper: 0.90x).
+	if r.MeanDecCDOverU >= 1.05 {
+		t.Fatalf("CD decoherence ratio vs U = %v, want < 1.05", r.MeanDecCDOverU)
+	}
+}
+
+func TestFig11Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig 11 sweep in -short mode")
+	}
+	r, err := Fig11ColorSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's sweet spot: best tunability at 1 or 2 colors for the
+	// majority of benchmarks.
+	atSweetSpot := 0
+	for _, k := range r.BestColors {
+		if k <= 2 {
+			atSweetSpot++
+		}
+	}
+	if atSweetSpot < len(r.BestColors)*2/3 {
+		t.Fatalf("only %d/%d benchmarks peak at <= 2 colors", atSweetSpot, len(r.BestColors))
+	}
+}
+
+func TestFig12Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig 12 sweep in -short mode")
+	}
+	r, err := Fig12ResidualCoupling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, series := range r.Success {
+		// Monotone decay in r.
+		for i := 1; i < len(series); i++ {
+			if series[i] > series[i-1]+1e-9 {
+				t.Fatalf("%s: success increased with residual at step %d", name, i)
+			}
+		}
+		// Substantial total decay on the 16-qubit workloads.
+		if strings.Contains(name, "16") && series[len(series)-1] > series[0]/10 {
+			t.Fatalf("%s: decay too flat: %v -> %v", name, series[0], series[len(series)-1])
+		}
+	}
+}
+
+func TestFig13Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig 13 sweep in -short mode")
+	}
+	r, err := Fig13Connectivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 50 { // 5 benchmarks x 10 topologies
+		t.Fatalf("points = %d, want 50", len(r.Points))
+	}
+	if r.GeoMeanCDOverU < 1 {
+		t.Fatalf("ColorDynamic should improve on U across connectivities, geomean %v", r.GeoMeanCDOverU)
+	}
+	for _, p := range r.Points {
+		if p.CompileTime.Seconds() > 30 {
+			t.Fatalf("%s/%s: compile time %v exceeds the paper's 30 s bound",
+				p.Benchmark, p.Topology, p.CompileTime)
+		}
+		if p.Colors > 8 {
+			t.Fatalf("%s/%s: %d colors, should stay small", p.Benchmark, p.Topology, p.Colors)
+		}
+	}
+}
+
+func TestFig15Bounds(t *testing.T) {
+	tab := Fig15Chevrons()
+	for _, row := range tab.Rows {
+		for _, cell := range row[2:] {
+			var v float64
+			if _, err := sscan(cell, &v); err != nil {
+				t.Fatal(err)
+			}
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Fatalf("transition probability %v out of range", v)
+			}
+		}
+	}
+}
+
+func TestValidationCorrelation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trajectory simulation in -short mode")
+	}
+	r, err := ValidationHeuristic(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Heuristic) != len(r.Simulated) || len(r.Heuristic) < 8 {
+		t.Fatalf("validation rows: %d", len(r.Heuristic))
+	}
+	// Rank correlation: the heuristic must order (benchmark, strategy)
+	// pairs like the simulator does, at least weakly (Spearman > 0.5).
+	if rho := spearman(r.Heuristic, r.Simulated); rho < 0.5 {
+		t.Fatalf("heuristic/simulation rank correlation %v too weak", rho)
+	}
+}
+
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	n := float64(len(a))
+	var d2 float64
+	for i := range ra {
+		d := ra[i] - rb[i]
+		d2 += d * d
+	}
+	return 1 - 6*d2/(n*(n*n-1))
+}
+
+func ranks(xs []float64) []float64 {
+	r := make([]float64, len(xs))
+	for i, x := range xs {
+		rank := 1.0
+		for j, y := range xs {
+			if y < x || (y == x && j < i) {
+				rank++
+			}
+		}
+		r[i] = rank
+	}
+	return r
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmtSscan(s, v)
+}
+
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

@@ -1,0 +1,78 @@
+package expt
+
+import (
+	"fmt"
+
+	"fastsc/internal/core"
+)
+
+// Fig10Result carries the depth and decoherence comparison of Fig 10.
+type Fig10Result struct {
+	DepthTable       *Table
+	DecoherenceTable *Table
+	// Depth[benchmark][strategy] and Decoherence[benchmark][strategy].
+	Depth       map[string]map[string]int
+	Decoherence map[string]map[string]float64
+	// MeanDecCDOverU and MeanDecCDOverG are mean ratios of ColorDynamic's
+	// decoherence error to the baselines' (paper: 0.90x vs U, 1.02x vs G).
+	MeanDecCDOverU, MeanDecCDOverG float64
+}
+
+// fig10Strategies are the algorithms Fig 10 compares.
+var fig10Strategies = []string{core.BaselineG, core.BaselineU, core.ColorDynamic}
+
+// Fig10DepthDecoherence reproduces Fig 10: circuit depth (left) and
+// decoherence error (right) for the XEB workloads under Baseline G,
+// Baseline U and ColorDynamic.
+func Fig10DepthDecoherence() (*Fig10Result, error) {
+	res := &Fig10Result{
+		Depth:       map[string]map[string]int{},
+		Decoherence: map[string]map[string]float64{},
+	}
+	dt := &Table{
+		ID:      "fig10-depth",
+		Title:   "Circuit depth (slices) after compilation",
+		Columns: append([]string{"benchmark"}, fig10Strategies...),
+	}
+	et := &Table{
+		ID:      "fig10-decoherence",
+		Title:   "Program decoherence error (lower is better)",
+		Columns: append([]string{"benchmark"}, fig10Strategies...),
+	}
+	var sumU, sumG float64
+	var count int
+	for _, b := range XEBSuite() {
+		sys := GridSystem(b.Qubits)
+		circ := b.Circuit(sys.Device)
+		drow := []string{b.Name}
+		erow := []string{b.Name}
+		res.Depth[b.Name] = map[string]int{}
+		res.Decoherence[b.Name] = map[string]float64{}
+		for _, s := range fig10Strategies {
+			r, err := core.Compile(circ, sys, s, core.Config{Placement: b.Placement})
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s/%s: %w", b.Name, s, err)
+			}
+			res.Depth[b.Name][s] = r.Schedule.Depth()
+			res.Decoherence[b.Name][s] = r.Report.DecoherenceError
+			drow = append(drow, fmt.Sprintf("%d", r.Schedule.Depth()))
+			erow = append(erow, fmtG(r.Report.DecoherenceError))
+		}
+		dt.Rows = append(dt.Rows, drow)
+		et.Rows = append(et.Rows, erow)
+		if u := res.Decoherence[b.Name][core.BaselineU]; u > 0 {
+			sumU += res.Decoherence[b.Name][core.ColorDynamic] / u
+		}
+		if g := res.Decoherence[b.Name][core.BaselineG]; g > 0 {
+			sumG += res.Decoherence[b.Name][core.ColorDynamic] / g
+		}
+		count++
+	}
+	res.MeanDecCDOverU = sumU / float64(count)
+	res.MeanDecCDOverG = sumG / float64(count)
+	et.Notes = append(et.Notes,
+		fmt.Sprintf("ColorDynamic decoherence: %.2fx of Baseline U, %.2fx of Baseline G (paper: 0.90x, 1.02x)",
+			res.MeanDecCDOverU, res.MeanDecCDOverG))
+	res.DepthTable, res.DecoherenceTable = dt, et
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package expt
+
+import (
+	"fmt"
+
+	"fastsc/internal/core"
+	"fastsc/internal/schedule"
+)
+
+// Fig11Result carries the tunability sweep of Fig 11.
+type Fig11Result struct {
+	Table *Table
+	// Success[benchmark][maxColors].
+	Success map[string]map[int]float64
+	// BestColors[benchmark] is the color budget maximizing success.
+	BestColors map[string]int
+}
+
+// fig11MaxColors is the sweep range (the paper plots 1–4).
+var fig11MaxColors = []int{1, 2, 3, 4}
+
+// fig11Suite returns the benchmarks Fig 11 sweeps.
+func fig11Suite() []Benchmark {
+	return []Benchmark{
+		bvBench(16),
+		qaoaBench(4),
+		isingBench(4),
+		qganBench(4),
+		qganBench(16),
+		xebBench(16, 5),
+		xebBench(16, 10),
+		xebBench(16, 15),
+	}
+}
+
+// Fig11ColorSweep reproduces Fig 11: program success rate as a function of
+// the maximum number of interaction colors (i.e. frequencies) ColorDynamic
+// may use per slice. The paper finds the sweet spot at 1–2 colors.
+func Fig11ColorSweep() (*Fig11Result, error) {
+	res := &Fig11Result{
+		Success:    map[string]map[int]float64{},
+		BestColors: map[string]int{},
+	}
+	cols := []string{"benchmark"}
+	for _, k := range fig11MaxColors {
+		cols = append(cols, fmt.Sprintf("%d colors", k))
+	}
+	t := &Table{
+		ID:      "fig11",
+		Title:   "ColorDynamic success rate vs tunability (max colors)",
+		Columns: append(cols, "best"),
+	}
+	for _, b := range fig11Suite() {
+		sys := GridSystem(b.Qubits)
+		circ := b.Circuit(sys.Device)
+		row := []string{b.Name}
+		res.Success[b.Name] = map[int]float64{}
+		best, bestV := 0, -1.0
+		for _, k := range fig11MaxColors {
+			r, err := core.Compile(circ, sys, core.ColorDynamic, core.Config{
+				Placement: b.Placement,
+				Schedule:  schedule.Options{MaxColors: k},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s k=%d: %w", b.Name, k, err)
+			}
+			res.Success[b.Name][k] = r.Report.Success
+			row = append(row, fmtG(r.Report.Success))
+			if r.Report.Success > bestV {
+				bestV, best = r.Report.Success, k
+			}
+		}
+		res.BestColors[b.Name] = best
+		row = append(row, fmt.Sprintf("%d", best))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper: optimal operating point at 1 or 2 colors; more colors give diminishing returns")
+	res.Table = t
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package expt
+
+import (
+	"fmt"
+
+	"fastsc/internal/bench"
+	"fastsc/internal/circuit"
+	"fastsc/internal/core"
+	"fastsc/internal/topology"
+)
+
+// Suite returns the Fig 9 benchmark list: the Table II generators at the
+// paper's sizes. qaoa(16) and ising(16) are excluded exactly as the paper
+// excludes them (estimated success below 10⁻⁴ for every strategy).
+func Suite() []Benchmark {
+	var out []Benchmark
+	for _, n := range []int{4, 9, 16} {
+		out = append(out, bvBench(n))
+	}
+	for _, n := range []int{4, 9} {
+		out = append(out, qaoaBench(n))
+	}
+	out = append(out, isingBench(4))
+	for _, n := range []int{4, 9, 16, 25} {
+		out = append(out, qganBench(n))
+	}
+	for _, p := range []int{5, 10, 15} {
+		for _, n := range []int{4, 9, 16, 25} {
+			out = append(out, xebBench(n, p))
+		}
+	}
+	return out
+}
+
+func bvBench(n int) Benchmark {
+	return Benchmark{
+		Name:   fmt.Sprintf("bv(%d)", n),
+		Qubits: n,
+		Build: func(dev *topology.Device, seed int64) *circuit.Circuit {
+			return bench.BV(n, seed)
+		},
+	}
+}
+
+func qaoaBench(n int) Benchmark {
+	return Benchmark{
+		Name:   fmt.Sprintf("qaoa(%d)", n),
+		Qubits: n,
+		Build: func(dev *topology.Device, seed int64) *circuit.Circuit {
+			return bench.QAOA(n, seed)
+		},
+	}
+}
+
+func isingBench(n int) Benchmark {
+	return Benchmark{
+		Name:      fmt.Sprintf("ising(%d)", n),
+		Qubits:    n,
+		Placement: core.PlaceSnake,
+		Build: func(dev *topology.Device, seed int64) *circuit.Circuit {
+			return bench.Ising(n, 0)
+		},
+	}
+}
+
+func qganBench(n int) Benchmark {
+	return Benchmark{
+		Name:      fmt.Sprintf("qgan(%d)", n),
+		Qubits:    n,
+		Placement: core.PlaceSnake,
+		Build: func(dev *topology.Device, seed int64) *circuit.Circuit {
+			return bench.QGAN(n, 0, seed)
+		},
+	}
+}
+
+func xebBench(n, p int) Benchmark {
+	return Benchmark{
+		Name:   fmt.Sprintf("xeb(%d,%d)", n, p),
+		Qubits: n,
+		Build: func(dev *topology.Device, seed int64) *circuit.Circuit {
+			return bench.XEB(dev, p, seed)
+		},
+	}
+}
+
+// XEBSuite returns the Fig 10 workload list (XEB only, all sizes × cycles).
+func XEBSuite() []Benchmark {
+	var out []Benchmark
+	for _, p := range []int{5, 10, 15} {
+		for _, n := range []int{4, 9, 16, 25} {
+			out = append(out, xebBench(n, p))
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package expt
+
+import (
+	"fmt"
+
+	"fastsc/internal/core"
+	"fastsc/internal/schedule"
+)
+
+// TableStrategies reproduces Table I: the algorithms under evaluation and
+// their microarchitectural requirements.
+func TableStrategies() *Table {
+	t := &Table{
+		ID:      "table1",
+		Title:   "Algorithms used in the evaluation (Table I)",
+		Columns: []string{"algorithm", "microarchitecture features"},
+		Rows: [][]string{
+			{core.BaselineN, "tunable transmon, fixed coupler, crosstalk-unaware ASAP (Qiskit-style) scheduler"},
+			{core.BaselineG, "tunable transmon, tunable coupler (gmon), Sycamore ABCD tiling scheduler"},
+			{core.BaselineU, "tunable transmon (single interaction frequency), fixed coupler, serializing scheduler"},
+			{core.BaselineS, "tunable transmon, fixed coupler, static (program-independent) crosstalk-aware palette"},
+			{core.ColorDynamic, "tunable transmon, fixed coupler, program-specific crosstalk-aware scheduler (this work)"},
+		},
+	}
+	for _, name := range core.Strategies() {
+		if schedule.ByName(name) == nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("WARNING: %s missing from registry", name))
+		}
+	}
+	return t
+}
+
+// TableBenchmarks reproduces Table II: the NISQ benchmark families.
+func TableBenchmarks() *Table {
+	return &Table{
+		ID:      "table2",
+		Title:   "Benchmarks used in the evaluation (Table II)",
+		Columns: []string{"benchmark", "description"},
+		Rows: [][]string{
+			{"bv(n)", "Bernstein–Vazirani algorithm on n qubits"},
+			{"qaoa(n)", "QAOA for MAX-CUT on an Erdős–Rényi random graph with n vertices"},
+			{"ising(n)", "linear Ising-model (spin chain) simulation of length n"},
+			{"qgan(n)", "quantum GAN ansatz with training data of dimension 2^n"},
+			{"xeb(n,p)", "cross-entropy benchmarking circuit on n qubits with p cycles"},
+		},
+	}
+}

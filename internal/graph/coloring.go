@@ -1,0 +1,166 @@
+package graph
+
+import "sort"
+
+// Coloring assigns a color (small non-negative integer) to each vertex.
+type Coloring map[int]int
+
+// NumColors returns the number of distinct colors used.
+func (c Coloring) NumColors() int {
+	seen := make(map[int]struct{}, len(c))
+	for _, col := range c {
+		seen[col] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Classes groups vertices by color; classes[k] lists the vertices with color
+// k in ascending order. Colors are assumed to be 0..NumColors-1 (as produced
+// by the greedy colorers in this package).
+func (c Coloring) Classes() [][]int {
+	n := 0
+	for _, col := range c {
+		if col+1 > n {
+			n = col + 1
+		}
+	}
+	classes := make([][]int, n)
+	for v, col := range c {
+		classes[col] = append(classes[col], v)
+	}
+	for _, cl := range classes {
+		sort.Ints(cl)
+	}
+	return classes
+}
+
+// Valid reports whether c is a proper coloring of g: every vertex of g is
+// colored and no edge is monochromatic.
+func (c Coloring) Valid(g *Graph) bool {
+	for _, v := range g.Nodes() {
+		if _, ok := c[v]; !ok {
+			return false
+		}
+	}
+	for _, e := range g.Edges() {
+		if c[e.U] == c[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyColoring colors the vertices of g in the given order, assigning each
+// vertex the smallest color not used by an already-colored neighbor. The
+// order must contain every vertex of g exactly once.
+func GreedyColoring(g *Graph, order []int) Coloring {
+	c := make(Coloring, g.NumNodes())
+	for _, v := range order {
+		used := make(map[int]struct{})
+		for u := range g.adj[v] {
+			if col, ok := c[u]; ok {
+				used[col] = struct{}{}
+			}
+		}
+		col := 0
+		for {
+			if _, taken := used[col]; !taken {
+				break
+			}
+			col++
+		}
+		c[v] = col
+	}
+	return c
+}
+
+// WelshPowell colors g greedily in order of non-increasing degree, breaking
+// degree ties by ascending vertex id. This is the polynomial-time
+// approximation named by the paper (§V-B2); it uses at most MaxDegree+1
+// colors.
+func WelshPowell(g *Graph) Coloring {
+	order := g.Nodes()
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	return GreedyColoring(g, order)
+}
+
+// BoundedColoring colors g with at most maxColors colors, dropping vertices
+// that cannot be colored within the budget. It colors in Welsh–Powell order
+// and returns the partial coloring plus the list of deferred (uncolored)
+// vertices in ascending order. With maxColors <= 0 it behaves like
+// WelshPowell (no budget) and defers nothing.
+//
+// The compiler uses this to honor the tunability budget of Fig 11: gates
+// whose crosstalk-graph vertices are deferred get postponed to a later slice.
+func BoundedColoring(g *Graph, maxColors int) (Coloring, []int) {
+	if maxColors <= 0 {
+		return WelshPowell(g), nil
+	}
+	order := g.Nodes()
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	c := make(Coloring, len(order))
+	var deferred []int
+	for _, v := range order {
+		used := make(map[int]struct{})
+		for u := range g.adj[v] {
+			if col, ok := c[u]; ok {
+				used[col] = struct{}{}
+			}
+		}
+		col := -1
+		for k := 0; k < maxColors; k++ {
+			if _, taken := used[k]; !taken {
+				col = k
+				break
+			}
+		}
+		if col < 0 {
+			deferred = append(deferred, v)
+			continue
+		}
+		c[v] = col
+	}
+	sort.Ints(deferred)
+	return c, deferred
+}
+
+// TwoColor attempts to 2-color g by BFS. It returns (coloring, true) when g
+// is bipartite, and (nil, false) otherwise. A 2-colorable connectivity graph
+// (e.g. any 2-D mesh) needs only two idle frequencies (§IV-C1).
+func TwoColor(g *Graph) (Coloring, bool) {
+	c := make(Coloring, g.NumNodes())
+	for _, start := range g.Nodes() {
+		if _, done := c[start]; done {
+			continue
+		}
+		c[start] = 0
+		queue := []int{start}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if cu, ok := c[u]; ok {
+					if cu == c[v] {
+						return nil, false
+					}
+					continue
+				}
+				c[u] = 1 - c[v]
+				queue = append(queue, u)
+			}
+		}
+	}
+	return c, true
+}

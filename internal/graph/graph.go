@@ -1,0 +1,231 @@
+// Package graph provides the undirected-graph machinery used throughout the
+// crosstalk-mitigation compiler: device connectivity graphs, their line
+// graphs, crosstalk graphs, breadth-first distances, and greedy vertex
+// coloring (Welsh–Powell).
+//
+// Graphs are simple (no self loops, no parallel edges) and undirected, with
+// integer vertex identifiers. All iteration orders are deterministic (sorted
+// ascending) so that compilation results are reproducible run to run.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is an undirected edge between vertices U and V, normalized U < V.
+type Edge struct {
+	U, V int
+}
+
+// NewEdge returns the normalized edge between a and b.
+// It panics if a == b, since the graphs here are simple.
+func NewEdge(a, b int) Edge {
+	if a == b {
+		panic(fmt.Sprintf("graph: self loop on vertex %d", a))
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{U: a, V: b}
+}
+
+// Other returns the endpoint of e that is not v.
+// It panics if v is not an endpoint of e.
+func (e Edge) Other(v int) int {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d not on edge %v", v, e))
+}
+
+// Has reports whether v is an endpoint of e.
+func (e Edge) Has(v int) bool { return e.U == v || e.V == v }
+
+// SharesVertex reports whether e and f have a common endpoint.
+func (e Edge) SharesVertex(f Edge) bool {
+	return e.Has(f.U) || e.Has(f.V)
+}
+
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is a simple undirected graph over integer vertices.
+// The zero value is not usable; construct with New.
+type Graph struct {
+	adj map[int]map[int]struct{}
+	m   int // edge count
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[int]map[int]struct{})}
+}
+
+// FromEdges builds a graph containing the given edges (and their endpoints).
+func FromEdges(edges []Edge) *Graph {
+	g := New()
+	for _, e := range edges {
+		g.AddEdge(e.U, e.V)
+	}
+	return g
+}
+
+// AddNode inserts an isolated vertex; it is a no-op if v already exists.
+func (g *Graph) AddNode(v int) {
+	if _, ok := g.adj[v]; !ok {
+		g.adj[v] = make(map[int]struct{})
+	}
+}
+
+// AddEdge inserts the undirected edge {a,b}, adding endpoints as needed.
+// Adding an existing edge is a no-op. It panics on self loops.
+func (g *Graph) AddEdge(a, b int) {
+	if a == b {
+		panic(fmt.Sprintf("graph: self loop on vertex %d", a))
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	if _, ok := g.adj[a][b]; ok {
+		return
+	}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+	g.m++
+}
+
+// RemoveEdge deletes the edge {a,b} if present.
+func (g *Graph) RemoveEdge(a, b int) {
+	if _, ok := g.adj[a][b]; !ok {
+		return
+	}
+	delete(g.adj[a], b)
+	delete(g.adj[b], a)
+	g.m--
+}
+
+// HasNode reports whether v is a vertex of g.
+func (g *Graph) HasNode(v int) bool {
+	_, ok := g.adj[v]
+	return ok
+}
+
+// HasEdge reports whether the edge {a,b} is present.
+func (g *Graph) HasEdge(a, b int) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// NumNodes returns the vertex count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the number of neighbors of v (0 if v is absent).
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the largest vertex degree in g (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nbrs := range g.adj {
+		if len(nbrs) > max {
+			max = len(nbrs)
+		}
+	}
+	return max
+}
+
+// Nodes returns the vertices in ascending order.
+func (g *Graph) Nodes() []int {
+	vs := make([]int, 0, len(g.adj))
+	for v := range g.adj {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Neighbors returns the neighbors of v in ascending order.
+func (g *Graph) Neighbors(v int) []int {
+	ns := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		ns = append(ns, u)
+	}
+	sort.Ints(ns)
+	return ns
+}
+
+// Edges returns all edges sorted by (U, V).
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.m)
+	for v, nbrs := range g.adj {
+		for u := range nbrs {
+			if v < u {
+				es = append(es, Edge{U: v, V: u})
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for v := range g.adj {
+		c.AddNode(v)
+	}
+	for v, nbrs := range g.adj {
+		for u := range nbrs {
+			if v < u {
+				c.AddEdge(v, u)
+			}
+		}
+	}
+	return c
+}
+
+// Subgraph returns the subgraph induced by the given vertex set.
+func (g *Graph) Subgraph(vertices []int) *Graph {
+	keep := make(map[int]struct{}, len(vertices))
+	for _, v := range vertices {
+		if g.HasNode(v) {
+			keep[v] = struct{}{}
+		}
+	}
+	s := New()
+	for v := range keep {
+		s.AddNode(v)
+	}
+	for v := range keep {
+		for u := range g.adj[v] {
+			if _, ok := keep[u]; ok && v < u {
+				s.AddEdge(v, u)
+			}
+		}
+	}
+	return s
+}
+
+// String renders the graph as "n=<nodes> m=<edges> [edge list]".
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d m=%d [", g.NumNodes(), g.NumEdges())
+	for i, e := range g.Edges() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,31 @@
+package graph
+
+// LineGraph computes the line graph L(g): one vertex per edge of g, with two
+// line-graph vertices adjacent when the corresponding edges of g share an
+// endpoint. It returns the line graph together with the slice mapping
+// line-graph vertex id -> original edge (ids are indices into that slice,
+// which is sorted by (U,V) so the construction is deterministic).
+//
+// This is the first step of the paper's crosstalk-graph construction
+// (Algorithm 2, line 2: networkx.line_graph).
+func LineGraph(g *Graph) (*Graph, []Edge) {
+	edges := g.Edges()
+	lg := New()
+	for i := range edges {
+		lg.AddNode(i)
+	}
+	// Bucket edge ids by endpoint; edges sharing a bucket are adjacent in L(g).
+	byVertex := make(map[int][]int, g.NumNodes())
+	for i, e := range edges {
+		byVertex[e.U] = append(byVertex[e.U], i)
+		byVertex[e.V] = append(byVertex[e.V], i)
+	}
+	for _, ids := range byVertex {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				lg.AddEdge(ids[i], ids[j])
+			}
+		}
+	}
+	return lg, edges
+}

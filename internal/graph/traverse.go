@@ -1,0 +1,150 @@
+package graph
+
+// Unreachable is the distance reported by BFS for vertices that cannot be
+// reached from the source.
+const Unreachable = -1
+
+// BFSDistances returns the unweighted shortest-path distance from src to
+// every vertex of g. Vertices not reachable from src (including vertices
+// absent from g) map to Unreachable.
+func (g *Graph) BFSDistances(src int) map[int]int {
+	dist := make(map[int]int, g.NumNodes())
+	for v := range g.adj {
+		dist[v] = Unreachable
+	}
+	if !g.HasNode(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for u := range g.adj[v] {
+			if dist[u] == Unreachable {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns the unweighted shortest-path distance between a and b,
+// or Unreachable if no path exists.
+func (g *Graph) Distance(a, b int) int {
+	if !g.HasNode(a) || !g.HasNode(b) {
+		return Unreachable
+	}
+	if a == b {
+		return 0
+	}
+	// Bidirectional-ish early exit: plain BFS with target check.
+	dist := map[int]int{a: 0}
+	queue := []int{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for u := range g.adj[v] {
+			if _, seen := dist[u]; !seen {
+				dist[u] = dist[v] + 1
+				if u == b {
+					return dist[u]
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+	return Unreachable
+}
+
+// ShortestPath returns one shortest path from a to b inclusive of both
+// endpoints, or nil if b is unreachable from a.
+func (g *Graph) ShortestPath(a, b int) []int {
+	if !g.HasNode(a) || !g.HasNode(b) {
+		return nil
+	}
+	if a == b {
+		return []int{a}
+	}
+	prev := map[int]int{a: a}
+	queue := []int{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		// Deterministic expansion order keeps routed circuits stable.
+		for _, u := range g.Neighbors(v) {
+			if _, seen := prev[u]; seen {
+				continue
+			}
+			prev[u] = v
+			if u == b {
+				return reconstruct(prev, a, b)
+			}
+			queue = append(queue, u)
+		}
+	}
+	return nil
+}
+
+func reconstruct(prev map[int]int, a, b int) []int {
+	var rev []int
+	for v := b; ; v = prev[v] {
+		rev = append(rev, v)
+		if v == a {
+			break
+		}
+	}
+	path := make([]int, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path
+}
+
+// Connected reports whether g is connected (the empty graph counts as
+// connected).
+func (g *Graph) Connected() bool {
+	nodes := g.Nodes()
+	if len(nodes) == 0 {
+		return true
+	}
+	dist := g.BFSDistances(nodes[0])
+	for _, d := range dist {
+		if d == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// AllPairsDistances computes BFS distances from every vertex. The result
+// maps source -> (vertex -> distance).
+func (g *Graph) AllPairsDistances() map[int]map[int]int {
+	all := make(map[int]map[int]int, g.NumNodes())
+	for _, v := range g.Nodes() {
+		all[v] = g.BFSDistances(v)
+	}
+	return all
+}
+
+// EdgeDistance returns the distance between two edges of g, defined (as in
+// the paper, §IV-C) as the length of the shortest path connecting the two
+// edges: 0 if they share a vertex, otherwise the minimum vertex distance
+// between any pair of their endpoints. Returns Unreachable when the edges
+// lie in different components.
+func (g *Graph) EdgeDistance(e, f Edge) int {
+	if e.SharesVertex(f) {
+		return 0
+	}
+	best := Unreachable
+	for _, a := range [2]int{e.U, e.V} {
+		dist := g.BFSDistances(a)
+		for _, b := range [2]int{f.U, f.V} {
+			if d := dist[b]; d != Unreachable && (best == Unreachable || d < best) {
+				best = d
+			}
+		}
+	}
+	return best
+}

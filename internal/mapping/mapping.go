@@ -1,0 +1,171 @@
+// Package mapping places logical circuits onto physical devices and routes
+// two-qubit gates through SWAP insertion. Qubit mapping is not the paper's
+// contribution (it cites [34], [39]), but every benchmark needs it: QAOA's
+// random MAX-CUT edges and BV's star-shaped CNOTs rarely land on couplers.
+// The router is the standard greedy shortest-path SWAP inserter used by
+// baseline compilers.
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/topology"
+)
+
+// Mapping is a bijection between logical and physical qubits.
+type Mapping struct {
+	LogToPhys []int
+	PhysToLog []int
+}
+
+// Identity returns the identity mapping over n logical qubits on a device
+// with at least n physical qubits.
+func Identity(nLogical, nPhysical int) *Mapping {
+	if nLogical > nPhysical {
+		panic(fmt.Sprintf("mapping: %d logical qubits exceed %d physical", nLogical, nPhysical))
+	}
+	m := &Mapping{
+		LogToPhys: make([]int, nLogical),
+		PhysToLog: make([]int, nPhysical),
+	}
+	for p := range m.PhysToLog {
+		m.PhysToLog[p] = -1
+	}
+	for l := 0; l < nLogical; l++ {
+		m.LogToPhys[l] = l
+		m.PhysToLog[l] = l
+	}
+	return m
+}
+
+// FromOrder places logical qubit i on physical qubit order[i].
+func FromOrder(nLogical int, order []int, nPhysical int) *Mapping {
+	if nLogical > len(order) {
+		panic(fmt.Sprintf("mapping: order has %d entries for %d logical qubits", len(order), nLogical))
+	}
+	m := &Mapping{
+		LogToPhys: make([]int, nLogical),
+		PhysToLog: make([]int, nPhysical),
+	}
+	for p := range m.PhysToLog {
+		m.PhysToLog[p] = -1
+	}
+	for l := 0; l < nLogical; l++ {
+		p := order[l]
+		if p < 0 || p >= nPhysical {
+			panic(fmt.Sprintf("mapping: physical qubit %d out of range", p))
+		}
+		if m.PhysToLog[p] != -1 {
+			panic(fmt.Sprintf("mapping: physical qubit %d assigned twice", p))
+		}
+		m.LogToPhys[l] = p
+		m.PhysToLog[p] = l
+	}
+	return m
+}
+
+// Clone deep-copies the mapping.
+func (m *Mapping) Clone() *Mapping {
+	c := &Mapping{
+		LogToPhys: make([]int, len(m.LogToPhys)),
+		PhysToLog: make([]int, len(m.PhysToLog)),
+	}
+	copy(c.LogToPhys, m.LogToPhys)
+	copy(c.PhysToLog, m.PhysToLog)
+	return c
+}
+
+// SwapPhys updates the mapping after a routing SWAP between physical qubits
+// a and b (either may currently be unoccupied).
+func (m *Mapping) SwapPhys(a, b int) {
+	la, lb := m.PhysToLog[a], m.PhysToLog[b]
+	m.PhysToLog[a], m.PhysToLog[b] = lb, la
+	if la != -1 {
+		m.LogToPhys[la] = b
+	}
+	if lb != -1 {
+		m.LogToPhys[lb] = a
+	}
+}
+
+// SnakeOrder returns the device qubits in boustrophedon (snake) order by
+// coordinates: row 0 left-to-right, row 1 right-to-left, and so on. Placing
+// a chain along this order makes every consecutive logical pair physically
+// coupled on a grid — the natural embedding for ISING and QGAN chains.
+func SnakeOrder(dev *topology.Device) []int {
+	qs := dev.QubitsSorted()
+	sort.SliceStable(qs, func(i, j int) bool {
+		ci, cj := dev.Coords[qs[i]], dev.Coords[qs[j]]
+		if ci.Row != cj.Row {
+			return ci.Row < cj.Row
+		}
+		if ci.Row%2 == 0 {
+			return ci.Col < cj.Col
+		}
+		return ci.Col > cj.Col
+	})
+	return qs
+}
+
+// Result is a routed circuit over physical qubits.
+type Result struct {
+	// Routed acts on the device's physical qubits; every two-qubit gate
+	// touches a coupler.
+	Routed *circuit.Circuit
+	// Final is the logical-to-physical mapping after execution.
+	Final *Mapping
+	// Inserted flags, per gate of Routed, whether the gate is a routing
+	// SWAP added by the router (true) or a translated program gate.
+	Inserted []bool
+	// SwapCount is the number of routing SWAPs inserted.
+	SwapCount int
+}
+
+// Route translates c onto dev starting from the given initial mapping
+// (Identity when nil). Two-qubit gates between uncoupled physical qubits
+// trigger SWAP insertion along a shortest coupling path. The returned
+// circuit has dev.Qubits qubits.
+func Route(c *circuit.Circuit, dev *topology.Device, initial *Mapping) (*Result, error) {
+	if c.NumQubits > dev.Qubits {
+		return nil, fmt.Errorf("mapping: circuit needs %d qubits, device %q has %d",
+			c.NumQubits, dev.Name, dev.Qubits)
+	}
+	m := initial
+	if m == nil {
+		m = Identity(c.NumQubits, dev.Qubits)
+	} else {
+		m = m.Clone()
+	}
+	out := circuit.New(dev.Qubits)
+	var inserted []bool
+	swaps := 0
+	for _, g := range c.Gates {
+		if g.Arity() == 1 {
+			out.Add(circuit.Gate{Kind: g.Kind, Qubits: []int{m.LogToPhys[g.Qubits[0]]}, Theta: g.Theta})
+			inserted = append(inserted, false)
+			continue
+		}
+		pa, pb := m.LogToPhys[g.Qubits[0]], m.LogToPhys[g.Qubits[1]]
+		if !dev.Coupling.HasEdge(pa, pb) {
+			path := dev.Coupling.ShortestPath(pa, pb)
+			if path == nil {
+				return nil, fmt.Errorf("mapping: no path between physical qubits %d and %d on %q",
+					pa, pb, dev.Name)
+			}
+			// Walk pa toward pb, stopping one hop short.
+			for i := 0; i+2 < len(path); i++ {
+				out.SWAP(path[i], path[i+1])
+				inserted = append(inserted, true)
+				m.SwapPhys(path[i], path[i+1])
+				swaps++
+			}
+			pa = m.LogToPhys[g.Qubits[0]]
+			pb = m.LogToPhys[g.Qubits[1]]
+		}
+		out.Add(circuit.Gate{Kind: g.Kind, Qubits: []int{pa, pb}, Theta: g.Theta})
+		inserted = append(inserted, false)
+	}
+	return &Result{Routed: out, Final: m, Inserted: inserted, SwapCount: swaps}, nil
+}

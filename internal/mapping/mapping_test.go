@@ -1,0 +1,243 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/topology"
+)
+
+func TestIdentityMapping(t *testing.T) {
+	m := Identity(4, 9)
+	for l := 0; l < 4; l++ {
+		if m.LogToPhys[l] != l || m.PhysToLog[l] != l {
+			t.Fatalf("identity broken at %d", l)
+		}
+	}
+	for p := 4; p < 9; p++ {
+		if m.PhysToLog[p] != -1 {
+			t.Fatalf("unoccupied physical qubit %d mapped to %d", p, m.PhysToLog[p])
+		}
+	}
+}
+
+func TestIdentityPanicsWhenTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Identity(5, 4)
+}
+
+func TestFromOrderValidates(t *testing.T) {
+	m := FromOrder(2, []int{3, 1}, 4)
+	if m.LogToPhys[0] != 3 || m.PhysToLog[1] != 1 {
+		t.Fatal("FromOrder placement wrong")
+	}
+	mustPanic(t, func() { FromOrder(2, []int{0, 0}, 4) })
+	mustPanic(t, func() { FromOrder(2, []int{0, 9}, 4) })
+	mustPanic(t, func() { FromOrder(3, []int{0, 1}, 4) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestSwapPhys(t *testing.T) {
+	m := Identity(2, 3)
+	m.SwapPhys(1, 2) // logical 1 moves to physical 2
+	if m.LogToPhys[1] != 2 || m.PhysToLog[2] != 1 || m.PhysToLog[1] != -1 {
+		t.Fatalf("SwapPhys wrong: %+v", m)
+	}
+	m.SwapPhys(0, 2) // logical 0 <-> logical 1
+	if m.LogToPhys[0] != 2 || m.LogToPhys[1] != 0 {
+		t.Fatalf("SwapPhys occupied-occupied wrong: %+v", m)
+	}
+}
+
+func TestSnakeOrderGrid(t *testing.T) {
+	dev := topology.Grid(3, 3)
+	order := SnakeOrder(dev)
+	want := []int{0, 1, 2, 5, 4, 3, 6, 7, 8}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("snake order = %v, want %v", order, want)
+		}
+	}
+	// Consecutive snake qubits must be coupled on a grid.
+	for i := 0; i+1 < len(order); i++ {
+		if !dev.Coupling.HasEdge(order[i], order[i+1]) {
+			t.Fatalf("snake order breaks adjacency at %d-%d", order[i], order[i+1])
+		}
+	}
+}
+
+func TestRouteAdjacentGatesUnchanged(t *testing.T) {
+	dev := topology.Grid(2, 2)
+	c := circuit.New(4)
+	c.H(0).CNOT(0, 1).CZ(2, 3)
+	res, err := Route(c, dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != 0 {
+		t.Fatalf("adjacent gates should need no swaps, got %d", res.SwapCount)
+	}
+	if res.Routed.NumGates() != 3 {
+		t.Fatalf("gate count changed: %d", res.Routed.NumGates())
+	}
+}
+
+func TestRouteInsertsSwaps(t *testing.T) {
+	dev := topology.Grid(3, 3)
+	c := circuit.New(9)
+	c.CNOT(0, 8) // opposite corners: distance 4, needs 3 swaps
+	res, err := Route(c, dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != 3 {
+		t.Fatalf("corner-to-corner CNOT on 3x3 should insert 3 swaps, got %d", res.SwapCount)
+	}
+	// Every two-qubit gate must act on a coupler.
+	for _, g := range res.Routed.Gates {
+		if g.Arity() == 2 && !dev.Coupling.HasEdge(g.Qubits[0], g.Qubits[1]) {
+			t.Fatalf("gate %v not on a coupler", g)
+		}
+	}
+}
+
+func TestRouteChainWithSnakePlacement(t *testing.T) {
+	// A nearest-neighbor chain circuit placed along the snake needs no
+	// routing at all.
+	dev := topology.Grid(3, 3)
+	c := circuit.New(9)
+	for i := 0; i+1 < 9; i++ {
+		c.CZ(i, i+1)
+	}
+	res, err := Route(c, dev, FromOrder(9, SnakeOrder(dev), 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != 0 {
+		t.Fatalf("snake-placed chain should need 0 swaps, got %d", res.SwapCount)
+	}
+}
+
+func TestRouteTooManyQubits(t *testing.T) {
+	dev := topology.Grid(2, 2)
+	c := circuit.New(5)
+	c.H(0)
+	if _, err := Route(c, dev, nil); err == nil {
+		t.Fatal("expected error for oversized circuit")
+	}
+}
+
+// reconstruct replays a routed circuit and recovers the logical gate list.
+func reconstruct(t *testing.T, res *Result, nLogical, nPhysical int, initial *Mapping) []circuit.Gate {
+	t.Helper()
+	m := initial
+	if m == nil {
+		m = Identity(nLogical, nPhysical)
+	} else {
+		m = m.Clone()
+	}
+	var logical []circuit.Gate
+	for i, g := range res.Routed.Gates {
+		if res.Inserted[i] {
+			m.SwapPhys(g.Qubits[0], g.Qubits[1])
+			continue
+		}
+		qs := make([]int, len(g.Qubits))
+		for j, p := range g.Qubits {
+			qs[j] = m.PhysToLog[p]
+		}
+		logical = append(logical, circuit.Gate{Kind: g.Kind, Qubits: qs, Theta: g.Theta})
+	}
+	return logical
+}
+
+func TestRouteReconstruction(t *testing.T) {
+	dev := topology.Grid(3, 3)
+	c := circuit.New(9)
+	c.H(0).CNOT(0, 8).CZ(4, 7).SWAP(1, 6).RZ(3, 0.5)
+	res, err := Route(c, dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := reconstruct(t, res, 9, 9, nil)
+	if len(logical) != c.NumGates() {
+		t.Fatalf("reconstructed %d gates, want %d", len(logical), c.NumGates())
+	}
+	for i, g := range logical {
+		orig := c.Gates[i]
+		if g.Kind != orig.Kind || g.Theta != orig.Theta {
+			t.Fatalf("gate %d: %v != %v", i, g, orig)
+		}
+		for j := range g.Qubits {
+			if g.Qubits[j] != orig.Qubits[j] {
+				t.Fatalf("gate %d operands: %v != %v", i, g, orig)
+			}
+		}
+	}
+}
+
+// Property: routing arbitrary circuits on arbitrary grids always yields
+// coupler-respecting circuits that reconstruct to the original.
+func TestRoutePropertyRandom(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 2+rng.Intn(3), 2+rng.Intn(3)
+		dev := topology.Grid(rows, cols)
+		n := dev.Qubits
+		c := circuit.New(n)
+		for i := 0; i < 1+rng.Intn(15); i++ {
+			if rng.Float64() < 0.5 {
+				c.H(rng.Intn(n))
+			} else {
+				a, b := rng.Intn(n), rng.Intn(n)
+				for b == a {
+					b = rng.Intn(n)
+				}
+				c.CNOT(a, b)
+			}
+		}
+		res, err := Route(c, dev, nil)
+		if err != nil {
+			return false
+		}
+		for _, g := range res.Routed.Gates {
+			if g.Arity() == 2 && !dev.Coupling.HasEdge(g.Qubits[0], g.Qubits[1]) {
+				return false
+			}
+		}
+		logical := reconstruct(t, res, n, n, nil)
+		if len(logical) != c.NumGates() {
+			return false
+		}
+		for i, g := range logical {
+			orig := c.Gates[i]
+			if g.Kind != orig.Kind {
+				return false
+			}
+			for j := range g.Qubits {
+				if g.Qubits[j] != orig.Qubits[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

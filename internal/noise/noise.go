@@ -1,0 +1,366 @@
+// Package noise estimates the worst-case success rate of a compiled
+// schedule — the paper's heuristic metric (eq. 4):
+//
+//	P_success = Π_g (1 − ε_g) · Π_q (1 − ε_q)
+//
+// The gate crosstalk factors ε_g are evaluated per slice from the frequency
+// configuration the compiler chose, channel by channel:
+//
+//   - Gate–gate channels: two simultaneous two-qubit gates whose couplers
+//     are within crosstalk distance 2 exchange population with the
+//     detuned-Rabi probability (eq. 5/6) at their interaction-frequency
+//     difference δω. Distance-1 pairs (couplers sharing or neighboring a
+//     qubit) interact at the bare coupling g₀; distance-2 pairs couple
+//     through a mediating qubit with an effective NextNeighborFactor·g₀.
+//     The ω12 sideband channels (shifted by the anharmonicity) are included.
+//   - Spectator channels: an idle qubit directly coupled to an active gate
+//     qubit exchanges population at the parked-vs-interaction detuning.
+//   - Ambient channels: parked neighbor pairs interact weakly through their
+//     always-on coupler; this is the background the frequency partition
+//     (§V-B4) and checkerboard parking suppress.
+//   - Flux-noise dephasing: qubits operated away from their sweet spots
+//     dephase at a rate ∝ σ_Φ·|dω/dφ| (Fig 4, Appendix C).
+//
+// Decoherence ε_q follows §II-B1: ε_q(t) = (1 − e^{−t/T1})(1 − e^{−t/T2}).
+// On gmon hardware (Baseline G) couplers outside the active set retain only
+// Residual·g₀ of their coupling, which rescales every parasitic channel —
+// with perfect deactivation (r = 0) only decoherence, flux noise and
+// intrinsic gate error remain, the paper's conservative Fig 9 assumption.
+package noise
+
+import (
+	"math"
+
+	"fastsc/internal/graph"
+	"fastsc/internal/phys"
+	"fastsc/internal/schedule"
+	"fastsc/internal/xtalk"
+)
+
+// Options tunes the evaluator.
+type Options struct {
+	// NextNeighborFactor scales the bare coupling for distance-2 gate–gate
+	// channels (virtual exchange through the mediating qubit).
+	NextNeighborFactor float64
+	// SidebandWeight discounts sideband channels involving idle qubits,
+	// whose |2⟩ population is small (active channels use weight 1).
+	SidebandWeight float64
+	// Gate1Error and Gate2Error are intrinsic per-gate error floors
+	// (control imprecision independent of crosstalk; Kjaergaard et al.
+	// report ≳99.5% two-qubit fidelity, i.e. ε₂ ≈ a few 10⁻³).
+	Gate1Error, Gate2Error float64
+	// FluxNoiseSigma is the RMS flux-noise amplitude in units of Φ₀; the
+	// dephasing rate of a qubit at flux φ is 2π·σ_Φ·|dω/dφ|. Zero
+	// disables the channel.
+	FluxNoiseSigma float64
+	// DisableAmbient turns off the idle-idle background (for ablations).
+	DisableAmbient bool
+}
+
+// DefaultOptions returns the evaluation settings used for the paper
+// reproduction.
+func DefaultOptions() Options {
+	return Options{
+		NextNeighborFactor: 0.12,
+		SidebandWeight:     0.15,
+		Gate1Error:         0.0005,
+		Gate2Error:         0.002,
+		FluxNoiseSigma:     3e-7,
+	}
+}
+
+// Report breaks a schedule's estimated worst-case success rate into its
+// factors. Success is the product of the survival probabilities of every
+// channel family.
+type Report struct {
+	Success float64
+	// CrosstalkError aggregates gate-gate, spectator and ambient channels:
+	// 1 − Π(1−ε).
+	CrosstalkError float64
+	// GateGateError, SpectatorError and AmbientError are the individual
+	// crosstalk families (each 1 − Π(1−ε) over its channels).
+	GateGateError  float64
+	SpectatorError float64
+	AmbientError   float64
+	// FluxError is the flux-noise dephasing aggregate.
+	FluxError float64
+	// DecoherenceError is 1 − Π_q(1−ε_q), the Fig 10 metric.
+	DecoherenceError float64
+	// IntrinsicError is the control-error floor 1 − Π(1−ε_gate).
+	IntrinsicError float64
+	Duration       float64 // ns
+	Depth          int     // slices
+	NumGates       int
+	Num2Q          int
+}
+
+// Evaluate computes the worst-case success estimate for a schedule.
+func Evaluate(s *schedule.Schedule, opt Options) *Report {
+	ev := &evaluator{
+		s:         s,
+		opt:       opt,
+		fluxCache: map[fluxKey]float64{},
+		x1:        xtalk.Build(s.System.Device, 1),
+		x2:        xtalk.Build(s.System.Device, 2),
+	}
+	return ev.run()
+}
+
+type fluxKey struct {
+	qubit int
+	freq  float64
+}
+
+type evaluator struct {
+	s         *schedule.Schedule
+	opt       Options
+	fluxCache map[fluxKey]float64
+	x1, x2    *xtalk.Graph
+
+	logGate float64
+	logSpec float64
+	logAmb  float64
+	logFlux float64
+}
+
+func (ev *evaluator) run() *Report {
+	s := ev.s
+	rep := &Report{Duration: s.TotalTime, Depth: s.Depth()}
+	numVirtual := 0
+
+	for si := range s.Slices {
+		sl := &s.Slices[si]
+		active := make(map[graph.Edge]bool, len(sl.ActiveCouplers))
+		for _, e := range sl.ActiveCouplers {
+			active[e] = true
+		}
+		ev.gateGateChannels(sl)
+		ev.spectatorChannels(sl, active)
+		if !ev.opt.DisableAmbient {
+			ev.ambientChannels(sl, active)
+		}
+		if ev.opt.FluxNoiseSigma > 0 {
+			ev.fluxChannels(sl)
+		}
+		for _, g := range sl.Gates {
+			rep.NumGates++
+			switch {
+			case g.Gate.Kind.IsTwoQubit():
+				rep.Num2Q++
+			case g.Gate.Kind.IsVirtual():
+				numVirtual++ // software frame updates carry no control error
+			}
+		}
+	}
+
+	// Decoherence over the full program duration for the qubits the
+	// program touches.
+	logDec := 0.0
+	for _, q := range usedQubits(s) {
+		eq := s.System.Transmon(q).DecoherenceError(s.TotalTime)
+		logDec += math.Log1p(-clampProb(eq))
+	}
+	logIntr := float64(rep.NumGates-rep.Num2Q-numVirtual)*math.Log1p(-ev.opt.Gate1Error) +
+		float64(rep.Num2Q)*math.Log1p(-ev.opt.Gate2Error)
+
+	rep.GateGateError = 1 - math.Exp(ev.logGate)
+	rep.SpectatorError = 1 - math.Exp(ev.logSpec)
+	rep.AmbientError = 1 - math.Exp(ev.logAmb)
+	rep.CrosstalkError = 1 - math.Exp(ev.logGate+ev.logSpec+ev.logAmb)
+	rep.FluxError = 1 - math.Exp(ev.logFlux)
+	rep.DecoherenceError = 1 - math.Exp(logDec)
+	rep.IntrinsicError = 1 - math.Exp(logIntr)
+	rep.Success = math.Exp(ev.logGate + ev.logSpec + ev.logAmb + ev.logFlux + logDec + logIntr)
+	return rep
+}
+
+// pairCoupling returns the effective parasitic coupling between two active
+// couplers at crosstalk distance 1 or 2, honoring gmon coupler switching.
+func (ev *evaluator) pairCoupling(e1, e2 graph.Edge) float64 {
+	v1, ok1 := ev.x1.VertexOf(e1.U, e1.V)
+	v2, ok2 := ev.x1.VertexOf(e2.U, e2.V)
+	if !ok1 || !ok2 {
+		return 0
+	}
+	s := ev.s
+	g0 := (s.System.Coupling[e1] + s.System.Coupling[e2]) / 2
+	switch {
+	case ev.x1.G.HasEdge(v1, v2):
+		// Distance 1: a single off-path coupler connects the pairs.
+		if s.Gmon {
+			g0 *= s.Residual
+		}
+		return g0
+	case ev.x2.G.HasEdge(v1, v2):
+		// Distance 2: exchange through a mediating idle qubit crosses two
+		// off-path couplers.
+		g0 *= ev.opt.NextNeighborFactor
+		if s.Gmon {
+			g0 *= s.Residual * s.Residual
+		}
+		return g0
+	}
+	return 0
+}
+
+// gateGateChannels accumulates crosstalk between pairs of simultaneous
+// two-qubit gates (the frequency-crowding errors of Fig 6).
+func (ev *evaluator) gateGateChannels(sl *schedule.Slice) {
+	events := sl.Gates
+	for i := 0; i < len(events); i++ {
+		gi := events[i]
+		if !gi.Gate.Kind.IsTwoQubit() {
+			continue
+		}
+		ei := graph.NewEdge(gi.Gate.Qubits[0], gi.Gate.Qubits[1])
+		for j := i + 1; j < len(events); j++ {
+			gj := events[j]
+			if !gj.Gate.Kind.IsTwoQubit() {
+				continue
+			}
+			ej := graph.NewEdge(gj.Gate.Qubits[0], gj.Gate.Qubits[1])
+			g := ev.pairCoupling(ei, ej)
+			if g == 0 {
+				continue
+			}
+			tau := math.Min(gi.Duration, gj.Duration)
+			ec := ev.s.System.Transmon(ei.U).EC
+			delta := gi.Freq - gj.Freq
+			eps := phys.TransitionProbability(g, delta, tau)
+			// Active qubits are excited, so sideband channels carry full
+			// weight and the √2 two-photon enhancement.
+			eps += phys.TransitionProbability(math.Sqrt2*g, delta-ec, tau)
+			eps += phys.TransitionProbability(math.Sqrt2*g, delta+ec, tau)
+			ev.logGate += math.Log1p(-clampProb(eps))
+		}
+	}
+}
+
+// spectatorChannels accumulates exchange between each active gate qubit and
+// its idle direct neighbors.
+func (ev *evaluator) spectatorChannels(sl *schedule.Slice, active map[graph.Edge]bool) {
+	s := ev.s
+	busy := make(map[int]bool)
+	for _, e := range sl.ActiveCouplers {
+		busy[e.U] = true
+		busy[e.V] = true
+	}
+	for _, e := range sl.ActiveCouplers {
+		for _, q := range [2]int{e.U, e.V} {
+			for _, spec := range s.System.Device.NeighborsSorted(q) {
+				if busy[spec] || e.Has(spec) {
+					continue
+				}
+				cpl := graph.NewEdge(q, spec)
+				g0 := s.System.Coupling[cpl]
+				if s.Gmon && !active[cpl] {
+					g0 *= s.Residual
+				}
+				if g0 == 0 {
+					continue
+				}
+				fq, fs := sl.Freqs[q], sl.Freqs[spec]
+				ec := s.System.Transmon(q).EC
+				tau := sl.Duration
+				eps := phys.TransitionProbability(g0, fq-fs, tau)
+				sb := phys.TransitionProbability(math.Sqrt2*g0, (fq-ec)-fs, tau) +
+					phys.TransitionProbability(math.Sqrt2*g0, fq-(fs-ec), tau)
+				eps += ev.opt.SidebandWeight * sb
+				ev.logSpec += math.Log1p(-clampProb(eps))
+			}
+		}
+	}
+}
+
+// ambientChannels accumulates the idle-idle background through couplers
+// whose both endpoints are parked.
+func (ev *evaluator) ambientChannels(sl *schedule.Slice, active map[graph.Edge]bool) {
+	s := ev.s
+	busy := make(map[int]bool)
+	for _, e := range sl.ActiveCouplers {
+		busy[e.U] = true
+		busy[e.V] = true
+	}
+	for _, e := range s.System.Device.Edges() {
+		if busy[e.U] || busy[e.V] {
+			continue // spectator/gate channels cover these
+		}
+		g0 := s.System.Coupling[e]
+		if s.Gmon {
+			g0 *= s.Residual
+		}
+		if g0 == 0 {
+			continue
+		}
+		fu, fv := sl.Freqs[e.U], sl.Freqs[e.V]
+		ec := s.System.Transmon(e.U).EC
+		tau := sl.Duration
+		eps := phys.TransitionProbability(g0, fu-fv, tau)
+		sb := phys.TransitionProbability(math.Sqrt2*g0, (fu-ec)-fv, tau) +
+			phys.TransitionProbability(math.Sqrt2*g0, fu-(fv-ec), tau)
+		eps += ev.opt.SidebandWeight * sb
+		ev.logAmb += math.Log1p(-clampProb(eps))
+	}
+}
+
+// fluxChannels accumulates dephasing from flux noise for qubits operated
+// away from their sweet spots.
+func (ev *evaluator) fluxChannels(sl *schedule.Slice) {
+	s := ev.s
+	for q := 0; q < s.System.Device.Qubits; q++ {
+		sens := ev.sensitivity(q, sl.Freqs[q])
+		if sens == 0 {
+			continue
+		}
+		rate := phys.TwoPi * ev.opt.FluxNoiseSigma * sens // GHz
+		eps := 1 - math.Exp(-rate*sl.Duration)
+		ev.logFlux += math.Log1p(-clampProb(eps))
+	}
+}
+
+func (ev *evaluator) sensitivity(q int, freq float64) float64 {
+	key := fluxKey{q, freq}
+	if v, ok := ev.fluxCache[key]; ok {
+		return v
+	}
+	tr := ev.s.System.Transmon(q)
+	sens := 0.0
+	if phi, err := tr.FluxFor(freq); err == nil {
+		sens = tr.FluxSensitivity(phi)
+	}
+	ev.fluxCache[key] = sens
+	return sens
+}
+
+func usedQubits(s *schedule.Schedule) []int {
+	seen := make(map[int]bool)
+	for _, g := range s.Compiled.Gates {
+		for _, q := range g.Qubits {
+			seen[q] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sortInts(out)
+	return out
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 0.999999 {
+		return 0.999999
+	}
+	return p
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package phys
+
+import "math"
+
+// ResidualCoupling returns the residual coupling strength g'(δω) between two
+// detuned transmons (paper eq 5): g' = g₀²/δω, clamped to g₀ near resonance
+// (the perturbative expression diverges as δω → 0 while the physical
+// coupling saturates at the bare g₀).
+func ResidualCoupling(g0, deltaOmega float64) float64 {
+	d := math.Abs(deltaOmega)
+	if d <= g0 {
+		return g0
+	}
+	return g0 * g0 / d
+}
+
+// DressedCoupling returns the effective interaction strength of two coupled
+// qubits at detuning δω, computed from the avoided-crossing splitting of the
+// single-excitation doublet {|01⟩, |10⟩}:
+//
+//	g_eff(δω) = (√(δω² + 4g₀²) − |δω|) / 2
+//
+// It equals g₀ on resonance and decays as g₀²/δω far from resonance — the
+// exact curve of Fig 2.
+func DressedCoupling(g0, deltaOmega float64) float64 {
+	d := math.Abs(deltaOmega)
+	return (math.Sqrt(d*d+4*g0*g0) - d) / 2
+}
+
+// TransitionProbability returns the detuned-Rabi population-transfer
+// probability between two states coupled with strength g (GHz) at detuning
+// delta (GHz) after time t (ns):
+//
+//	P(t) = (4g² / (δ² + 4g²)) · sin²(π·√(δ² + 4g²)·t)
+//
+// On resonance this is sin²(π·√(4g²)·t) = sin²(2π·g·t/... )  — a complete
+// transfer first occurs at t = 1/(4g). This produces the chevron patterns of
+// Fig 15 when swept over flux (δ) and time.
+func TransitionProbability(g, delta, t float64) float64 {
+	omega := math.Sqrt(delta*delta + 4*g*g) // generalized Rabi frequency, GHz
+	if omega == 0 {
+		return 0
+	}
+	amp := 4 * g * g / (omega * omega)
+	s := math.Sin(math.Pi * omega * t)
+	return amp * s * s
+}
+
+// CrosstalkError returns the unwanted population exchange between two
+// spectrally adjacent channels separated by δω after time t, driven by the
+// residual coupling g'(δω) (the paper's eq 6; the printed equation contains
+// a typo — the error is the stray transition probability sin²(g't), not its
+// complement, which would diverge to 1 at infinite detuning):
+//
+//	ε(δω, t) = sin²(2π · g'(δω)/2 · t)  — i.e. TransitionProbability with
+//	g = g'(δω) on resonance of the parasitic channel.
+func CrosstalkError(g0, deltaOmega, t float64) float64 {
+	gp := ResidualCoupling(g0, deltaOmega)
+	// The parasitic exchange is a resonant Rabi oscillation at the residual
+	// coupling rate; at full resonance (δω → 0) this reduces to the bare
+	// swap oscillation, reaching ε = 1 at the iSWAP time 1/(4g₀).
+	return TransitionProbability(gp, 0, t)
+}
+
+// Native two-qubit gate durations (Appendix B). With coupling g in GHz the
+// resonant exchange completes its first full transfer at t = 1/(4g); √iSWAP
+// stops halfway, and CZ uses the |11⟩↔|20⟩ channel whose matrix element is
+// √2·g and must complete a full return trip.
+
+// ISwapTime returns the duration of an iSWAP at coupling g (GHz): t = 1/(4g).
+func ISwapTime(g float64) float64 { return 1 / (4 * g) }
+
+// SqrtISwapTime returns the duration of a √iSWAP: t = 1/(8g).
+func SqrtISwapTime(g float64) float64 { return 1 / (8 * g) }
+
+// CZTime returns the duration of a CZ via the |11⟩↔|20⟩ avoided crossing:
+// the coupling is √2·g and the population must complete a full cycle,
+// t = 1/(√2·2g).
+func CZTime(g float64) float64 { return 1 / (2 * math.Sqrt2 * g) }
+
+// CouplingAt scales the bare coupling with the interaction frequency. The
+// paper notes t_gate ~ 1/ω (§V-B3): higher interaction frequencies couple
+// more strongly, hence gate faster. We model g(ω) = g₀ · ω/ωref.
+func CouplingAt(g0, omega, omegaRef float64) float64 {
+	if omegaRef <= 0 {
+		return g0
+	}
+	return g0 * omega / omegaRef
+}

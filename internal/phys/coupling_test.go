@@ -1,0 +1,144 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestResidualCouplingClampAndDecay(t *testing.T) {
+	g0 := 0.030
+	if g := ResidualCoupling(g0, 0); g != g0 {
+		t.Fatalf("on-resonance residual = %v, want %v", g, g0)
+	}
+	if g := ResidualCoupling(g0, 0.001); g != g0 {
+		t.Fatalf("near-resonance residual should clamp at g0, got %v", g)
+	}
+	// Far detuning: g' = g0^2/δω.
+	if g := ResidualCoupling(g0, 0.9); math.Abs(g-g0*g0/0.9) > 1e-12 {
+		t.Fatalf("far residual = %v", g)
+	}
+	// Symmetric in sign of detuning.
+	if ResidualCoupling(g0, 0.5) != ResidualCoupling(g0, -0.5) {
+		t.Fatal("residual coupling should depend on |δω|")
+	}
+}
+
+func TestDressedCouplingLimits(t *testing.T) {
+	g0 := 0.030
+	if g := DressedCoupling(g0, 0); math.Abs(g-g0) > 1e-12 {
+		t.Fatalf("dressed coupling on resonance = %v, want %v", g, g0)
+	}
+	// Large detuning limit: g_eff -> g0^2/δω.
+	d := 3.0
+	want := g0 * g0 / d
+	if g := DressedCoupling(g0, d); math.Abs(g-want)/want > 1e-3 {
+		t.Fatalf("dressed coupling at δω=%v: %v, want ≈%v", d, g, want)
+	}
+}
+
+func TestDressedCouplingMonotone(t *testing.T) {
+	g0 := 0.030
+	prev := DressedCoupling(g0, 0)
+	for d := 0.01; d < 2; d += 0.01 {
+		g := DressedCoupling(g0, d)
+		if g > prev+1e-15 {
+			t.Fatalf("dressed coupling increased at δω=%v", d)
+		}
+		prev = g
+	}
+}
+
+func TestTransitionProbabilityResonant(t *testing.T) {
+	g := 0.030
+	// First complete transfer at t = 1/(4g).
+	tFull := 1 / (4 * g)
+	if p := TransitionProbability(g, 0, tFull); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("P(resonant, t=1/4g) = %v, want 1", p)
+	}
+	// Half period: zero transfer again at t = 1/(2g).
+	if p := TransitionProbability(g, 0, 2*tFull); p > 1e-9 {
+		t.Fatalf("P(resonant, t=1/2g) = %v, want 0", p)
+	}
+	if p := TransitionProbability(g, 0, 0); p != 0 {
+		t.Fatalf("P(t=0) = %v", p)
+	}
+}
+
+func TestTransitionProbabilityDetuned(t *testing.T) {
+	g := 0.030
+	// Peak transfer falls off as 4g²/(δ²+4g²).
+	delta := 0.12
+	wantMax := 4 * g * g / (delta*delta + 4*g*g)
+	// Scan for the max.
+	max := 0.0
+	for tt := 0.0; tt < 40; tt += 0.01 {
+		if p := TransitionProbability(g, delta, tt); p > max {
+			max = p
+		}
+	}
+	if math.Abs(max-wantMax) > 0.01 {
+		t.Fatalf("max detuned transfer = %v, want %v", max, wantMax)
+	}
+}
+
+func TestCrosstalkErrorShrinksWithDetuning(t *testing.T) {
+	g0, dur := 0.030, 10.0
+	eClose := CrosstalkError(g0, 0.05, dur)
+	eFar := CrosstalkError(g0, 1.0, dur)
+	if eFar >= eClose {
+		t.Fatalf("crosstalk at far detuning (%v) should be below near (%v)", eFar, eClose)
+	}
+	if eFar > 0.01 {
+		t.Fatalf("crosstalk at 1 GHz detuning = %v, want small", eFar)
+	}
+	if e := CrosstalkError(g0, 0, 1/(4*g0)); math.Abs(e-1) > 1e-9 {
+		t.Fatalf("full-resonance crosstalk at swap time = %v, want 1", e)
+	}
+}
+
+func TestGateTimes(t *testing.T) {
+	g := 0.030
+	iswap := ISwapTime(g)
+	sqrt := SqrtISwapTime(g)
+	cz := CZTime(g)
+	if math.Abs(iswap-1/(4*g)) > 1e-12 {
+		t.Fatalf("iSWAP time = %v", iswap)
+	}
+	if math.Abs(sqrt-iswap/2) > 1e-12 {
+		t.Fatalf("√iSWAP should take half an iSWAP, got %v vs %v", sqrt, iswap)
+	}
+	// CZ uses √2·g and a full cycle: t = 1/(2√2 g) ≈ 1.18× iSWAP time.
+	if cz <= iswap || cz >= 2*iswap {
+		t.Fatalf("CZ time %v should lie between iSWAP %v and 2×iSWAP", cz, iswap)
+	}
+}
+
+func TestCouplingAt(t *testing.T) {
+	g0 := 0.030
+	if g := CouplingAt(g0, 7.0, 7.0); g != g0 {
+		t.Fatalf("coupling at reference = %v", g)
+	}
+	if g := CouplingAt(g0, 7.0, 3.5); math.Abs(g-2*g0) > 1e-12 {
+		t.Fatalf("coupling should scale with ω: %v", g)
+	}
+	if g := CouplingAt(g0, 7.0, 0); g != g0 {
+		t.Fatalf("zero reference should fall back to g0, got %v", g)
+	}
+}
+
+// Property: transition probability is always in [0,1] and bounded by the
+// Lorentzian envelope.
+func TestTransitionProbabilityPropertyBounded(t *testing.T) {
+	prop := func(gRaw, dRaw, tRaw uint16) bool {
+		g := 0.001 + 0.1*float64(gRaw)/65535
+		d := 2 * float64(dRaw) / 65535
+		tt := 100 * float64(tRaw) / 65535
+		p := TransitionProbability(g, d, tt)
+		env := 4 * g * g / (d*d + 4*g*g)
+		return p >= 0 && p <= env+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package phys
+
+import "math"
+
+// jacobiEigen diagonalizes a real symmetric n×n matrix with the classical
+// cyclic Jacobi rotation method. It returns the eigenvalues and the matrix
+// of column eigenvectors v (a[i][j] = Σ_k v[i][k]·λ[k]·v[j][k]). For the
+// 9×9 two-transmon Hamiltonian it converges in a handful of sweeps and lets
+// us evolve states exactly (unitarily to machine precision) instead of
+// integrating numerically.
+func jacobiEigen(a [][]float64) (values []float64, vectors [][]float64) {
+	n := len(a)
+	// Work on a copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		copy(m[i], a[i])
+	}
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply rotation to m (rows/cols p, q).
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m[i][i]
+	}
+	return values, v
+}

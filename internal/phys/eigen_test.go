@@ -1,0 +1,102 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	a := [][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}}
+	vals, vecs := jacobiEigen(a)
+	seen := map[int]bool{}
+	for _, want := range []float64{1, 2, 3} {
+		found := false
+		for i, v := range vals {
+			if !seen[i] && math.Abs(v-want) < 1e-12 {
+				seen[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("eigenvalue %v missing from %v", want, vals)
+		}
+	}
+	// Eigenvectors of a diagonal matrix are unit vectors.
+	for i := range vecs {
+		norm := 0.0
+		for j := range vecs {
+			norm += vecs[j][i] * vecs[j][i]
+		}
+		if math.Abs(norm-1) > 1e-12 {
+			t.Fatalf("eigenvector %d not normalized: %v", i, norm)
+		}
+	}
+}
+
+func TestJacobiEigenKnown2x2(t *testing.T) {
+	// [[0, g], [g, d]] has eigenvalues (d ± √(d²+4g²))/2.
+	g, d := 0.03, 0.25
+	vals, _ := jacobiEigen([][]float64{{0, g}, {g, d}})
+	want1 := (d - math.Sqrt(d*d+4*g*g)) / 2
+	want2 := (d + math.Sqrt(d*d+4*g*g)) / 2
+	lo, hi := math.Min(vals[0], vals[1]), math.Max(vals[0], vals[1])
+	if math.Abs(lo-want1) > 1e-12 || math.Abs(hi-want2) > 1e-12 {
+		t.Fatalf("eigenvalues %v, want %v and %v", vals, want1, want2)
+	}
+}
+
+// Property: reconstruction A = V·diag(λ)·Vᵀ holds for random symmetric
+// matrices, and V is orthogonal.
+func TestJacobiEigenPropertyReconstruction(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		rng := rand.New(rand.NewSource(seed))
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a[i][j], a[j][i] = v, v
+			}
+		}
+		vals, vecs := jacobiEigen(a)
+		// Reconstruct.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				acc := 0.0
+				for k := 0; k < n; k++ {
+					acc += vecs[i][k] * vals[k] * vecs[j][k]
+				}
+				if math.Abs(acc-a[i][j]) > 1e-8 {
+					return false
+				}
+			}
+		}
+		// Orthogonality.
+		for c1 := 0; c1 < n; c1++ {
+			for c2 := c1; c2 < n; c2++ {
+				dot := 0.0
+				for r := 0; r < n; r++ {
+					dot += vecs[r][c1] * vecs[r][c2]
+				}
+				want := 0.0
+				if c1 == c2 {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package phys
+
+import "math"
+
+// This file integrates the Schrödinger equation for two capacitively coupled
+// three-level transmons, the minimal model behind Fig 2 (interaction
+// strength) and Fig 15 (state-transition chevrons). The Hilbert space is
+// spanned by |n_A n_B⟩ for n ∈ {0,1,2}, dimension 9, with the exchange
+// coupling H_int = g(a†b + ab†).
+
+// TwoTransmonDim is the Hilbert-space dimension of the two-qutrit model.
+const TwoTransmonDim = 9
+
+// basisIndex maps occupation numbers (nA, nB) to a state index.
+func basisIndex(nA, nB int) int { return 3*nA + nB }
+
+// TwoTransmon is a pair of coupled three-level transmons at fixed operating
+// frequencies (already flux-tuned); G is the bare exchange coupling in GHz.
+type TwoTransmon struct {
+	A, B Transmon
+	// PhiA, PhiB are the flux operating points of the two qubits.
+	PhiA, PhiB float64
+	// G is the bare coupling g₀ in GHz.
+	G float64
+}
+
+// hamiltonian returns the 9×9 real symmetric Hamiltonian in GHz. Diagonal
+// entries are the bare level energies E_A(nA) + E_B(nB); off-diagonal
+// entries implement g(a†b + ab†) with bosonic matrix elements.
+func (tt TwoTransmon) hamiltonian() [TwoTransmonDim][TwoTransmonDim]float64 {
+	var h [TwoTransmonDim][TwoTransmonDim]float64
+	for nA := 0; nA <= 2; nA++ {
+		for nB := 0; nB <= 2; nB++ {
+			i := basisIndex(nA, nB)
+			h[i][i] = tt.A.LevelEnergy(nA, tt.PhiA) + tt.B.LevelEnergy(nB, tt.PhiB)
+			// a†b: |nA+1, nB-1⟩⟨nA, nB| with element √(nA+1)·√nB.
+			if nA+1 <= 2 && nB-1 >= 0 {
+				j := basisIndex(nA+1, nB-1)
+				el := tt.G * math.Sqrt(float64(nA+1)) * math.Sqrt(float64(nB))
+				h[j][i] += el
+				h[i][j] += el
+			}
+		}
+	}
+	return h
+}
+
+// State is a 9-component complex wavefunction over the |nA nB⟩ basis.
+type State [TwoTransmonDim]complex128
+
+// BasisState returns the computational basis state |nA nB⟩.
+func BasisState(nA, nB int) State {
+	var s State
+	s[basisIndex(nA, nB)] = 1
+	return s
+}
+
+// Population returns |⟨nA nB|ψ⟩|².
+func (s State) Population(nA, nB int) float64 {
+	a := s[basisIndex(nA, nB)]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Norm returns ⟨ψ|ψ⟩.
+func (s State) Norm() float64 {
+	n := 0.0
+	for _, a := range s {
+		n += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return n
+}
+
+// Evolve integrates iψ' = 2π·H·ψ for duration t ns with an RK4 integrator
+// (fixed step dt ns) and returns the final state. dt must resolve the
+// largest level splitting; dt = 0.002 ns is ample for ~7 GHz transmons.
+func (tt TwoTransmon) Evolve(initial State, t, dt float64) State {
+	h := tt.hamiltonian()
+	// Work in a frame rotating nothing; plain lab frame is fine for RK4
+	// with a small step. deriv computes dψ/dt = −i·2π·H·ψ.
+	deriv := func(s State) State {
+		var d State
+		for i := 0; i < TwoTransmonDim; i++ {
+			var acc complex128
+			for j := 0; j < TwoTransmonDim; j++ {
+				if h[i][j] != 0 {
+					acc += complex(h[i][j], 0) * s[j]
+				}
+			}
+			d[i] = complex(0, -TwoPi) * acc
+		}
+		return d
+	}
+	steps := int(math.Ceil(t / dt))
+	if steps < 1 {
+		steps = 1
+	}
+	step := t / float64(steps)
+	s := initial
+	for n := 0; n < steps; n++ {
+		k1 := deriv(s)
+		k2 := deriv(axpy(s, k1, step/2))
+		k3 := deriv(axpy(s, k2, step/2))
+		k4 := deriv(axpy(s, k3, step))
+		for i := range s {
+			s[i] += complex(step/6, 0) * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+	}
+	return s
+}
+
+func axpy(s, d State, h float64) State {
+	var out State
+	for i := range s {
+		out[i] = s[i] + complex(h, 0)*d[i]
+	}
+	return out
+}
+
+// EvolveExact evolves the state for t ns by eigendecomposition of the
+// Hamiltonian: ψ(t) = V·exp(−i·2π·Λ·t)·Vᵀ·ψ(0). Unlike the RK4 integrator
+// this is unitary to machine precision and O(1) in t, so it is the preferred
+// path for chevron scans.
+func (tt TwoTransmon) EvolveExact(initial State, t float64) State {
+	h := tt.hamiltonian()
+	hs := make([][]float64, TwoTransmonDim)
+	for i := range hs {
+		hs[i] = h[i][:]
+	}
+	lambda, v := jacobiEigen(hs)
+	// c_k = Σ_i v[i][k]·ψ_i ; ψ_j(t) = Σ_k v[j][k]·e^{−i2πλ_k t}·c_k.
+	var out State
+	for k := 0; k < TwoTransmonDim; k++ {
+		var c complex128
+		for i := 0; i < TwoTransmonDim; i++ {
+			c += complex(v[i][k], 0) * initial[i]
+		}
+		phase := -TwoPi * lambda[k] * t
+		rot := complex(math.Cos(phase), math.Sin(phase)) * c
+		for j := 0; j < TwoTransmonDim; j++ {
+			out[j] += complex(v[j][k], 0) * rot
+		}
+	}
+	return out
+}
+
+// SwapTransfer returns the probability of the |01⟩→|10⟩ transfer after time
+// t at the current operating point (the left panel of Fig 15 is this
+// quantity swept over flux and time). Computed by exact diagonalization.
+func (tt TwoTransmon) SwapTransfer(t float64) float64 {
+	final := tt.EvolveExact(BasisState(0, 1), t)
+	return final.Population(1, 0)
+}
+
+// LeakTransfer returns the probability of the |11⟩→|20⟩ transfer after time
+// t (the right panel of Fig 15; this is the CZ channel).
+func (tt TwoTransmon) LeakTransfer(t float64) float64 {
+	final := tt.EvolveExact(BasisState(1, 1), t)
+	return final.Population(2, 0)
+}
+
+// MinimumGap scans the detuning between the dressed single-excitation
+// eigenstates as ωA is swept (by flux) across ωB and returns half the
+// minimum splitting — the numerically extracted interaction strength that
+// Fig 2 plots. It diagonalizes the 2×2 single-excitation block exactly.
+func (tt TwoTransmon) MinimumGap() float64 {
+	// Single-excitation block over {|10⟩, |01⟩}:
+	//   [ ωA   g  ]
+	//   [ g    ωB ]
+	// splitting = √((ωA−ωB)² + 4g²), minimized on resonance at 2g.
+	wa := tt.A.Freq01(tt.PhiA)
+	wb := tt.B.Freq01(tt.PhiB)
+	d := wa - wb
+	return math.Sqrt(d*d+4*tt.G*tt.G) / 2
+}

@@ -1,0 +1,148 @@
+package phys
+
+import (
+	"math"
+	"testing"
+)
+
+func twoTransmonsAt(wa, wb, g float64) TwoTransmon {
+	return TwoTransmon{
+		A: Transmon{OmegaMax: wa, EC: 0.2, Asymmetry: 0.48, T1: 1, T2: 1},
+		B: Transmon{OmegaMax: wb, EC: 0.2, Asymmetry: 0.48, T1: 1, T2: 1},
+		// phi = 0 on both: operate at OmegaMax.
+		G: g,
+	}
+}
+
+func TestEvolveExactNormPreserved(t *testing.T) {
+	tt := twoTransmonsAt(6.0, 6.1, 0.03)
+	final := tt.EvolveExact(BasisState(0, 1), 500)
+	if n := final.Norm(); math.Abs(n-1) > 1e-9 {
+		t.Fatalf("norm after exact evolution = %v, want 1", n)
+	}
+}
+
+func TestRK4AgreesWithExact(t *testing.T) {
+	tt := twoTransmonsAt(6.0, 6.05, 0.03)
+	initial := BasisState(0, 1)
+	rk4 := tt.Evolve(initial, 10, 0.001)
+	exact := tt.EvolveExact(initial, 10)
+	for i := 0; i < TwoTransmonDim; i++ {
+		if d := cabs(rk4[i] - exact[i]); d > 1e-3 {
+			t.Fatalf("RK4 and exact diverge at amplitude %d by %v", i, d)
+		}
+	}
+	if n := rk4.Norm(); math.Abs(n-1) > 1e-4 {
+		t.Fatalf("RK4 norm = %v", n)
+	}
+}
+
+func cabs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
+
+func TestResonantSwapMatchesAnalytic(t *testing.T) {
+	g := 0.03
+	tt := twoTransmonsAt(6.0, 6.0, g)
+	tFull := ISwapTime(g) // 1/(4g)
+	p := tt.SwapTransfer(tFull)
+	if math.Abs(p-1) > 1e-3 {
+		t.Fatalf("resonant swap transfer at iSWAP time = %v, want ≈1", p)
+	}
+	// Quarter time: half population.
+	pHalf := tt.SwapTransfer(tFull / 2)
+	want := TransitionProbability(g, 0, tFull/2)
+	if math.Abs(pHalf-want) > 5e-3 {
+		t.Fatalf("swap transfer at t/2 = %v, analytic %v", pHalf, want)
+	}
+}
+
+func TestDetunedSwapMatchesAnalytic(t *testing.T) {
+	g := 0.03
+	delta := 0.09
+	tt := twoTransmonsAt(6.0+delta, 6.0, g)
+	for _, dur := range []float64{2, 5, 8} {
+		sim := tt.SwapTransfer(dur)
+		ana := TransitionProbability(g, delta, dur)
+		if math.Abs(sim-ana) > 0.02 {
+			t.Fatalf("detuned transfer at t=%v: sim %v vs analytic %v", dur, sim, ana)
+		}
+	}
+}
+
+func TestCZChannelResonance(t *testing.T) {
+	// |11⟩↔|20⟩ resonance requires ωB = ωA + αA = ωA − EC.
+	g := 0.03
+	wa := 6.2
+	tt := twoTransmonsAt(wa, wa-0.2, g)
+	// Full transfer into |20⟩ at t = 1/(4·√2·g); the √2 comes from the
+	// two-photon matrix element.
+	tTransfer := 1 / (4 * math.Sqrt2 * g)
+	p := tt.LeakTransfer(tTransfer)
+	if p < 0.9 {
+		t.Fatalf("CZ-channel transfer at resonance = %v, want near 1", p)
+	}
+	// After the full CZ cycle the population returns to |11⟩.
+	pBack := tt.LeakTransfer(CZTime(g))
+	if pBack > 0.1 {
+		t.Fatalf("CZ-channel residual leakage after full cycle = %v, want near 0", pBack)
+	}
+}
+
+func TestCZChannelOffResonanceSuppressed(t *testing.T) {
+	g := 0.03
+	wa := 6.2
+	// Detune B far from the |11⟩↔|20⟩ resonance.
+	tt := twoTransmonsAt(wa, wa+0.5, g)
+	p := tt.LeakTransfer(1 / (4 * math.Sqrt2 * g))
+	if p > 0.05 {
+		t.Fatalf("off-resonant CZ leakage = %v, want suppressed", p)
+	}
+}
+
+func TestMinimumGapAtResonance(t *testing.T) {
+	g := 0.03
+	tt := twoTransmonsAt(6.0, 6.0, g)
+	if gap := tt.MinimumGap(); math.Abs(gap-g) > 1e-12 {
+		t.Fatalf("resonant half-gap = %v, want g=%v", gap, g)
+	}
+	tt2 := twoTransmonsAt(6.5, 6.0, g)
+	gap2 := tt2.MinimumGap()
+	want := math.Sqrt(0.25+4*g*g) / 2
+	if math.Abs(gap2-want) > 1e-12 {
+		t.Fatalf("detuned half-gap = %v, want %v", gap2, want)
+	}
+}
+
+func TestBasisStateAndPopulation(t *testing.T) {
+	s := BasisState(1, 2)
+	if p := s.Population(1, 2); p != 1 {
+		t.Fatalf("population of prepared state = %v", p)
+	}
+	if p := s.Population(0, 0); p != 0 {
+		t.Fatalf("population of other state = %v", p)
+	}
+	if n := s.Norm(); n != 1 {
+		t.Fatalf("norm = %v", n)
+	}
+}
+
+func TestChevronAmplitudeNarrowsWithDetuning(t *testing.T) {
+	// The chevron's peak transfer must fall off as detuning grows
+	// (Fig 15's V-shape). Sample three detunings at their own peak times.
+	g := 0.03
+	peak := func(delta float64) float64 {
+		tt := twoTransmonsAt(6.0+delta, 6.0, g)
+		max := 0.0
+		for dur := 0.5; dur <= 20; dur += 0.5 {
+			if p := tt.SwapTransfer(dur); p > max {
+				max = p
+			}
+		}
+		return max
+	}
+	p0, p1, p2 := peak(0), peak(0.05), peak(0.12)
+	if !(p0 > p1 && p1 > p2) {
+		t.Fatalf("chevron peaks should decrease with detuning: %v, %v, %v", p0, p1, p2)
+	}
+}

@@ -1,0 +1,79 @@
+// Package phys models the superconducting-transmon physics that the
+// frequency-aware compiler relies on: flux-tunable qubit spectra (Fig 4),
+// qubit-qubit coupling strength versus detuning (Fig 2, eq 5), Rabi
+// population transfer and the resulting crosstalk error (eq 6), gate
+// durations for the native iSWAP/√iSWAP/CZ set (Appendix B), and a direct
+// two-transmon Schrödinger integrator used to reproduce the chevron patterns
+// of Fig 15 and to cross-check the analytic formulas.
+//
+// # Units
+//
+// All frequencies are linear frequencies in GHz (what experimentalists quote
+// as ω/2π), all times are in nanoseconds, and all fluxes are in units of the
+// flux quantum Φ₀. Since 1 GHz · 1 ns = 1, a coupling g (GHz) drives an
+// oscillation phase of 2π·g·t over t nanoseconds; the 2π factors are applied
+// inside this package so callers never touch angular frequencies.
+package phys
+
+// Default hardware parameters, set to the realistic values used in the
+// paper's evaluation (§VI-C) and its cited experimental literature
+// (Krantz et al., Kjaergaard et al., Arute et al.).
+const (
+	// DefaultOmegaMax is the mean maximum (upper sweet spot) qubit
+	// frequency in GHz. Fabrication variation is sampled around this mean.
+	DefaultOmegaMax = 7.05
+	// DefaultOmegaSigma is the fabrication standard deviation of the
+	// maximum frequency (the paper samples Ω ~ N(ω, 0.1)).
+	DefaultOmegaSigma = 0.1
+	// DefaultEC is the transmon charging energy in GHz; the anharmonicity
+	// is α = ω12 − ω01 ≈ −EC ≈ −200 MHz (§VI-C).
+	DefaultEC = 0.200
+	// DefaultAsymmetry is the junction asymmetry d of the asymmetric
+	// transmon, which sets the lower sweet-spot frequency (Fig 4).
+	DefaultAsymmetry = 0.48
+	// DefaultG0 is the bare qubit-qubit coupling g₀/2π in GHz at the
+	// reference frequency. The paper quotes couplings up to g/2π ≈ 30 MHz;
+	// we default to 8 MHz, the value at which the always-on couplers of a
+	// fixed-coupler chip leave a small ambient crosstalk floor (as in the
+	// paper's evaluation, where idle qubits contribute little) while
+	// keeping two-qubit gates in the realistic 25–40 ns range.
+	DefaultG0 = 0.008
+	// DefaultT1 is the relaxation time in ns.
+	DefaultT1 = 20_000.0
+	// DefaultT2 is the dephasing time in ns.
+	DefaultT2 = 15_000.0
+	// SingleQubitGateTime is the duration of a microwave-driven
+	// single-qubit gate in ns.
+	SingleQubitGateTime = 25.0
+	// FluxRampTime is the overhead of retuning a qubit frequency in ns
+	// (Appendix C: state-of-the-art flux control settles within ~2 ns).
+	FluxRampTime = 2.0
+)
+
+// TwoPi is 2π, the conversion between linear (GHz) and angular frequency.
+const TwoPi = 2 * 3.14159265358979323846
+
+// Params bundles the device-level physical parameters from which a System
+// is sampled. The zero value is not useful; start from DefaultParams.
+type Params struct {
+	OmegaMax   float64 // mean upper sweet-spot frequency, GHz
+	OmegaSigma float64 // fabrication spread of OmegaMax, GHz
+	EC         float64 // charging energy (≈ |anharmonicity|), GHz
+	Asymmetry  float64 // junction asymmetry d ∈ (0,1)
+	G0         float64 // bare coupling at reference frequency, GHz
+	T1         float64 // relaxation time, ns
+	T2         float64 // dephasing time, ns
+}
+
+// DefaultParams returns the paper's evaluation parameters.
+func DefaultParams() Params {
+	return Params{
+		OmegaMax:   DefaultOmegaMax,
+		OmegaSigma: DefaultOmegaSigma,
+		EC:         DefaultEC,
+		Asymmetry:  DefaultAsymmetry,
+		G0:         DefaultG0,
+		T1:         DefaultT1,
+		T2:         DefaultT2,
+	}
+}

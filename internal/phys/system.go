@@ -1,0 +1,94 @@
+package phys
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastsc/internal/graph"
+	"fastsc/internal/topology"
+)
+
+// System is a fully characterized device: the topology plus one Transmon per
+// qubit (with fabrication spread applied) and one bare coupling strength per
+// coupler. It is the hardware description consumed by the compiler.
+type System struct {
+	Device   *topology.Device
+	Qubits   []Transmon             // indexed by qubit id
+	Coupling map[graph.Edge]float64 // bare g₀ per coupler, GHz
+	Params   Params
+}
+
+// NewSystem samples a System from the given parameters. Maximum frequencies
+// are drawn from N(OmegaMax, OmegaSigma²) — the paper's model of fabrication
+// variation and initial detuning (§VI-C) — using the provided seed, so a
+// fixed seed reproduces the same chip.
+func NewSystem(dev *topology.Device, p Params, seed int64) *System {
+	rng := rand.New(rand.NewSource(seed))
+	qubits := make([]Transmon, dev.Qubits)
+	for q := range qubits {
+		qubits[q] = Transmon{
+			OmegaMax:  p.OmegaMax + p.OmegaSigma*rng.NormFloat64(),
+			EC:        p.EC,
+			Asymmetry: p.Asymmetry,
+			T1:        p.T1,
+			T2:        p.T2,
+		}
+	}
+	coupling := make(map[graph.Edge]float64, dev.Coupling.NumEdges())
+	for _, e := range dev.Edges() {
+		coupling[e] = p.G0
+	}
+	return &System{Device: dev, Qubits: qubits, Coupling: coupling, Params: p}
+}
+
+// DefaultSystem builds a System with DefaultParams and a fixed seed derived
+// from the device name, convenient for examples and tests.
+func DefaultSystem(dev *topology.Device) *System {
+	var seed int64 = 1
+	for _, r := range dev.Name {
+		seed = seed*31 + int64(r)
+	}
+	return NewSystem(dev, DefaultParams(), seed)
+}
+
+// G0 returns the bare coupling of the coupler between qubits a and b.
+// It panics if the qubits are not coupled — callers must only ask about
+// physical couplers.
+func (s *System) G0(a, b int) float64 {
+	g, ok := s.Coupling[graph.NewEdge(a, b)]
+	if !ok {
+		panic(fmt.Sprintf("phys: qubits %d and %d are not coupled", a, b))
+	}
+	return g
+}
+
+// Transmon returns the transmon parameters of qubit q.
+func (s *System) Transmon(q int) Transmon { return s.Qubits[q] }
+
+// CommonRange returns the intersection of all qubits' tunable ranges —
+// frequencies every qubit on the chip can reach.
+func (s *System) CommonRange() (lo, hi float64) {
+	lo, hi = 0, 1e18
+	for _, t := range s.Qubits {
+		l, h := t.TunableRange()
+		if l > lo {
+			lo = l
+		}
+		if h < hi {
+			hi = h
+		}
+	}
+	return lo, hi
+}
+
+// MeanAnharmonicity returns the average anharmonicity α (GHz, negative).
+func (s *System) MeanAnharmonicity() float64 {
+	if len(s.Qubits) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range s.Qubits {
+		sum += t.Anharmonicity()
+	}
+	return sum / float64(len(s.Qubits))
+}

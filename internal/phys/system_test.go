@@ -1,0 +1,96 @@
+package phys
+
+import (
+	"math"
+	"testing"
+
+	"fastsc/internal/topology"
+)
+
+func TestNewSystemDeterministic(t *testing.T) {
+	dev := topology.Grid(3, 3)
+	s1 := NewSystem(dev, DefaultParams(), 42)
+	s2 := NewSystem(dev, DefaultParams(), 42)
+	for q := 0; q < dev.Qubits; q++ {
+		if s1.Qubits[q].OmegaMax != s2.Qubits[q].OmegaMax {
+			t.Fatalf("same seed produced different chips at qubit %d", q)
+		}
+	}
+	s3 := NewSystem(dev, DefaultParams(), 43)
+	same := true
+	for q := 0; q < dev.Qubits; q++ {
+		if s1.Qubits[q].OmegaMax != s3.Qubits[q].OmegaMax {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical chips")
+	}
+}
+
+func TestNewSystemSpread(t *testing.T) {
+	dev := topology.Grid(5, 5)
+	p := DefaultParams()
+	s := NewSystem(dev, p, 7)
+	mean := 0.0
+	for _, tr := range s.Qubits {
+		mean += tr.OmegaMax
+	}
+	mean /= float64(len(s.Qubits))
+	if math.Abs(mean-p.OmegaMax) > 3*p.OmegaSigma {
+		t.Fatalf("sampled mean %v too far from %v", mean, p.OmegaMax)
+	}
+}
+
+func TestSystemG0(t *testing.T) {
+	dev := topology.Grid(2, 2)
+	s := NewSystem(dev, DefaultParams(), 1)
+	if g := s.G0(0, 1); g != DefaultG0 {
+		t.Fatalf("G0(0,1) = %v", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("G0 on uncoupled pair did not panic")
+		}
+	}()
+	s.G0(0, 3) // diagonal, not coupled on a 2x2 grid
+}
+
+func TestCommonRange(t *testing.T) {
+	dev := topology.Grid(3, 3)
+	s := NewSystem(dev, DefaultParams(), 11)
+	lo, hi := s.CommonRange()
+	if lo >= hi {
+		t.Fatalf("empty common range [%v, %v]", lo, hi)
+	}
+	for q, tr := range s.Qubits {
+		qlo, qhi := tr.TunableRange()
+		if lo < qlo-1e-9 || hi > qhi+1e-9 {
+			t.Fatalf("common range [%v,%v] exceeds qubit %d range [%v,%v]", lo, hi, q, qlo, qhi)
+		}
+	}
+	// The parking (5 GHz) and interaction (near 6.5-7) regions must be
+	// reachable by every qubit for the paper's partition to work.
+	if lo > 5.0 || hi < 6.5 {
+		t.Fatalf("common range [%v,%v] too narrow for the paper's partition", lo, hi)
+	}
+}
+
+func TestMeanAnharmonicity(t *testing.T) {
+	dev := topology.Grid(2, 2)
+	s := NewSystem(dev, DefaultParams(), 1)
+	if a := s.MeanAnharmonicity(); math.Abs(a+DefaultEC) > 1e-12 {
+		t.Fatalf("mean anharmonicity = %v, want %v", a, -DefaultEC)
+	}
+}
+
+func TestDefaultSystemStableAcrossCalls(t *testing.T) {
+	dev := topology.Grid(3, 3)
+	a := DefaultSystem(dev)
+	b := DefaultSystem(dev)
+	for q := range a.Qubits {
+		if a.Qubits[q].OmegaMax != b.Qubits[q].OmegaMax {
+			t.Fatal("DefaultSystem not deterministic for same device")
+		}
+	}
+}

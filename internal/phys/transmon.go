@@ -1,0 +1,119 @@
+package phys
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transmon is one flux-tunable asymmetric transmon qubit. Its 0-1 transition
+// frequency is tuned by an external flux φ (in units of Φ₀) between two
+// sweet spots: the upper spot at φ=0 (frequency OmegaMax) and the lower spot
+// at φ=0.5 (frequency OmegaMin), as shown in Fig 4 of the paper.
+type Transmon struct {
+	// OmegaMax is the 0-1 frequency at zero flux (upper sweet spot), GHz.
+	OmegaMax float64
+	// EC is the charging energy, GHz. The anharmonicity is −EC.
+	EC float64
+	// Asymmetry is the junction asymmetry d = (EJ1−EJ2)/(EJ1+EJ2).
+	Asymmetry float64
+	// T1 and T2 are the relaxation and dephasing times in ns.
+	T1, T2 float64
+}
+
+// Anharmonicity returns α = ω12 − ω01 in GHz. It is negative for transmons
+// (ω12 is slightly below ω01); the paper quotes |α|/2π ≈ 200 MHz.
+func (t Transmon) Anharmonicity() float64 { return -t.EC }
+
+// ejSum returns the total Josephson energy E_JΣ implied by OmegaMax and EC
+// through ω01(0) = √(8·EC·EJΣ) − EC.
+func (t Transmon) ejSum() float64 {
+	s := t.OmegaMax + t.EC
+	return s * s / (8 * t.EC)
+}
+
+// ejAt returns the flux-dependent Josephson energy of the asymmetric SQUID:
+//
+//	EJ(φ) = EJΣ·|cos(πφ)|·√(1 + d²·tan²(πφ))
+func (t Transmon) ejAt(phi float64) float64 {
+	c := math.Cos(math.Pi * phi)
+	s := math.Sin(math.Pi * phi)
+	d := t.Asymmetry
+	return t.ejSum() * math.Sqrt(c*c+d*d*s*s)
+}
+
+// Freq01 returns the 0-1 transition frequency at flux phi (GHz):
+//
+//	ω01(φ) = √(8·EC·EJ(φ)) − EC
+func (t Transmon) Freq01(phi float64) float64 {
+	return math.Sqrt(8*t.EC*t.ejAt(phi)) - t.EC
+}
+
+// Freq12 returns the 1-2 transition frequency at flux phi (GHz):
+// ω12 = ω01 + α = ω01 − EC.
+func (t Transmon) Freq12(phi float64) float64 {
+	return t.Freq01(phi) - t.EC
+}
+
+// OmegaMin returns the 0-1 frequency at the lower sweet spot (φ = 0.5).
+func (t Transmon) OmegaMin() float64 { return t.Freq01(0.5) }
+
+// TunableRange returns the frequency interval [OmegaMin, OmegaMax] the qubit
+// can reach.
+func (t Transmon) TunableRange() (lo, hi float64) {
+	return t.OmegaMin(), t.OmegaMax
+}
+
+// FluxSensitivity returns |dω01/dφ| at flux phi in GHz per Φ₀, evaluated
+// numerically. It vanishes at the two sweet spots and peaks in between — the
+// shaded flux-noise-sensitive region of Fig 4.
+func (t Transmon) FluxSensitivity(phi float64) float64 {
+	const h = 1e-6
+	return math.Abs(t.Freq01(phi+h)-t.Freq01(phi-h)) / (2 * h)
+}
+
+// FluxFor returns a flux φ ∈ [0, 0.5] at which the qubit's 0-1 frequency
+// equals freq. It reports an error when freq lies outside the tunable range.
+// Freq01 is strictly decreasing on [0, 0.5], so bisection converges.
+func (t Transmon) FluxFor(freq float64) (float64, error) {
+	lo, hi := t.OmegaMin(), t.OmegaMax
+	if freq < lo-1e-9 || freq > hi+1e-9 {
+		return 0, fmt.Errorf("phys: frequency %.4f GHz outside tunable range [%.4f, %.4f]",
+			freq, lo, hi)
+	}
+	a, b := 0.0, 0.5 // Freq01(a) = hi, Freq01(b) = lo
+	for i := 0; i < 60; i++ {
+		mid := (a + b) / 2
+		if t.Freq01(mid) > freq {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return (a + b) / 2, nil
+}
+
+// Reaches reports whether the qubit can be tuned to freq.
+func (t Transmon) Reaches(freq float64) bool {
+	lo, hi := t.TunableRange()
+	return freq >= lo-1e-9 && freq <= hi+1e-9
+}
+
+// DecoherenceError returns the qubit's decoherence error after idling or
+// gating for duration t ns, using the paper's combined model (§II-B1):
+//
+//	ε_q(t) = (1 − e^{−t/T1})·(1 − e^{−t/T2})
+func (t Transmon) DecoherenceError(dur float64) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return (1 - math.Exp(-dur/t.T1)) * (1 - math.Exp(-dur/t.T2))
+}
+
+// LevelEnergy returns the energy of level n (n = 0, 1, 2) relative to the
+// ground state at flux phi, in GHz: E(n) = n·ω01 + α·n(n−1)/2.
+func (t Transmon) LevelEnergy(n int, phi float64) float64 {
+	w := t.Freq01(phi)
+	a := t.Anharmonicity()
+	fn := float64(n)
+	return fn*w + a*fn*(fn-1)/2
+}

@@ -1,0 +1,170 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testTransmon() Transmon {
+	return Transmon{OmegaMax: 7.0, EC: 0.2, Asymmetry: 0.48, T1: 30000, T2: 20000}
+}
+
+func TestFreq01AtSweetSpots(t *testing.T) {
+	tr := testTransmon()
+	if got := tr.Freq01(0); math.Abs(got-7.0) > 1e-9 {
+		t.Fatalf("Freq01(0) = %v, want OmegaMax=7.0", got)
+	}
+	min := tr.OmegaMin()
+	if min >= tr.OmegaMax {
+		t.Fatalf("OmegaMin %v not below OmegaMax", min)
+	}
+	if min < 3.5 || min > 6.0 {
+		t.Fatalf("OmegaMin %v outside plausible band for d=0.48", min)
+	}
+}
+
+func TestFreq01MonotoneOnHalfPeriod(t *testing.T) {
+	tr := testTransmon()
+	prev := tr.Freq01(0)
+	for i := 1; i <= 50; i++ {
+		phi := 0.5 * float64(i) / 50
+		f := tr.Freq01(phi)
+		if f > prev+1e-12 {
+			t.Fatalf("Freq01 not decreasing at phi=%v: %v > %v", phi, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestFreq01Symmetry(t *testing.T) {
+	tr := testTransmon()
+	for _, phi := range []float64{0.1, 0.25, 0.4} {
+		if d := math.Abs(tr.Freq01(phi) - tr.Freq01(-phi)); d > 1e-9 {
+			t.Fatalf("Freq01 not symmetric in flux at phi=%v (diff %v)", phi, d)
+		}
+	}
+}
+
+func TestFreq12BelowFreq01(t *testing.T) {
+	tr := testTransmon()
+	for _, phi := range []float64{0, 0.2, 0.5} {
+		w01, w12 := tr.Freq01(phi), tr.Freq12(phi)
+		if math.Abs((w01-w12)-tr.EC) > 1e-9 {
+			t.Fatalf("w01-w12 = %v, want EC=%v", w01-w12, tr.EC)
+		}
+	}
+}
+
+func TestAnharmonicityNegative(t *testing.T) {
+	tr := testTransmon()
+	if a := tr.Anharmonicity(); a != -0.2 {
+		t.Fatalf("Anharmonicity = %v, want -0.2", a)
+	}
+}
+
+func TestFluxSensitivityVanishesAtSweetSpots(t *testing.T) {
+	tr := testTransmon()
+	sens0 := tr.FluxSensitivity(0)
+	sensHalf := tr.FluxSensitivity(0.5)
+	sensMid := tr.FluxSensitivity(0.25)
+	if sens0 > 1e-3 || sensHalf > 1e-3 {
+		t.Fatalf("sensitivity at sweet spots = %v, %v; want ~0", sens0, sensHalf)
+	}
+	if sensMid < 10*sens0 || sensMid < 1.0 {
+		t.Fatalf("mid-band sensitivity %v should dominate sweet spots", sensMid)
+	}
+}
+
+func TestFluxForRoundTrip(t *testing.T) {
+	tr := testTransmon()
+	lo, hi := tr.TunableRange()
+	for i := 0; i <= 10; i++ {
+		target := lo + (hi-lo)*float64(i)/10
+		phi, err := tr.FluxFor(target)
+		if err != nil {
+			t.Fatalf("FluxFor(%v): %v", target, err)
+		}
+		if got := tr.Freq01(phi); math.Abs(got-target) > 1e-6 {
+			t.Fatalf("round trip: Freq01(FluxFor(%v)) = %v", target, got)
+		}
+	}
+}
+
+func TestFluxForOutOfRange(t *testing.T) {
+	tr := testTransmon()
+	if _, err := tr.FluxFor(tr.OmegaMax + 1); err == nil {
+		t.Fatal("FluxFor above range should error")
+	}
+	if _, err := tr.FluxFor(tr.OmegaMin() - 1); err == nil {
+		t.Fatal("FluxFor below range should error")
+	}
+}
+
+func TestReaches(t *testing.T) {
+	tr := testTransmon()
+	if !tr.Reaches(6.0) {
+		t.Fatal("should reach 6.0 GHz")
+	}
+	if tr.Reaches(8.0) {
+		t.Fatal("should not reach 8.0 GHz")
+	}
+}
+
+func TestDecoherenceError(t *testing.T) {
+	tr := testTransmon()
+	if e := tr.DecoherenceError(0); e != 0 {
+		t.Fatalf("zero-duration error = %v", e)
+	}
+	if e := tr.DecoherenceError(-5); e != 0 {
+		t.Fatalf("negative-duration error = %v", e)
+	}
+	prev := 0.0
+	for _, dur := range []float64{10, 100, 1000, 10000, 100000, 1e7} {
+		e := tr.DecoherenceError(dur)
+		if e < prev || e < 0 || e > 1 {
+			t.Fatalf("decoherence error not monotone in [0,1]: ε(%v)=%v prev=%v", dur, e, prev)
+		}
+		prev = e
+	}
+	if prev < 0.99 {
+		t.Fatalf("long-time decoherence should saturate near 1, got %v", prev)
+	}
+}
+
+func TestLevelEnergy(t *testing.T) {
+	tr := testTransmon()
+	if e := tr.LevelEnergy(0, 0); e != 0 {
+		t.Fatalf("E(0) = %v", e)
+	}
+	if e := tr.LevelEnergy(1, 0); math.Abs(e-7.0) > 1e-9 {
+		t.Fatalf("E(1) = %v, want 7.0", e)
+	}
+	// E(2) = 2ω + α = 14.0 − 0.2
+	if e := tr.LevelEnergy(2, 0); math.Abs(e-13.8) > 1e-9 {
+		t.Fatalf("E(2) = %v, want 13.8", e)
+	}
+}
+
+// Property: for any asymmetry and flux, the frequency stays inside the
+// tunable range and FluxFor inverts it.
+func TestTransmonPropertyRange(t *testing.T) {
+	prop := func(dRaw, phiRaw uint16) bool {
+		d := 0.1 + 0.8*float64(dRaw)/65535
+		phi := 0.5 * float64(phiRaw) / 65535
+		tr := Transmon{OmegaMax: 7.0, EC: 0.2, Asymmetry: d, T1: 1, T2: 1}
+		f := tr.Freq01(phi)
+		lo, hi := tr.TunableRange()
+		if f < lo-1e-9 || f > hi+1e-9 {
+			return false
+		}
+		back, err := tr.FluxFor(f)
+		if err != nil {
+			return false
+		}
+		return math.Abs(tr.Freq01(back)-f) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package pulse lowers a compiled schedule to device-level control
+// sequences — the final "Low-level Control Pulses" stage of the paper's
+// compilation flow (Fig 3). Each qubit receives a flux waveform (a series
+// of flux setpoints realizing its frequency trajectory through the
+// schedule) and a microwave drive sequence (one pulse per physical
+// single-qubit gate); each two-qubit gate becomes an interaction window
+// during which the pair is held on resonance.
+//
+// Operating points follow §II-B2: iSWAP-family gates bring both qubits to
+// the interaction frequency (ω01A = ω01B); CZ gates bring the pair onto the
+// |11⟩↔|20⟩ avoided crossing (ω12 of one qubit aligned with ω01 of the
+// other, i.e. the first operand is parked one anharmonicity below).
+package pulse
+
+import (
+	"fmt"
+	"math"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/phys"
+	"fastsc/internal/schedule"
+)
+
+// FluxStep holds one flux setpoint: the qubit sits at Phi (units of Φ₀)
+// realizing frequency Freq from Start for Duration nanoseconds.
+type FluxStep struct {
+	Start, Duration float64
+	Phi             float64
+	Freq            float64
+}
+
+// DriveEvent is one microwave pulse implementing a physical single-qubit
+// gate at the qubit's current frequency.
+type DriveEvent struct {
+	Start, Duration float64
+	Freq            float64
+	Gate            circuit.Gate
+}
+
+// FrameUpdate is a virtual Z-axis gate: a software phase-frame rotation
+// with zero duration (Appendix C's fast Rz).
+type FrameUpdate struct {
+	Start float64
+	Gate  circuit.Gate
+}
+
+// InteractionWindow is a two-qubit gate: the pair held at its operating
+// points for the gate duration.
+type InteractionWindow struct {
+	Start, Duration float64
+	Gate            circuit.Gate
+	// FreqA and FreqB are the operating frequencies of Gate.Qubits[0] and
+	// Gate.Qubits[1]; they differ by one anharmonicity for CZ.
+	FreqA, FreqB float64
+}
+
+// QubitSequence is the full control program of one qubit.
+type QubitSequence struct {
+	Qubit  int
+	Flux   []FluxStep
+	Drives []DriveEvent
+	Frames []FrameUpdate
+}
+
+// Program is the lowered control program for a whole schedule.
+type Program struct {
+	Qubits       []QubitSequence
+	Interactions []InteractionWindow
+	// Total is the program duration in ns.
+	Total float64
+	// Retunes counts flux setpoint changes across all qubits (each costs
+	// the FluxRampTime already accounted in the schedule).
+	Retunes int
+}
+
+// Lower translates a schedule into per-qubit control sequences.
+func Lower(s *schedule.Schedule) (*Program, error) {
+	n := s.System.Device.Qubits
+	prog := &Program{Total: s.TotalTime}
+	seqs := make([]QubitSequence, n)
+	for q := range seqs {
+		seqs[q].Qubit = q
+	}
+
+	// Per-slice frequency targets, adjusted for CZ operating points.
+	for si := range s.Slices {
+		sl := &s.Slices[si]
+		target := make(map[int]float64, n)
+		for q := 0; q < n; q++ {
+			target[q] = sl.Freqs[q]
+		}
+		for _, ev := range sl.Gates {
+			if ev.Gate.Kind == circuit.CZ {
+				a, b := ev.Gate.Qubits[0], ev.Gate.Qubits[1]
+				// Preferred leg: hold b at the label frequency and a one
+				// anharmonicity of b below it, ω12(b) = ω01(a). If the gate
+				// sits within one anharmonicity of a's range floor (naive
+				// compilers do this), use the upper leg instead:
+				// ω12(a) = ω01(b), i.e. a one anharmonicity of a above.
+				down := ev.Freq - s.System.Transmon(b).EC
+				up := ev.Freq + s.System.Transmon(a).EC
+				switch {
+				case s.System.Transmon(a).Reaches(down):
+					target[a] = down
+				case s.System.Transmon(a).Reaches(up):
+					target[a] = up
+				default:
+					return nil, fmt.Errorf("pulse: slice %d: CZ %v has no reachable avoided-crossing leg (%.4f / %.4f GHz)",
+						si, ev.Gate, down, up)
+				}
+			}
+		}
+		for q := 0; q < n; q++ {
+			freq := target[q]
+			phi, err := s.System.Transmon(q).FluxFor(freq)
+			if err != nil {
+				return nil, fmt.Errorf("pulse: slice %d qubit %d: %w", si, q, err)
+			}
+			appendFluxStep(&seqs[q], sl.Start, sl.Duration, phi, freq, &prog.Retunes)
+		}
+		for _, ev := range sl.Gates {
+			switch {
+			case ev.Gate.Kind.IsTwoQubit():
+				a, b := ev.Gate.Qubits[0], ev.Gate.Qubits[1]
+				prog.Interactions = append(prog.Interactions, InteractionWindow{
+					Start: sl.Start, Duration: ev.Duration, Gate: ev.Gate,
+					FreqA: target[a], FreqB: target[b],
+				})
+			case ev.Gate.Kind.IsVirtual():
+				q := ev.Gate.Qubits[0]
+				seqs[q].Frames = append(seqs[q].Frames, FrameUpdate{Start: sl.Start, Gate: ev.Gate})
+			default:
+				q := ev.Gate.Qubits[0]
+				seqs[q].Drives = append(seqs[q].Drives, DriveEvent{
+					Start: sl.Start, Duration: ev.Duration, Freq: target[q], Gate: ev.Gate,
+				})
+			}
+		}
+	}
+	prog.Qubits = seqs
+	return prog, nil
+}
+
+// appendFluxStep extends the previous step when the setpoint is unchanged,
+// otherwise opens a new one (counting a retune).
+func appendFluxStep(seq *QubitSequence, start, dur, phi, freq float64, retunes *int) {
+	if n := len(seq.Flux); n > 0 {
+		last := &seq.Flux[n-1]
+		if math.Abs(last.Phi-phi) < 1e-12 {
+			last.Duration = start + dur - last.Start
+			return
+		}
+	}
+	if len(seq.Flux) > 0 {
+		*retunes++
+	}
+	seq.Flux = append(seq.Flux, FluxStep{Start: start, Duration: dur, Phi: phi, Freq: freq})
+}
+
+// Validate checks program invariants: flux setpoints within the physical
+// range [0, 0.5], contiguous per-qubit flux coverage of [0, Total], drives
+// inside their flux windows, and CZ windows on the |11⟩↔|20⟩ resonance.
+func (p *Program) Validate(s *schedule.Schedule) error {
+	for _, seq := range p.Qubits {
+		cursor := 0.0
+		for i, st := range p.Qubits[seq.Qubit].Flux {
+			if st.Phi < -1e-12 || st.Phi > 0.5+1e-12 {
+				return fmt.Errorf("pulse: qubit %d step %d flux %v outside [0, 0.5]", seq.Qubit, i, st.Phi)
+			}
+			if math.Abs(st.Start-cursor) > 1e-6 {
+				return fmt.Errorf("pulse: qubit %d step %d starts at %v, want %v", seq.Qubit, i, st.Start, cursor)
+			}
+			cursor = st.Start + st.Duration
+		}
+		if len(seq.Flux) > 0 && math.Abs(cursor-p.Total) > 1e-6 {
+			return fmt.Errorf("pulse: qubit %d flux coverage ends at %v, want %v", seq.Qubit, cursor, p.Total)
+		}
+		for _, d := range seq.Drives {
+			if d.Start < 0 || d.Start+d.Duration > p.Total+1e-6 {
+				return fmt.Errorf("pulse: qubit %d drive outside program", seq.Qubit)
+			}
+		}
+	}
+	for _, iw := range p.Interactions {
+		switch iw.Gate.Kind {
+		case circuit.CZ:
+			a, b := iw.Gate.Qubits[0], iw.Gate.Qubits[1]
+			ecA := s.System.Transmon(a).EC
+			ecB := s.System.Transmon(b).EC
+			// Either leg of the |11⟩↔|20⟩ crossing is acceptable:
+			// ω12(b) = ω01(a) (lower leg) or ω12(a) = ω01(b) (upper leg).
+			lower := math.Abs((iw.FreqB - ecB) - iw.FreqA)
+			upper := math.Abs((iw.FreqA - ecA) - iw.FreqB)
+			if lower > 1e-9 && upper > 1e-9 {
+				return fmt.Errorf("pulse: CZ window %v off the |11⟩↔|20⟩ resonance: %v vs %v",
+					iw.Gate, iw.FreqA, iw.FreqB)
+			}
+		case circuit.ISwap, circuit.SqrtISwap:
+			if math.Abs(iw.FreqA-iw.FreqB) > 1e-9 {
+				return fmt.Errorf("pulse: exchange window %v detuned: %v vs %v", iw.Gate, iw.FreqA, iw.FreqB)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxFluxExcursion returns the largest flux swing any qubit performs
+// between consecutive setpoints — a proxy for control-line slew demands.
+func (p *Program) MaxFluxExcursion() float64 {
+	max := 0.0
+	for _, seq := range p.Qubits {
+		for i := 1; i < len(seq.Flux); i++ {
+			if d := math.Abs(seq.Flux[i].Phi - seq.Flux[i-1].Phi); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// RetunesPerQubit returns the number of flux setpoint changes per qubit.
+func (p *Program) RetunesPerQubit() []int {
+	out := make([]int, len(p.Qubits))
+	for q, seq := range p.Qubits {
+		if len(seq.Flux) > 0 {
+			out[q] = len(seq.Flux) - 1
+		}
+	}
+	return out
+}
+
+// TotalRampOverhead estimates the cumulative retuning time (Appendix C).
+func (p *Program) TotalRampOverhead() float64 {
+	return float64(p.Retunes) * phys.FluxRampTime
+}

@@ -1,0 +1,245 @@
+package schedule
+
+import (
+	"fastsc/internal/circuit"
+	"fastsc/internal/graph"
+	"fastsc/internal/phys"
+	"fastsc/internal/smt"
+	"fastsc/internal/xtalk"
+)
+
+// Naive is Baseline N (Table I): a conventional crosstalk-unaware compiler
+// in the style of Qiskit's ASAP scheduler. Idle and interaction frequencies
+// are separated (the partition is respected) but interaction frequencies are
+// chosen per coupler with no coordination, so parallel gates on nearby
+// couplers routinely collide spectrally.
+type Naive struct{}
+
+// Name implements Compiler.
+func (Naive) Name() string { return "Baseline N" }
+
+// Compile implements Compiler.
+func (Naive) Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	b, err := newBuilder("Baseline N", c, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Uncoordinated per-coupler interaction frequency: a deterministic
+	// pseudorandom hash over the full common tunable range. Models a
+	// calibration that picks each pair's operating point in isolation —
+	// ignoring its neighbors (so nearby gates collide spectrally) and the
+	// partition discipline of §V-B4 entirely (so gates can land on parked
+	// spectators or their sidebands).
+	edgeIdx := sys.Device.EdgeIndex()
+	intLo, intHi := b.part.ParkLo, b.part.IntHi
+	freqOf := func(e graph.Edge) float64 {
+		h := uint64(edgeIdx[e])*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+		h ^= h >> 31
+		h *= 0x94D049BB133111EB
+		h ^= h >> 29
+		frac := float64(h%(1<<20)) / (1 << 20)
+		return intLo + frac*(intHi-intLo)
+	}
+
+	f := circuit.NewFrontier(b.circ)
+	for !f.Done() {
+		ready := f.Ready() // issue everything: pure ASAP
+		var events []GateEvent
+		sliceFreqs := make(map[int]float64)
+		for _, idx := range ready {
+			g := b.circ.Gates[idx]
+			if g.Kind.IsTwoQubit() {
+				e := graph.NewEdge(g.Qubits[0], g.Qubits[1])
+				freq := freqOf(e)
+				sliceFreqs[g.Qubits[0]] = freq
+				sliceFreqs[g.Qubits[1]] = freq
+				events = append(events, GateEvent{
+					Gate: g, Duration: b.gateDuration(g, freq), Freq: freq, Color: -1,
+				})
+			} else {
+				events = append(events, GateEvent{
+					Gate: g, Duration: b.gateDuration(g, 0), Freq: b.park[g.Qubits[0]], Color: -1,
+				})
+			}
+			f.Issue(idx)
+		}
+		b.emitSlice(events, sliceFreqs, 0, 0)
+	}
+	return b.finish(), nil
+}
+
+// Uniform is Baseline U (Table I): every two-qubit gate shares one common
+// interaction frequency, so simultaneous gates on crosstalk-adjacent
+// couplers are forbidden and must serialize — the strategy of
+// fixed-frequency architectures (IBM, Murali et al.).
+type Uniform struct{}
+
+// Name implements Compiler.
+func (Uniform) Name() string { return "Baseline U" }
+
+// Compile implements Compiler.
+func (Uniform) Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	b, err := newBuilder("Baseline U", c, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Prior-work serialization ([40]) is nearest-neighbor aware only:
+	// gates sharing or neighboring a coupler are never simultaneous, but
+	// next-neighbor (distance-2) pairs still run in parallel at the one
+	// shared frequency — the residual crosstalk ColorDynamic's
+	// distance-2 coloring eliminates.
+	b.xg = xtalk.Build(sys.Device, 1)
+	omega := (b.part.IntLo + b.part.IntHi) / 2
+
+	f := circuit.NewFrontier(b.circ)
+	for !f.Done() {
+		ready := f.Ready()
+		sortByCriticality(ready, b.crit)
+		var events []GateEvent
+		var active []graph.Edge
+		sliceFreqs := make(map[int]float64)
+		for _, idx := range ready {
+			g := b.circ.Gates[idx]
+			if g.Kind.IsTwoQubit() {
+				// Serialize any pair of crosstalk-adjacent gates: with a
+				// single shared frequency, spectral separation is
+				// impossible, so separation must be temporal.
+				if b.xg.ConflictDegree(g.Qubits[0], g.Qubits[1], active) > 0 {
+					continue
+				}
+				active = append(active, graph.NewEdge(g.Qubits[0], g.Qubits[1]))
+				sliceFreqs[g.Qubits[0]] = omega
+				sliceFreqs[g.Qubits[1]] = omega
+				events = append(events, GateEvent{
+					Gate: g, Duration: b.gateDuration(g, omega), Freq: omega, Color: 0,
+				})
+			} else {
+				events = append(events, GateEvent{
+					Gate: g, Duration: b.gateDuration(g, 0), Freq: b.park[g.Qubits[0]], Color: -1,
+				})
+			}
+			f.Issue(idx)
+		}
+		colors := 0
+		if len(active) > 0 {
+			colors = 1
+		}
+		b.emitSlice(events, sliceFreqs, colors, 0)
+	}
+	return b.finish(), nil
+}
+
+// Static is Baseline S (Table I): a program-independent frequency-aware
+// compiler. It colors the whole crosstalk graph once (8 colors on a mesh,
+// Fig 7), solves the SMT problem once, and schedules every slice ASAP with
+// that fixed table — the strategy of static optimizers such as Versluis et
+// al. and the Sycamore calibration.
+type Static struct{}
+
+// Name implements Compiler.
+func (Static) Name() string { return "Baseline S" }
+
+// staticTable is the program-independent per-coupler frequency table shared
+// by Baseline S (as its whole strategy) and Baseline G (as its Sycamore-like
+// per-pair calibration): a Welsh–Powell coloring of the nearest-neighbor
+// crosstalk graph — the 8-color mesh palette of Fig 7 — mapped to
+// frequencies by one SMT solve. A distance-2 whole-device palette would not
+// fit any realistic band with usable separation.
+type staticTable struct {
+	xg     *xtalk.Graph
+	colors graph.Coloring
+	assign map[int]float64
+	delta  float64
+}
+
+func (st *staticTable) freqAndColor(e graph.Edge) (float64, int) {
+	v := st.xg.Index[e]
+	col := st.colors[v]
+	return st.assign[col], col
+}
+
+func buildStaticTable(b *builder, sys *phys.System) (*staticTable, error) {
+	xg := xtalk.Build(sys.Device, 1)
+	intCfg := b.part.InteractionConfig(sys.MeanAnharmonicity())
+	coloring := graph.WelshPowell(xg.G)
+	k := coloring.NumColors()
+	budget := maxColorsFeasible(intCfg, 32)
+	if k > budget {
+		// Band cannot host the full static palette; merge the overflow
+		// colors into the feasible range (a static compiler must ship
+		// *some* table). This degrades separation exactly as frequency
+		// crowding predicts.
+		for v, col := range coloring {
+			coloring[v] = col % budget
+		}
+		k = budget
+	}
+	freqs, delta, err := smt.Solve(k, intCfg)
+	if err != nil {
+		return nil, err
+	}
+	occ := make(map[int]int)
+	for _, col := range coloring {
+		occ[col]++
+	}
+	return &staticTable{
+		xg:     xg,
+		colors: coloring,
+		assign: smt.AssignByOccupancy(occ, freqs),
+		delta:  delta,
+	}, nil
+}
+
+// staticPalette returns the per-coupler frequency lookup used by the gmon
+// baseline.
+func staticPalette(b *builder, sys *phys.System) (func(graph.Edge) float64, error) {
+	st, err := buildStaticTable(b, sys)
+	if err != nil {
+		return nil, err
+	}
+	return func(e graph.Edge) float64 {
+		f, _ := st.freqAndColor(e)
+		return f
+	}, nil
+}
+
+// Compile implements Compiler.
+func (Static) Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	b, err := newBuilder("Baseline S", c, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	st, err := buildStaticTable(b, sys)
+	if err != nil {
+		return nil, err
+	}
+	b.xg = st.xg
+
+	f := circuit.NewFrontier(b.circ)
+	for !f.Done() {
+		ready := f.Ready()
+		var events []GateEvent
+		sliceFreqs := make(map[int]float64)
+		colorsUsed := make(map[int]bool)
+		for _, idx := range ready {
+			g := b.circ.Gates[idx]
+			if g.Kind.IsTwoQubit() {
+				e := graph.NewEdge(g.Qubits[0], g.Qubits[1])
+				freq, col := st.freqAndColor(e)
+				colorsUsed[col] = true
+				sliceFreqs[g.Qubits[0]] = freq
+				sliceFreqs[g.Qubits[1]] = freq
+				events = append(events, GateEvent{
+					Gate: g, Duration: b.gateDuration(g, freq), Freq: freq, Color: col,
+				})
+			} else {
+				events = append(events, GateEvent{
+					Gate: g, Duration: b.gateDuration(g, 0), Freq: b.park[g.Qubits[0]], Color: -1,
+				})
+			}
+			f.Issue(idx)
+		}
+		b.emitSlice(events, sliceFreqs, len(colorsUsed), st.delta)
+	}
+	return b.finish(), nil
+}

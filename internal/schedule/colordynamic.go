@@ -1,0 +1,158 @@
+package schedule
+
+import (
+	"fastsc/internal/circuit"
+	"fastsc/internal/graph"
+	"fastsc/internal/phys"
+	"fastsc/internal/smt"
+)
+
+// ColorDynamic is the paper's frequency-aware compiler (Algorithm 1):
+// program-specific frequency assignment per time step via circuit slicing,
+// noise-aware queueing (line 10–16), active-subgraph coloring (line 17–19),
+// and SMT frequency optimization (line 20–22).
+type ColorDynamic struct{}
+
+// Name implements Compiler.
+func (ColorDynamic) Name() string { return "ColorDynamic" }
+
+// Compile implements Compiler.
+func (ColorDynamic) Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	return compileColorDynamic("ColorDynamic", false, c, sys, opts)
+}
+
+// GmonDynamic is the §VIII extension: ColorDynamic's program-specific
+// frequency tuning applied on tunable-coupler (gmon) hardware. Couplers are
+// switched off outside the active set as in Baseline G, but simultaneous
+// gates are additionally spread in frequency by the dynamic coloring, so
+// residual coupler leakage (Fig 12) meets detuned rather than resonant
+// neighbors. It is not part of the paper's Table I evaluation; see the
+// ext-gmon experiment.
+type GmonDynamic struct{}
+
+// Name implements Compiler.
+func (GmonDynamic) Name() string { return "ColorDynamic-G" }
+
+// Compile implements Compiler.
+func (GmonDynamic) Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	return compileColorDynamic("ColorDynamic-G", true, c, sys, opts)
+}
+
+func compileColorDynamic(name string, gmon bool, c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	b, err := newBuilder(name, c, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	b.sched.Gmon = gmon
+	opts = b.opts
+	intCfg := b.part.InteractionConfig(sys.MeanAnharmonicity())
+	// The interaction band fits only so many colors; combined with the
+	// user's tunability budget (default 2, the Fig 11 sweet spot; -1 for
+	// unlimited) this caps each slice's coloring.
+	budget := maxColorsFeasible(intCfg, 16)
+	if opts.MaxColors > 0 && opts.MaxColors < budget {
+		budget = opts.MaxColors
+	}
+
+	f := circuit.NewFrontier(b.circ)
+	for !f.Done() {
+		ready := f.Ready()
+		sortByCriticality(ready, b.crit)
+
+		// Queueing scheduler: admit gates most-critical first, postponing
+		// two-qubit gates whose crosstalk neighborhoods are already
+		// crowded (noise_conflict, §V-B6).
+		var selected []int
+		var active []graph.Edge
+		gateOfEdge := make(map[graph.Edge]int)
+		for _, idx := range ready {
+			g := b.circ.Gates[idx]
+			if g.Kind.IsTwoQubit() {
+				e := graph.NewEdge(g.Qubits[0], g.Qubits[1])
+				if b.xg.ConflictDegree(g.Qubits[0], g.Qubits[1], active) >= opts.ConflictLimit {
+					continue // postpone to a later slice
+				}
+				active = append(active, e)
+				gateOfEdge[e] = idx
+			}
+			selected = append(selected, idx)
+		}
+
+		// Color the active subgraph of the crosstalk graph within the
+		// color budget; gates whose vertices cannot be colored are
+		// postponed (spectral -> temporal separation trade).
+		h := b.xg.ActiveSubgraph(active)
+		coloring, deferred := graph.BoundedColoring(h, budget)
+		dropped := make(map[int]bool)
+		for _, v := range deferred {
+			dropped[gateOfEdge[b.xg.Couplers[v]]] = true
+		}
+
+		k := coloring.NumColors()
+		var freqs []float64
+		delta := 0.0
+		if k > 0 {
+			freqs, delta, err = smt.Solve(k, intCfg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Occupancy-ordered color -> frequency map (§V-B3).
+		occ := make(map[int]int)
+		for _, col := range coloring {
+			occ[col]++
+		}
+		assign := map[int]float64{}
+		if k > 0 {
+			assign = smt.AssignByOccupancy(occ, freqs)
+		}
+
+		var events []GateEvent
+		sliceFreqs := make(map[int]float64)
+		for _, idx := range selected {
+			if dropped[idx] {
+				continue
+			}
+			g := b.circ.Gates[idx]
+			if g.Kind.IsTwoQubit() {
+				e := graph.NewEdge(g.Qubits[0], g.Qubits[1])
+				v := mustVertex(b, e)
+				col := coloring[v]
+				freq := assign[col]
+				sliceFreqs[g.Qubits[0]] = freq
+				sliceFreqs[g.Qubits[1]] = freq
+				events = append(events, GateEvent{
+					Gate: g, Duration: b.gateDuration(g, freq), Freq: freq, Color: col,
+				})
+			} else {
+				events = append(events, GateEvent{
+					Gate: g, Duration: b.gateDuration(g, 0), Freq: b.park[g.Qubits[0]], Color: -1,
+				})
+			}
+			f.Issue(idx)
+		}
+		b.emitSlice(events, sliceFreqs, k, delta)
+	}
+	return b.finish(), nil
+}
+
+func mustVertex(b *builder, e graph.Edge) int {
+	v, ok := b.xg.VertexOf(e.U, e.V)
+	if !ok {
+		panic("schedule: gate on non-coupler " + e.String())
+	}
+	return v
+}
+
+// maxColorsFeasible probes the largest k for which the solver can place k
+// frequencies in the band, up to cap.
+func maxColorsFeasible(cfg smt.Config, cap int) int {
+	best := 1
+	for k := 2; k <= cap; k++ {
+		if _, _, err := smt.Solve(k, cfg); err != nil {
+			break
+		}
+		best = k
+	}
+	return best
+}

@@ -1,0 +1,161 @@
+package schedule
+
+import (
+	"fastsc/internal/circuit"
+	"fastsc/internal/graph"
+	"fastsc/internal/phys"
+	"fastsc/internal/topology"
+)
+
+// Gmon is Baseline G (Table I): tunable-qubit, tunable-coupler hardware in
+// the style of Google's Sycamore. Couplers are switched off except for the
+// pairs gated in the current slice, so spectral collisions between
+// simultaneous gates are suppressed at the hardware level; the cost is
+// fabrication complexity and sensitivity to coupler control noise, modeled
+// by the Residual option (a fraction of the bare coupling that leaks
+// through "off" couplers — Fig 12 sweeps it).
+//
+// Two-qubit layers follow the Sycamore tiling: the coupler set is
+// partitioned into matchings (the ABCD patterns on a grid) and each slice
+// activates gates from a single pattern.
+type Gmon struct{}
+
+// Name implements Compiler.
+func (Gmon) Name() string { return "Baseline G" }
+
+// Compile implements Compiler.
+func (Gmon) Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	b, err := newBuilder("Baseline G", c, sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	b.sched.Gmon = true
+	// Sycamore's calibration gives every coupler its own interaction
+	// frequency (the paper matches "the reported values in [2]"); we model
+	// that as the static nearest-neighbor palette, so simultaneous gates
+	// stay spectrally spread even when couplers leak (Fig 12).
+	freqOf, err := staticPalette(b, sys)
+	if err != nil {
+		return nil, err
+	}
+	pattern := tilingPatterns(sys.Device)
+
+	f := circuit.NewFrontier(b.circ)
+	for !f.Done() {
+		ready := f.Ready()
+		sortByCriticality(ready, b.crit)
+
+		// Bucket ready two-qubit gates by tiling pattern; activate the
+		// pattern carrying the most critical work this slice.
+		byPattern := make(map[int][]int)
+		bestPattern, bestScore := -1, -1
+		for _, idx := range ready {
+			g := b.circ.Gates[idx]
+			if !g.Kind.IsTwoQubit() {
+				continue
+			}
+			p := pattern[graph.NewEdge(g.Qubits[0], g.Qubits[1])]
+			byPattern[p] = append(byPattern[p], idx)
+			score := 0
+			for _, i := range byPattern[p] {
+				score += b.crit[i]
+			}
+			if score > bestScore {
+				bestScore, bestPattern = score, p
+			}
+		}
+
+		var events []GateEvent
+		sliceFreqs := make(map[int]float64)
+		for _, idx := range ready {
+			g := b.circ.Gates[idx]
+			if g.Kind.IsTwoQubit() {
+				e := graph.NewEdge(g.Qubits[0], g.Qubits[1])
+				if pattern[e] != bestPattern {
+					continue // wait for this pattern's turn
+				}
+				omega := freqOf(e)
+				sliceFreqs[g.Qubits[0]] = omega
+				sliceFreqs[g.Qubits[1]] = omega
+				events = append(events, GateEvent{
+					Gate: g, Duration: b.gateDuration(g, omega), Freq: omega, Color: 0,
+				})
+			} else {
+				events = append(events, GateEvent{
+					Gate: g, Duration: b.gateDuration(g, 0), Freq: b.park[g.Qubits[0]], Color: -1,
+				})
+			}
+			f.Issue(idx)
+		}
+		colors := 0
+		if bestPattern >= 0 && len(byPattern[bestPattern]) > 0 {
+			colors = 1
+		}
+		b.emitSlice(events, sliceFreqs, colors, 0)
+	}
+	return b.finish(), nil
+}
+
+// tilingPatterns partitions the device couplers into matchings. On a grid
+// this is the Sycamore ABCD pattern (horizontal/vertical alternating by
+// parity); on arbitrary topologies it falls back to a greedy matching
+// decomposition (proper edge coloring via the line graph).
+func tilingPatterns(dev *topology.Device) map[graph.Edge]int {
+	out := make(map[graph.Edge]int, dev.Coupling.NumEdges())
+	if dev.IsGrid() {
+		for _, e := range dev.Edges() {
+			cu, cv := dev.Coords[e.U], dev.Coords[e.V]
+			if cu.Row == cv.Row { // horizontal coupler
+				out[e] = minInt(cu.Col, cv.Col) % 2
+			} else { // vertical coupler
+				out[e] = 2 + minInt(cu.Row, cv.Row)%2
+			}
+		}
+		return out
+	}
+	lg, couplers := graph.LineGraph(dev.Coupling)
+	coloring := graph.WelshPowell(lg)
+	for v, col := range coloring {
+		out[couplers[v]] = col
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Registry returns the five strategies of Table I in presentation order.
+func Registry() []Compiler {
+	return []Compiler{Naive{}, Gmon{}, Uniform{}, Static{}, ColorDynamic{}}
+}
+
+// Extended returns Registry plus the extensions beyond the paper's Table I
+// (currently GmonDynamic, the §VIII ColorDynamic-on-gmon combination).
+func Extended() []Compiler {
+	return append(Registry(), GmonDynamic{})
+}
+
+// ByName returns the compiler with the given Name (including extensions),
+// or nil.
+func ByName(name string) Compiler {
+	for _, c := range Extended() {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Names returns the strategy names in Registry order.
+func Names() []string {
+	rs := Registry()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Name()
+	}
+	return out
+}

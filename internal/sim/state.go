@@ -1,0 +1,160 @@
+// Package sim provides a state-vector quantum circuit simulator with
+// Monte-Carlo noise trajectories. The paper validates its success-rate
+// heuristic (eq. 4) against full noisy simulation on small circuits
+// (§VI-C); this package is that reference simulator: it executes compiled
+// schedules slice by slice, injecting amplitude damping (T1), dephasing
+// (T2), coherent crosstalk exchange kicks, and intrinsic gate error, then
+// reports fidelity against the ideal state.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"fastsc/internal/circuit"
+)
+
+// MaxQubits bounds the simulator size (2^20 amplitudes ≈ 16 MB).
+const MaxQubits = 20
+
+// State is a pure state over n qubits. Qubit 0 is the most significant bit
+// of the basis index, so |q0 q1 … q(n−1)⟩ has index q0·2^(n−1) + … + q(n−1).
+type State struct {
+	N    int
+	Amps []complex128
+}
+
+// NewState returns |0…0⟩ over n qubits.
+func NewState(n int) *State {
+	if n < 1 || n > MaxQubits {
+		panic(fmt.Sprintf("sim: unsupported qubit count %d", n))
+	}
+	amps := make([]complex128, 1<<n)
+	amps[0] = 1
+	return &State{N: n, Amps: amps}
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	amps := make([]complex128, len(s.Amps))
+	copy(amps, s.Amps)
+	return &State{N: s.N, Amps: amps}
+}
+
+// bitOf returns the bit position of qubit q.
+func (s *State) bitOf(q int) uint {
+	if q < 0 || q >= s.N {
+		panic(fmt.Sprintf("sim: qubit %d out of range [0,%d)", q, s.N))
+	}
+	return uint(s.N - 1 - q)
+}
+
+// Apply1Q applies a single-qubit unitary to qubit q.
+func (s *State) Apply1Q(m circuit.Mat2, q int) {
+	bit := s.bitOf(q)
+	mask := 1 << bit
+	for i := 0; i < len(s.Amps); i++ {
+		if i&mask != 0 {
+			continue
+		}
+		j := i | mask
+		a0, a1 := s.Amps[i], s.Amps[j]
+		s.Amps[i] = m[0][0]*a0 + m[0][1]*a1
+		s.Amps[j] = m[1][0]*a0 + m[1][1]*a1
+	}
+}
+
+// Apply2Q applies a two-qubit unitary with qubit a as the high-order
+// operand (matching circuit.Matrix2Q's basis convention).
+func (s *State) Apply2Q(m circuit.Mat4, a, b int) {
+	if a == b {
+		panic("sim: two-qubit gate on one qubit")
+	}
+	bitA, bitB := s.bitOf(a), s.bitOf(b)
+	maskA, maskB := 1<<bitA, 1<<bitB
+	for i := 0; i < len(s.Amps); i++ {
+		if i&maskA != 0 || i&maskB != 0 {
+			continue
+		}
+		i00 := i
+		i01 := i | maskB
+		i10 := i | maskA
+		i11 := i | maskA | maskB
+		a00, a01, a10, a11 := s.Amps[i00], s.Amps[i01], s.Amps[i10], s.Amps[i11]
+		s.Amps[i00] = m[0][0]*a00 + m[0][1]*a01 + m[0][2]*a10 + m[0][3]*a11
+		s.Amps[i01] = m[1][0]*a00 + m[1][1]*a01 + m[1][2]*a10 + m[1][3]*a11
+		s.Amps[i10] = m[2][0]*a00 + m[2][1]*a01 + m[2][2]*a10 + m[2][3]*a11
+		s.Amps[i11] = m[3][0]*a00 + m[3][1]*a01 + m[3][2]*a10 + m[3][3]*a11
+	}
+}
+
+// ApplyGate applies a circuit gate.
+func (s *State) ApplyGate(g circuit.Gate) {
+	if g.Kind.IsTwoQubit() {
+		s.Apply2Q(circuit.Matrix2Q(g.Kind), g.Qubits[0], g.Qubits[1])
+		return
+	}
+	s.Apply1Q(circuit.Matrix1(g.Kind, g.Theta), g.Qubits[0])
+}
+
+// Norm returns ⟨ψ|ψ⟩.
+func (s *State) Norm() float64 {
+	n := 0.0
+	for _, a := range s.Amps {
+		n += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return n
+}
+
+// Renormalize rescales to unit norm (no-op for the zero vector).
+func (s *State) Renormalize() {
+	n := math.Sqrt(s.Norm())
+	if n == 0 {
+		return
+	}
+	inv := complex(1/n, 0)
+	for i := range s.Amps {
+		s.Amps[i] *= inv
+	}
+}
+
+// Fidelity returns |⟨a|b⟩|².
+func (s *State) Fidelity(o *State) float64 {
+	if s.N != o.N {
+		panic("sim: fidelity between different-width states")
+	}
+	var ip complex128
+	for i := range s.Amps {
+		ip += cmplx.Conj(s.Amps[i]) * o.Amps[i]
+	}
+	return real(ip)*real(ip) + imag(ip)*imag(ip)
+}
+
+// Probability returns |⟨basis|ψ⟩|² for the basis state with the given
+// index (qubit 0 = most significant bit).
+func (s *State) Probability(basis int) float64 {
+	a := s.Amps[basis]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// ExcitedPopulation returns the probability that qubit q is |1⟩.
+func (s *State) ExcitedPopulation(q int) float64 {
+	mask := 1 << s.bitOf(q)
+	p := 0.0
+	for i, a := range s.Amps {
+		if i&mask != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// RunIdeal executes every gate of c on |0…0⟩ without noise.
+func RunIdeal(c *circuit.Circuit) *State {
+	s := NewState(c.NumQubits)
+	for _, g := range c.Gates {
+		s.ApplyGate(g)
+	}
+	return s
+}

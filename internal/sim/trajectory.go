@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/graph"
+	"fastsc/internal/phys"
+	"fastsc/internal/schedule"
+)
+
+// TrajectoryOptions tunes the Monte-Carlo noisy simulation.
+type TrajectoryOptions struct {
+	// Shots is the number of stochastic trajectories to average.
+	Shots int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Gate1Error and Gate2Error inject a random Pauli after each gate with
+	// this probability (intrinsic control error).
+	Gate1Error, Gate2Error float64
+	// SidebandWeight mirrors noise.Options.SidebandWeight for the coherent
+	// crosstalk kicks.
+	SidebandWeight float64
+	// DisableCrosstalk turns off coherent exchange kicks (for isolating
+	// decoherence in tests).
+	DisableCrosstalk bool
+	// DisableDecoherence turns off T1/T2 trajectories.
+	DisableDecoherence bool
+}
+
+// DefaultTrajectoryOptions matches noise.DefaultOptions where the two
+// models share parameters.
+func DefaultTrajectoryOptions(seed int64) TrajectoryOptions {
+	return TrajectoryOptions{
+		Shots:          200,
+		Seed:           seed,
+		Gate1Error:     0.0005,
+		Gate2Error:     0.002,
+		SidebandWeight: 0.15,
+	}
+}
+
+// TrajectoryResult aggregates the Monte-Carlo estimate.
+type TrajectoryResult struct {
+	// MeanFidelity is the average |⟨ψ_ideal|ψ_noisy⟩|² over shots.
+	MeanFidelity float64
+	// StdErr is the standard error of the mean.
+	StdErr float64
+	Shots  int
+}
+
+// RunNoisy executes a compiled schedule with Monte-Carlo noise and returns
+// the mean fidelity against the ideal (noiseless) execution of the same
+// compiled circuit. This is the §VI-C validation reference for the eq. 4
+// heuristic.
+func RunNoisy(s *schedule.Schedule, opt TrajectoryOptions) *TrajectoryResult {
+	n := s.Compiled.NumQubits
+	ideal := RunIdeal(s.Compiled)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	if opt.Shots <= 0 {
+		opt.Shots = 100
+	}
+
+	sum, sumSq := 0.0, 0.0
+	for shot := 0; shot < opt.Shots; shot++ {
+		st := NewState(n)
+		for si := range s.Slices {
+			runSlice(st, s, &s.Slices[si], opt, rng)
+		}
+		f := ideal.Fidelity(st)
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / float64(opt.Shots)
+	variance := sumSq/float64(opt.Shots) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return &TrajectoryResult{
+		MeanFidelity: mean,
+		StdErr:       math.Sqrt(variance / float64(opt.Shots)),
+		Shots:        opt.Shots,
+	}
+}
+
+func runSlice(st *State, s *schedule.Schedule, sl *schedule.Slice, opt TrajectoryOptions, rng *rand.Rand) {
+	// 1. Intended gates.
+	for _, ev := range sl.Gates {
+		st.ApplyGate(ev.Gate)
+		p := opt.Gate1Error
+		if ev.Gate.Kind.IsTwoQubit() {
+			p = opt.Gate2Error
+		}
+		if p > 0 && rng.Float64() < p {
+			q := ev.Gate.Qubits[rng.Intn(len(ev.Gate.Qubits))]
+			applyRandomPauli(st, q, rng)
+		}
+	}
+	// 2. Coherent crosstalk kicks on parasitic coupler channels.
+	if !opt.DisableCrosstalk {
+		applyCrosstalkKicks(st, s, sl, opt)
+	}
+	// 3. Decoherence trajectories.
+	if !opt.DisableDecoherence {
+		applyDecoherence(st, s, sl, rng)
+	}
+}
+
+// applyCrosstalkKicks applies a partial exchange on every parasitic coupler
+// channel: couplers not executing a gate whose endpoints sit δω apart swap
+// population with probability TransitionProbability(g, δω, τ); we realize
+// that as a coherent XY(θ) rotation with sin²θ matching the probability —
+// the worst-case coherent error the heuristic counts.
+func applyCrosstalkKicks(st *State, s *schedule.Schedule, sl *schedule.Slice, opt TrajectoryOptions) {
+	active := make(map[graph.Edge]bool, len(sl.ActiveCouplers))
+	for _, e := range sl.ActiveCouplers {
+		active[e] = true
+	}
+	for _, e := range s.System.Device.Edges() {
+		if active[e] {
+			continue
+		}
+		g0 := s.System.Coupling[e]
+		if s.Gmon {
+			g0 *= s.Residual
+		}
+		if g0 == 0 {
+			continue
+		}
+		fu, fv := sl.Freqs[e.U], sl.Freqs[e.V]
+		ec := s.System.Transmon(e.U).EC
+		tau := sl.Duration
+		p := phys.TransitionProbability(g0, fu-fv, tau)
+		p += opt.SidebandWeight * (phys.TransitionProbability(math.Sqrt2*g0, (fu-ec)-fv, tau) +
+			phys.TransitionProbability(math.Sqrt2*g0, fu-(fv-ec), tau))
+		if p <= 0 {
+			continue
+		}
+		if p > 1 {
+			p = 1
+		}
+		theta := math.Asin(math.Sqrt(p))
+		st.Apply2Q(xyRotation(theta), e.U, e.V)
+	}
+}
+
+// xyRotation returns the partial-iSWAP unitary exp(−iθ(XX+YY)/2) acting on
+// the {|01⟩, |10⟩} block, with transfer probability sin²θ.
+func xyRotation(theta float64) circuit.Mat4 {
+	c := complex(math.Cos(theta), 0)
+	s := complex(0, -math.Sin(theta))
+	return circuit.Mat4{
+		{1, 0, 0, 0},
+		{0, c, s, 0},
+		{0, s, c, 0},
+		{0, 0, 0, 1},
+	}
+}
+
+// applyDecoherence applies one amplitude-damping and one dephasing
+// trajectory step per qubit for the slice duration.
+func applyDecoherence(st *State, s *schedule.Schedule, sl *schedule.Slice, rng *rand.Rand) {
+	for q := 0; q < st.N; q++ {
+		tr := s.System.Transmon(q)
+		tau := sl.Duration
+		// Amplitude damping (T1): jump/no-jump unraveling.
+		p1 := 1 - math.Exp(-tau/tr.T1)
+		if p1 > 0 {
+			pJump := p1 * st.ExcitedPopulation(q)
+			if rng.Float64() < pJump {
+				// Jump: |1⟩ → |0⟩ collapse.
+				st.Apply1Q(circuit.Mat2{{0, 1}, {0, 0}}, q)
+			} else {
+				// No-jump back-action.
+				st.Apply1Q(circuit.Mat2{{1, 0}, {0, complex(math.Sqrt(1-p1), 0)}}, q)
+			}
+			st.Renormalize()
+		}
+		// Pure dephasing (the T2 component beyond T1): phase-flip channel.
+		if tr.T2 > 0 {
+			rPhi := 1/tr.T2 - 1/(2*tr.T1)
+			if rPhi > 0 {
+				pPhi := (1 - math.Exp(-tau*rPhi)) / 2
+				if rng.Float64() < pPhi {
+					st.Apply1Q(circuit.Matrix1(circuit.Z, 0), q)
+				}
+			}
+		}
+	}
+}
+
+func applyRandomPauli(st *State, q int, rng *rand.Rand) {
+	switch rng.Intn(3) {
+	case 0:
+		st.Apply1Q(circuit.Matrix1(circuit.X, 0), q)
+	case 1:
+		st.Apply1Q(circuit.Matrix1(circuit.Y, 0), q)
+	default:
+		st.Apply1Q(circuit.Matrix1(circuit.Z, 0), q)
+	}
+}

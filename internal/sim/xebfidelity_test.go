@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fastsc/internal/bench"
+	"fastsc/internal/circuit"
+	"fastsc/internal/topology"
+)
+
+func TestSampleDistribution(t *testing.T) {
+	// H|0⟩ on one of two qubits: samples split ~50/50 between |00⟩ and |10⟩.
+	c := circuit.New(2)
+	c.H(0)
+	s := RunIdeal(c)
+	rng := rand.New(rand.NewSource(1))
+	samples := s.Sample(4000, rng)
+	counts := map[int]int{}
+	for _, x := range samples {
+		counts[x]++
+	}
+	if counts[1] != 0 || counts[3] != 0 {
+		t.Fatalf("impossible outcomes sampled: %v", counts)
+	}
+	frac := float64(counts[0]) / 4000
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("P(|00⟩) sampled as %v, want ~0.5", frac)
+	}
+}
+
+func TestSampleEdgeCases(t *testing.T) {
+	s := NewState(2)
+	if got := s.Sample(0, rand.New(rand.NewSource(1))); got != nil {
+		t.Fatal("zero samples should return nil")
+	}
+	// Deterministic state: all samples identical.
+	for _, x := range s.Sample(50, rand.New(rand.NewSource(2))) {
+		if x != 0 {
+			t.Fatalf("sampled %d from |00⟩", x)
+		}
+	}
+}
+
+func TestLinearXEBIdealRandomCircuit(t *testing.T) {
+	// Sampling the ideal distribution of a random (Porter–Thomas-like)
+	// circuit yields F ≈ 1.
+	dev := topology.SquareGrid(9)
+	c := circuit.Decompose(bench.XEB(dev, 8, 3), circuit.Hybrid)
+	ideal := RunIdeal(c)
+	f, err := XEBExperiment(ideal, ideal, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 0.15 {
+		t.Fatalf("ideal linear XEB = %v, want ≈1", f)
+	}
+}
+
+func TestLinearXEBUniformNoise(t *testing.T) {
+	// Scoring uniformly random bitstrings against a random circuit's
+	// distribution yields F ≈ 0.
+	dev := topology.SquareGrid(9)
+	c := circuit.Decompose(bench.XEB(dev, 8, 3), circuit.Hybrid)
+	ideal := RunIdeal(c)
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]int, 20000)
+	for i := range samples {
+		samples[i] = rng.Intn(1 << 9)
+	}
+	f, err := LinearXEB(ideal, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f) > 0.1 {
+		t.Fatalf("uniform-noise linear XEB = %v, want ≈0", f)
+	}
+}
+
+func TestLinearXEBErrors(t *testing.T) {
+	s := NewState(2)
+	if _, err := LinearXEB(s, nil); err == nil {
+		t.Fatal("empty samples should error")
+	}
+	if _, err := LinearXEB(s, []int{99}); err == nil {
+		t.Fatal("out-of-range sample should error")
+	}
+	o := NewState(3)
+	if _, err := XEBExperiment(s, o, 10, 1); err == nil {
+		t.Fatal("width mismatch should error")
+	}
+}
+
+func TestXEBFidelityTracksNoise(t *testing.T) {
+	// A noisy final state must score a lower linear-XEB fidelity than the
+	// ideal one.
+	dev := topology.SquareGrid(4)
+	c := circuit.Decompose(bench.XEB(dev, 6, 3), circuit.Hybrid)
+	ideal := RunIdeal(c)
+	// Corrupt: mix with a depolarized copy by applying random Paulis.
+	noisy := ideal.Clone()
+	rng := rand.New(rand.NewSource(3))
+	for q := 0; q < 4; q++ {
+		if rng.Float64() < 0.8 {
+			applyRandomPauli(noisy, q, rng)
+		}
+	}
+	fIdeal, err := XEBExperiment(ideal, ideal, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fNoisy, err := XEBExperiment(ideal, noisy, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fNoisy >= fIdeal {
+		t.Fatalf("noisy XEB fidelity %v should be below ideal %v", fNoisy, fIdeal)
+	}
+}

@@ -1,0 +1,51 @@
+package smt
+
+import "fmt"
+
+// Partition splits the tunable spectrum into the three regions of §V-B4:
+// a parking region for idle frequencies, an interaction region for two-qubit
+// gate frequencies, and an exclusion region between them where no frequency
+// is ever assigned. The exclusion gap keeps parked qubits off-resonance from
+// every interaction frequency (including through the ω12 sideband).
+type Partition struct {
+	ParkLo, ParkHi float64 // parking region (idle frequencies)
+	IntLo, IntHi   float64 // interaction region (two-qubit gates)
+}
+
+// ExclusionWidth returns the width of the forbidden region between parking
+// and interaction bands.
+func (p Partition) ExclusionWidth() float64 { return p.IntLo - p.ParkHi }
+
+// Validate checks region ordering.
+func (p Partition) Validate() error {
+	if !(p.ParkLo < p.ParkHi && p.ParkHi < p.IntLo && p.IntLo < p.IntHi) {
+		return fmt.Errorf("smt: malformed partition %+v", p)
+	}
+	return nil
+}
+
+// PartitionFor builds a partition inside the common tunable range [lo, hi],
+// reproducing the paper's proportions ("1 GHz interaction, 0.5 GHz
+// exclusion, 1 GHz parking"): 40% parking at the bottom (near the lower
+// sweet spot), 20% exclusion, 40% interaction at the top (near the upper
+// sweet spot — Appendix A parks idles near 5 GHz and interacts near 7 GHz).
+func PartitionFor(lo, hi float64) Partition {
+	span := hi - lo
+	return Partition{
+		ParkLo: lo,
+		ParkHi: lo + 0.4*span,
+		IntLo:  lo + 0.6*span,
+		IntHi:  hi,
+	}
+}
+
+// ParkingConfig returns the solver configuration for idle frequencies.
+func (p Partition) ParkingConfig(alpha float64) Config {
+	return Config{Lo: p.ParkLo, Hi: p.ParkHi, Alpha: alpha}
+}
+
+// InteractionConfig returns the solver configuration for interaction
+// frequencies.
+func (p Partition) InteractionConfig(alpha float64) Config {
+	return Config{Lo: p.IntLo, Hi: p.IntHi, Alpha: alpha}
+}

@@ -1,0 +1,253 @@
+// Package topology builds the device connectivity graphs studied in the
+// paper: 2-D meshes (the primary target, §IV), 1-D linear chains, rings, and
+// the express-cube families 1EX-k / 2EX-k (Dally '91) used in the general
+// device-connectivity study of §VII-F / Fig 13.
+//
+// A Device couples a connectivity graph with planar coordinates for each
+// qubit. Coordinates drive the Sycamore-style ABCD tiling scheduler
+// (Baseline G) and make schedules human-readable; they carry no physics.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"fastsc/internal/graph"
+)
+
+// Coord is the planar position of a qubit (row, column).
+type Coord struct {
+	Row, Col int
+}
+
+// Device is a quantum chip layout: a set of qubits (0..N-1), the coupling
+// graph between them (the paper's connectivity graph G_c), and optional
+// planar coordinates.
+type Device struct {
+	// Name identifies the layout family, e.g. "grid-4x4" or "1EX-3(9)".
+	Name string
+	// Qubits is the number of qubits; vertex ids are 0..Qubits-1.
+	Qubits int
+	// Coupling is the connectivity graph G_c: one vertex per qubit, one
+	// edge per fixed capacitive coupler.
+	Coupling *graph.Graph
+	// Coords maps qubit id to planar position. Always populated by the
+	// constructors in this package.
+	Coords map[int]Coord
+}
+
+// Edges returns the coupler list sorted by (U, V).
+func (d *Device) Edges() []graph.Edge { return d.Coupling.Edges() }
+
+// Degree returns the number of couplers attached to qubit q.
+func (d *Device) Degree(q int) int { return d.Coupling.Degree(q) }
+
+// Validate checks internal consistency: vertex ids dense in [0, Qubits),
+// coordinates present, and no self couplings (guaranteed by graph.Graph).
+func (d *Device) Validate() error {
+	if d.Coupling.NumNodes() != d.Qubits {
+		return fmt.Errorf("topology: device %q has %d graph vertices, want %d",
+			d.Name, d.Coupling.NumNodes(), d.Qubits)
+	}
+	for q := 0; q < d.Qubits; q++ {
+		if !d.Coupling.HasNode(q) {
+			return fmt.Errorf("topology: device %q missing qubit %d", d.Name, q)
+		}
+		if _, ok := d.Coords[q]; !ok {
+			return fmt.Errorf("topology: device %q missing coords for qubit %d", d.Name, q)
+		}
+	}
+	return nil
+}
+
+// Grid returns a rows×cols nearest-neighbor mesh. Qubit (r,c) has id
+// r*cols+c. This is the paper's primary topology; it is bipartite, so its
+// connectivity graph is 2-colorable (Fig 7, left).
+func Grid(rows, cols int) *Device {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("topology: invalid grid %dx%d", rows, cols))
+	}
+	g := graph.New()
+	coords := make(map[int]Coord, rows*cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			q := id(r, c)
+			g.AddNode(q)
+			coords[q] = Coord{Row: r, Col: c}
+			if c+1 < cols {
+				g.AddEdge(q, id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(q, id(r+1, c))
+			}
+		}
+	}
+	return &Device{
+		Name:     fmt.Sprintf("grid-%dx%d", rows, cols),
+		Qubits:   rows * cols,
+		Coupling: g,
+		Coords:   coords,
+	}
+}
+
+// SquareGrid returns the n-qubit square mesh for perfect-square n (the
+// evaluation uses n = 4, 9, 16, 25, 81). It panics if n is not a perfect
+// square.
+func SquareGrid(n int) *Device {
+	side := intSqrt(n)
+	if side*side != n {
+		panic(fmt.Sprintf("topology: %d is not a perfect square", n))
+	}
+	return Grid(side, side)
+}
+
+func intSqrt(n int) int {
+	s := 0
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// Linear returns the n-qubit path graph 0-1-…-(n-1).
+func Linear(n int) *Device {
+	if n <= 0 {
+		panic(fmt.Sprintf("topology: invalid linear size %d", n))
+	}
+	g := graph.New()
+	coords := make(map[int]Coord, n)
+	for q := 0; q < n; q++ {
+		g.AddNode(q)
+		coords[q] = Coord{Row: 0, Col: q}
+		if q+1 < n {
+			g.AddEdge(q, q+1)
+		}
+	}
+	return &Device{
+		Name:     fmt.Sprintf("linear-%d", n),
+		Qubits:   n,
+		Coupling: g,
+		Coords:   coords,
+	}
+}
+
+// Ring returns the n-qubit cycle graph.
+func Ring(n int) *Device {
+	if n < 3 {
+		panic(fmt.Sprintf("topology: ring needs >= 3 qubits, got %d", n))
+	}
+	d := Linear(n)
+	d.Coupling.AddEdge(0, n-1)
+	d.Name = fmt.Sprintf("ring-%d", n)
+	return d
+}
+
+// Express1D returns the 1EX-k express cube on n qubits: the linear path plus
+// express channels connecting every k-th node to the node k further along
+// (edges (i, i+k) for i = 0, k, 2k, …). Smaller k means denser connectivity;
+// the paper sweeps k = 5, 4, 3, 2 (Fig 13, x-axis left of "grid").
+func Express1D(n, k int) *Device {
+	if k < 2 {
+		panic(fmt.Sprintf("topology: express interval must be >= 2, got %d", k))
+	}
+	d := Linear(n)
+	for i := 0; i+k < n; i += k {
+		d.Coupling.AddEdge(i, i+k)
+	}
+	d.Name = fmt.Sprintf("1EX-%d(%d)", k, n)
+	return d
+}
+
+// Express2D returns the 2EX-k express cube on a rows×cols mesh: the grid
+// plus express channels every k nodes along every row and every column.
+func Express2D(rows, cols, k int) *Device {
+	if k < 2 {
+		panic(fmt.Sprintf("topology: express interval must be >= 2, got %d", k))
+	}
+	d := Grid(rows, cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c+k < cols; c += k {
+			d.Coupling.AddEdge(id(r, c), id(r, c+k))
+		}
+	}
+	for c := 0; c < cols; c++ {
+		for r := 0; r+k < rows; r += k {
+			d.Coupling.AddEdge(id(r, c), id(r+k, c))
+		}
+	}
+	d.Name = fmt.Sprintf("2EX-%d(%dx%d)", k, rows, cols)
+	return d
+}
+
+// FromEdges builds a device over qubits 0..n-1 with the given couplers.
+// Qubits absent from the edge list become isolated vertices. Coordinates
+// default to a single row.
+func FromEdges(name string, n int, edges []graph.Edge) *Device {
+	g := graph.New()
+	coords := make(map[int]Coord, n)
+	for q := 0; q < n; q++ {
+		g.AddNode(q)
+		coords[q] = Coord{Row: 0, Col: q}
+	}
+	for _, e := range edges {
+		if e.U < 0 || e.V >= n {
+			panic(fmt.Sprintf("topology: edge %v out of range [0,%d)", e, n))
+		}
+		g.AddEdge(e.U, e.V)
+	}
+	return &Device{Name: name, Qubits: n, Coupling: g, Coords: coords}
+}
+
+// NeighborsSorted returns the sorted neighbor qubits of q.
+func (d *Device) NeighborsSorted(q int) []int { return d.Coupling.Neighbors(q) }
+
+// EdgeIndex returns a dense index for the device's couplers: a map from
+// normalized edge to its position in Edges(). The crosstalk graph uses these
+// indices as vertex ids.
+func (d *Device) EdgeIndex() map[graph.Edge]int {
+	idx := make(map[graph.Edge]int)
+	for i, e := range d.Edges() {
+		idx[e] = i
+	}
+	return idx
+}
+
+// IsGrid reports whether the device was built by Grid/SquareGrid (by
+// checking coordinates match the row-major id convention and all couplings
+// are unit-distance). Express and linear devices return false unless they
+// degenerate to a grid.
+func (d *Device) IsGrid() bool {
+	for q := 0; q < d.Qubits; q++ {
+		c, ok := d.Coords[q]
+		if !ok {
+			return false
+		}
+		for _, n := range d.NeighborsSorted(q) {
+			cn := d.Coords[n]
+			dr, dc := abs(c.Row-cn.Row), abs(c.Col-cn.Col)
+			if dr+dc != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// QubitsSorted returns 0..Qubits-1; a convenience for deterministic loops.
+func (d *Device) QubitsSorted() []int {
+	qs := make([]int, d.Qubits)
+	for i := range qs {
+		qs[i] = i
+	}
+	sort.Ints(qs)
+	return qs
+}

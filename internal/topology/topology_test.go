@@ -1,0 +1,195 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fastsc/internal/graph"
+)
+
+func TestGridCounts(t *testing.T) {
+	cases := []struct {
+		rows, cols, wantEdges int
+	}{
+		{2, 2, 4},
+		{3, 3, 12},
+		{4, 4, 24},
+		{5, 5, 40},
+		{1, 5, 4},
+		{2, 3, 7},
+	}
+	for _, c := range cases {
+		d := Grid(c.rows, c.cols)
+		if d.Qubits != c.rows*c.cols {
+			t.Errorf("Grid(%d,%d) qubits = %d", c.rows, c.cols, d.Qubits)
+		}
+		if got := d.Coupling.NumEdges(); got != c.wantEdges {
+			t.Errorf("Grid(%d,%d) edges = %d, want %d", c.rows, c.cols, got, c.wantEdges)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("Grid(%d,%d) invalid: %v", c.rows, c.cols, err)
+		}
+	}
+}
+
+func TestGridBipartite(t *testing.T) {
+	for _, n := range []int{4, 9, 16, 25} {
+		d := SquareGrid(n)
+		if _, ok := graph.TwoColor(d.Coupling); !ok {
+			t.Errorf("grid of %d qubits should be bipartite", n)
+		}
+	}
+}
+
+func TestSquareGridPanicsOnNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SquareGrid(10) did not panic")
+		}
+	}()
+	SquareGrid(10)
+}
+
+func TestGridCoordinates(t *testing.T) {
+	d := Grid(3, 4)
+	if c := d.Coords[0]; c != (Coord{0, 0}) {
+		t.Errorf("qubit 0 at %v", c)
+	}
+	if c := d.Coords[7]; c != (Coord{1, 3}) {
+		t.Errorf("qubit 7 at %v, want {1,3}", c)
+	}
+	if !d.IsGrid() {
+		t.Error("Grid device should report IsGrid")
+	}
+}
+
+func TestLinear(t *testing.T) {
+	d := Linear(9)
+	if d.Coupling.NumEdges() != 8 {
+		t.Fatalf("linear-9 edges = %d", d.Coupling.NumEdges())
+	}
+	if !d.Coupling.Connected() {
+		t.Fatal("linear chain should be connected")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRing(t *testing.T) {
+	d := Ring(6)
+	if d.Coupling.NumEdges() != 6 {
+		t.Fatalf("ring-6 edges = %d", d.Coupling.NumEdges())
+	}
+	for q := 0; q < 6; q++ {
+		if d.Degree(q) != 2 {
+			t.Fatalf("ring vertex %d degree %d", q, d.Degree(q))
+		}
+	}
+}
+
+func TestExpress1D(t *testing.T) {
+	// 1EX-3 on 9 qubits: path (8 edges) + express (0,3),(3,6) = 10 edges.
+	d := Express1D(9, 3)
+	if got := d.Coupling.NumEdges(); got != 10 {
+		t.Fatalf("1EX-3(9) edges = %d, want 10", got)
+	}
+	if !d.Coupling.HasEdge(0, 3) || !d.Coupling.HasEdge(3, 6) {
+		t.Fatal("express edges missing")
+	}
+	if d.Coupling.HasEdge(6, 9) {
+		t.Fatal("express edge past end")
+	}
+}
+
+func TestExpress1DDensityMonotone(t *testing.T) {
+	// Smaller k => denser graph.
+	prev := Linear(16).Coupling.NumEdges()
+	for _, k := range []int{5, 4, 3, 2} {
+		m := Express1D(16, k).Coupling.NumEdges()
+		if m < prev {
+			t.Fatalf("1EX-%d has %d edges, less than sparser predecessor %d", k, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestExpress2D(t *testing.T) {
+	// 2EX-2 on 4x4: grid 24 edges + per-row (0,2),(1,3)? No: edges every
+	// k=2 starting col 0: (c=0 -> c=2), next c=2 -> c=4 (out). So 1 per row
+	// (4 rows) + 1 per column (4 cols) = 24+8 = 32.
+	d := Express2D(4, 4, 2)
+	if got := d.Coupling.NumEdges(); got != 32 {
+		t.Fatalf("2EX-2(4x4) edges = %d, want 32", got)
+	}
+	if !d.Coupling.HasEdge(0, 2) {
+		t.Fatal("row express edge missing")
+	}
+	if !d.Coupling.HasEdge(0, 8) {
+		t.Fatal("column express edge missing")
+	}
+	if d.IsGrid() {
+		t.Error("express cube should not report IsGrid")
+	}
+}
+
+func TestExpressDenserThanGrid(t *testing.T) {
+	grid := Grid(4, 4).Coupling.NumEdges()
+	for _, k := range []int{5, 4, 3, 2} {
+		if k < 4 { // k=5,4 add nothing on a 4-wide grid
+			if m := Express2D(4, 4, k).Coupling.NumEdges(); m <= grid {
+				t.Errorf("2EX-%d not denser than grid: %d <= %d", k, m, grid)
+			}
+		}
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	d := FromEdges("custom", 4, []graph.Edge{graph.NewEdge(0, 1), graph.NewEdge(2, 3)})
+	if d.Qubits != 4 || d.Coupling.NumEdges() != 2 {
+		t.Fatalf("FromEdges built %d qubits %d edges", d.Qubits, d.Coupling.NumEdges())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeIndexDense(t *testing.T) {
+	d := Grid(3, 3)
+	idx := d.EdgeIndex()
+	if len(idx) != d.Coupling.NumEdges() {
+		t.Fatalf("EdgeIndex size %d, want %d", len(idx), d.Coupling.NumEdges())
+	}
+	seen := make(map[int]bool)
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatal("duplicate edge index")
+		}
+		seen[i] = true
+		if i < 0 || i >= len(idx) {
+			t.Fatalf("edge index %d out of range", i)
+		}
+	}
+}
+
+// Property: every grid is connected and bipartite; every express cube is
+// connected and at least as dense as its base graph.
+func TestTopologyPropertyRandomSizes(t *testing.T) {
+	prop := func(rRaw, cRaw, kRaw uint8) bool {
+		rows := int(rRaw%5) + 1
+		cols := int(cRaw%5) + 1
+		k := int(kRaw%4) + 2
+		g := Grid(rows, cols)
+		if !g.Coupling.Connected() {
+			return false
+		}
+		if _, ok := graph.TwoColor(g.Coupling); !ok {
+			return false
+		}
+		ex := Express2D(rows, cols, k)
+		return ex.Coupling.NumEdges() >= g.Coupling.NumEdges() && ex.Coupling.Connected()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package xtalk constructs the crosstalk graph G_x^(d) of a device
+// (§IV-C2, Algorithm 2): one vertex per coupler (edge of the connectivity
+// graph G_c), with two vertices adjacent when the corresponding couplers
+// either share a qubit or are connected by a path of length at most d. Two
+// simultaneous two-qubit gates whose couplers are adjacent in G_x must be
+// separated in frequency (different colors) or in time (different slices).
+package xtalk
+
+import (
+	"fmt"
+
+	"fastsc/internal/graph"
+	"fastsc/internal/topology"
+)
+
+// Graph is the crosstalk graph of a device, with coupler-index vertices.
+type Graph struct {
+	// G has one vertex per coupler, indexed into Couplers.
+	G *graph.Graph
+	// Couplers maps vertex id -> connectivity-graph edge, sorted by (U,V).
+	Couplers []graph.Edge
+	// Index is the inverse of Couplers.
+	Index map[graph.Edge]int
+	// Distance is the crosstalk distance d used to build the graph
+	// (d = 1 reproduces the paper's standard construction; §IV-C3
+	// generalizes to larger d).
+	Distance int
+}
+
+// Build constructs the distance-d crosstalk graph of dev. d must be >= 1.
+func Build(dev *topology.Device, d int) *Graph {
+	if d < 1 {
+		panic(fmt.Sprintf("xtalk: crosstalk distance must be >= 1, got %d", d))
+	}
+	gc := dev.Coupling
+	lg, couplers := graph.LineGraph(gc)
+	idx := make(map[graph.Edge]int, len(couplers))
+	for i, e := range couplers {
+		idx[e] = i
+	}
+	// Vertex distances once, then edge distance = min over endpoint pairs.
+	dist := gc.AllPairsDistances()
+	for i := 0; i < len(couplers); i++ {
+		for j := i + 1; j < len(couplers); j++ {
+			if lg.HasEdge(i, j) {
+				continue // already adjacent (shared vertex)
+			}
+			if edgeDist(dist, couplers[i], couplers[j]) <= d {
+				lg.AddEdge(i, j)
+			}
+		}
+	}
+	return &Graph{G: lg, Couplers: couplers, Index: idx, Distance: d}
+}
+
+func edgeDist(dist map[int]map[int]int, e, f graph.Edge) int {
+	best := graph.Unreachable
+	for _, a := range [2]int{e.U, e.V} {
+		for _, b := range [2]int{f.U, f.V} {
+			if d := dist[a][b]; d != graph.Unreachable && (best == graph.Unreachable || d < best) {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// VertexOf returns the crosstalk-graph vertex for the coupler between
+// qubits a and b, and whether that coupler exists.
+func (x *Graph) VertexOf(a, b int) (int, bool) {
+	v, ok := x.Index[graph.NewEdge(a, b)]
+	return v, ok
+}
+
+// ActiveSubgraph returns the subgraph of the crosstalk graph induced by the
+// given active couplers (the pairs currently executing two-qubit gates) —
+// the graph H of §V-B2 whose coloring yields this slice's interaction
+// frequencies. Unknown couplers are ignored.
+func (x *Graph) ActiveSubgraph(active []graph.Edge) *graph.Graph {
+	var verts []int
+	for _, e := range active {
+		if v, ok := x.Index[e]; ok {
+			verts = append(verts, v)
+		}
+	}
+	return x.G.Subgraph(verts)
+}
+
+// NeighborsOf returns the couplers adjacent (in the crosstalk graph) to the
+// coupler between a and b, i.e. every coupler that would conflict with a
+// simultaneous gate on (a,b).
+func (x *Graph) NeighborsOf(a, b int) []graph.Edge {
+	v, ok := x.VertexOf(a, b)
+	if !ok {
+		return nil
+	}
+	nbrs := x.G.Neighbors(v)
+	out := make([]graph.Edge, len(nbrs))
+	for i, n := range nbrs {
+		out[i] = x.Couplers[n]
+	}
+	return out
+}
+
+// ConflictDegree returns, for the coupler (a,b), how many of the couplers in
+// active are adjacent to it in the crosstalk graph. The noise-aware queueing
+// scheduler postpones gates whose conflict degree is too high (§V-B6).
+func (x *Graph) ConflictDegree(a, b int, active []graph.Edge) int {
+	v, ok := x.VertexOf(a, b)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, e := range active {
+		if w, ok := x.Index[e]; ok && x.G.HasEdge(v, w) {
+			n++
+		}
+	}
+	return n
+}
+
+// Spectators returns the qubits that neighbor (in the connectivity graph)
+// either endpoint of the coupler (a,b) without being part of it. During a
+// gate on (a,b), spectators must idle off-resonance from the interaction
+// frequency.
+func Spectators(dev *topology.Device, a, b int) []int {
+	seen := map[int]bool{a: true, b: true}
+	var out []int
+	for _, q := range [2]int{a, b} {
+		for _, n := range dev.NeighborsSorted(q) {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
