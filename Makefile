@@ -1,0 +1,24 @@
+# Targets mirror .github/workflows/ci.yml so local runs and CI stay in
+# lockstep.
+
+GO ?= go
+
+.PHONY: all build test lint bench
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | tee bench-results.txt

@@ -13,6 +13,7 @@ import (
 
 	"fastsc/internal/bench"
 	"fastsc/internal/circuit"
+	"fastsc/internal/compile"
 	"fastsc/internal/core"
 	"fastsc/internal/expt"
 	"fastsc/internal/graph"
@@ -23,6 +24,10 @@ import (
 	"fastsc/internal/topology"
 	"fastsc/internal/xtalk"
 )
+
+// benchCtx returns a fresh batch-engine context per figure run, so each
+// iteration measures the engine end-to-end from a cold cache.
+func benchCtx() *compile.Context { return compile.NewContext(0) }
 
 // --- Tables ---
 
@@ -79,7 +84,7 @@ func BenchmarkFig7MeshColoring(b *testing.B) {
 func BenchmarkFig9SuccessRates(b *testing.B) {
 	var mean float64
 	for i := 0; i < b.N; i++ {
-		r, err := expt.Fig9SuccessRates()
+		r, err := expt.Fig9SuccessRates(benchCtx())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +96,7 @@ func BenchmarkFig9SuccessRates(b *testing.B) {
 func BenchmarkFig10DepthDecoherence(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		r, err := expt.Fig10DepthDecoherence()
+		r, err := expt.Fig10DepthDecoherence(benchCtx())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +108,7 @@ func BenchmarkFig10DepthDecoherence(b *testing.B) {
 func BenchmarkFig11ColorSweep(b *testing.B) {
 	best := 0.0
 	for i := 0; i < b.N; i++ {
-		r, err := expt.Fig11ColorSweep()
+		r, err := expt.Fig11ColorSweep(benchCtx())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +124,7 @@ func BenchmarkFig11ColorSweep(b *testing.B) {
 func BenchmarkFig12ResidualCoupling(b *testing.B) {
 	var drop float64
 	for i := 0; i < b.N; i++ {
-		r, err := expt.Fig12ResidualCoupling()
+		r, err := expt.Fig12ResidualCoupling(benchCtx())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +139,7 @@ func BenchmarkFig12ResidualCoupling(b *testing.B) {
 func BenchmarkFig13Connectivity(b *testing.B) {
 	var geo float64
 	for i := 0; i < b.N; i++ {
-		r, err := expt.Fig13Connectivity()
+		r, err := expt.Fig13Connectivity(benchCtx())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,7 +166,7 @@ func BenchmarkFig15Chevrons(b *testing.B) {
 
 func BenchmarkValidationHeuristic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.ValidationHeuristic(40); err != nil {
+		if _, err := expt.ValidationHeuristic(benchCtx(), 40); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -246,7 +251,7 @@ func BenchmarkCompileColorDynamic81(b *testing.B) {
 	comp := schedule.ColorDynamic{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := comp.Compile(circ, sys, schedule.Options{}); err != nil {
+		if _, err := comp.Compile(nil, circ, sys, schedule.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -288,7 +293,7 @@ func BenchmarkStatevector14Qubits(b *testing.B) {
 func BenchmarkNoisyTrajectory9Qubits(b *testing.B) {
 	sys := phys.NewSystem(topology.SquareGrid(9), phys.DefaultParams(), 42)
 	circ := bench.XEB(sys.Device, 5, 7)
-	sched, err := schedule.ColorDynamic{}.Compile(circ, sys, schedule.Options{})
+	sched, err := schedule.ColorDynamic{}.Compile(nil, circ, sys, schedule.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,33 +1,49 @@
 // Command experiments regenerates the tables and figures of the paper's
-// evaluation. With no arguments it runs everything; otherwise pass one or
-// more experiment ids:
+// evaluation, running every benchmark × compiler sweep through the batch
+// compilation engine (bounded worker pool + cross-job solver caches). With
+// no arguments it runs everything; otherwise pass one or more experiment
+// ids:
 //
 //	experiments fig9 fig13
-//	experiments all
+//	experiments -workers 4 -cache-stats all
 //
 // Available ids: table1, table2, fig2, fig4, fig6, fig7, fig9, fig10,
 // fig11, fig12, fig13, fig14, fig15, ext-gmon, validation.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"fastsc/internal/compile"
 	"fastsc/internal/expt"
 )
 
 type runner struct {
 	id  string
-	run func() error
+	run func(ctx *compile.Context) error
 }
 
 func main() {
+	var (
+		workers    = flag.Int("workers", 0, "batch-engine worker pool size (0 = GOMAXPROCS)")
+		cacheSize  = flag.Int("cache-size", 0, "solver cache capacity in entries (0 = default)")
+		cacheStats = flag.Bool("cache-stats", false, "print cache hit/miss counters after the run")
+	)
+	flag.Parse()
+
+	// One shared context for the whole run: every experiment's jobs reuse
+	// the same SMT solutions, crosstalk graphs and slice colorings.
+	ctx := &compile.Context{Cache: compile.NewCache(*cacheSize), Workers: *workers}
+
 	runners := []runner{
-		{"table1", func() error { show(expt.TableStrategies()); return nil }},
-		{"table2", func() error { show(expt.TableBenchmarks()); return nil }},
-		{"fig2", func() error { show(expt.Fig2InteractionStrength()); return nil }},
-		{"fig4", func() error { show(expt.Fig4TransmonSpectrum()); return nil }},
-		{"fig6", func() error {
+		{"table1", func(*compile.Context) error { show(expt.TableStrategies()); return nil }},
+		{"table2", func(*compile.Context) error { show(expt.TableBenchmarks()); return nil }},
+		{"fig2", func(*compile.Context) error { show(expt.Fig2InteractionStrength()); return nil }},
+		{"fig4", func(*compile.Context) error { show(expt.Fig4TransmonSpectrum()); return nil }},
+		{"fig6", func(*compile.Context) error {
 			t, err := expt.Fig6Toy()
 			if err != nil {
 				return err
@@ -35,17 +51,17 @@ func main() {
 			show(t)
 			return nil
 		}},
-		{"fig7", func() error { show(expt.Fig7MeshColoring()); return nil }},
-		{"fig9", func() error {
-			r, err := expt.Fig9SuccessRates()
+		{"fig7", func(*compile.Context) error { show(expt.Fig7MeshColoring()); return nil }},
+		{"fig9", func(ctx *compile.Context) error {
+			r, err := expt.Fig9SuccessRates(ctx)
 			if err != nil {
 				return err
 			}
 			show(r.Table)
 			return nil
 		}},
-		{"fig10", func() error {
-			r, err := expt.Fig10DepthDecoherence()
+		{"fig10", func(ctx *compile.Context) error {
+			r, err := expt.Fig10DepthDecoherence(ctx)
 			if err != nil {
 				return err
 			}
@@ -53,31 +69,31 @@ func main() {
 			show(r.DecoherenceTable)
 			return nil
 		}},
-		{"fig11", func() error {
-			r, err := expt.Fig11ColorSweep()
+		{"fig11", func(ctx *compile.Context) error {
+			r, err := expt.Fig11ColorSweep(ctx)
 			if err != nil {
 				return err
 			}
 			show(r.Table)
 			return nil
 		}},
-		{"fig12", func() error {
-			r, err := expt.Fig12ResidualCoupling()
+		{"fig12", func(ctx *compile.Context) error {
+			r, err := expt.Fig12ResidualCoupling(ctx)
 			if err != nil {
 				return err
 			}
 			show(r.Table)
 			return nil
 		}},
-		{"fig13", func() error {
-			r, err := expt.Fig13Connectivity()
+		{"fig13", func(ctx *compile.Context) error {
+			r, err := expt.Fig13Connectivity(ctx)
 			if err != nil {
 				return err
 			}
 			show(r.Table)
 			return nil
 		}},
-		{"fig14", func() error {
+		{"fig14", func(*compile.Context) error {
 			t, err := expt.Fig14ExampleFrequencies()
 			if err != nil {
 				return err
@@ -85,17 +101,17 @@ func main() {
 			show(t)
 			return nil
 		}},
-		{"fig15", func() error { show(expt.Fig15Chevrons()); return nil }},
-		{"ext-gmon", func() error {
-			r, err := expt.ExtGmonDynamic()
+		{"fig15", func(*compile.Context) error { show(expt.Fig15Chevrons()); return nil }},
+		{"ext-gmon", func(ctx *compile.Context) error {
+			r, err := expt.ExtGmonDynamic(ctx)
 			if err != nil {
 				return err
 			}
 			show(r.Table)
 			return nil
 		}},
-		{"validation", func() error {
-			r, err := expt.ValidationHeuristic(150)
+		{"validation", func(ctx *compile.Context) error {
+			r, err := expt.ValidationHeuristic(ctx, 150)
 			if err != nil {
 				return err
 			}
@@ -104,7 +120,7 @@ func main() {
 		}},
 	}
 
-	want := os.Args[1:]
+	want := flag.Args()
 	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {
 		want = nil
 		for _, r := range runners {
@@ -121,13 +137,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
 		}
-		if err := r.run(); err != nil {
+		if err := r.run(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
+	}
+	if *cacheStats {
+		printCacheStats(ctx)
 	}
 }
 
 func show(t *expt.Table) {
 	fmt.Println(t.String())
+}
+
+func printCacheStats(ctx *compile.Context) {
+	stats := ctx.Stats()
+	regions := make([]string, 0, len(stats))
+	for r := range stats {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	fmt.Println("== solver cache ==")
+	for _, r := range regions {
+		s := stats[r]
+		fmt.Printf("%-8s hits %-8d misses %-8d evictions %-6d hit-rate %.1f%%\n",
+			r, s.Hits, s.Misses, s.Evictions, 100*s.HitRate())
+	}
 }

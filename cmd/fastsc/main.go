@@ -15,11 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"text/tabwriter"
 
 	"fastsc/internal/bench"
 	"fastsc/internal/circuit"
+	"fastsc/internal/compile"
 	"fastsc/internal/core"
 	"fastsc/internal/phys"
 	"fastsc/internal/qasm"
@@ -41,6 +41,7 @@ func main() {
 		maxColors = flag.Int("max-colors", 0, "ColorDynamic color budget (0 = default 2, -1 = unlimited)")
 		residual  = flag.Float64("residual", 0, "gmon residual coupling factor r")
 		dist      = flag.Int("distance", 0, "crosstalk distance d (0 = default 2)")
+		workers   = flag.Int("workers", 0, "batch-engine worker pool size for -compare (0 = GOMAXPROCS)")
 		verbose   = flag.Bool("verbose", false, "print every slice with its frequencies")
 	)
 	flag.Parse()
@@ -81,11 +82,12 @@ func main() {
 		},
 	}
 
+	ctx := &compile.Context{Cache: compile.NewCache(0), Workers: *workers}
 	if *compare {
-		runComparison(circ, sys, cfg)
+		runComparison(ctx, circ, sys, cfg)
 		return
 	}
-	res, err := core.Compile(circ, sys, *strategy, cfg)
+	res, err := core.CompileCtx(ctx, circ, sys, *strategy, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -142,16 +144,14 @@ func buildCircuit(name string, n, cycles int, dev *topology.Device, seed int64) 
 	return nil, 0, fmt.Errorf("unknown benchmark %q", name)
 }
 
-func runComparison(circ *circuit.Circuit, sys *phys.System, cfg core.Config) {
-	results, err := core.CompileAll(circ, sys, cfg)
+func runComparison(ctx *compile.Context, circ *circuit.Circuit, sys *phys.System, cfg core.Config) {
+	results, err := core.CompileAllCtx(ctx, circ, sys, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "strategy\tsuccess\tcrosstalk\tdecoherence\tdepth\tduration\tcolors\tcompile")
-	names := core.Strategies()
-	sort.SliceStable(names, func(i, j int) bool { return false })
-	for _, name := range names {
+	for _, name := range core.Strategies() {
 		r := results[name]
 		fmt.Fprintf(w, "%s\t%.4g\t%.4f\t%.4f\t%d\t%.0f ns\t%d\t%s\n",
 			name, r.Report.Success, r.Report.CrosstalkError, r.Report.DecoherenceError,

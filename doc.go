@@ -8,4 +8,17 @@
 // The library lives under internal/; see internal/core for the compilation
 // entry point, cmd/fastsc for the CLI, cmd/experiments for the paper
 // harness, and bench_test.go for the per-figure benchmarks.
+//
+// # Batch compilation
+//
+// internal/compile is the throughput layer: a batch engine that fans
+// (circuit, compiler, system) jobs across a bounded worker pool and a
+// concurrency-safe LRU cache that memoizes the solver stages — SMT
+// frequency solutions keyed by (k, band, anharmonicity), crosstalk graphs
+// and static palettes keyed by the device's content signature, and
+// per-slice coloring/frequency assignments keyed by the canonical hash of
+// the active interaction subgraph. A compile.Context carries both and is
+// injected into every schedule.Compiler; core.BatchCompile streams results
+// over a channel, and the experiment harness (internal/expt) runs the full
+// Fig 9–13 sweeps through it.
 package fastsc

@@ -1,0 +1,3 @@
+module fastsc
+
+go 1.23.0

@@ -1,0 +1,87 @@
+package bench_test
+
+import (
+	"testing"
+
+	"fastsc/internal/compile"
+	"fastsc/internal/core"
+	"fastsc/internal/expt"
+)
+
+// fig9Jobs builds the full Fig 9 sweep (every Table II benchmark × every
+// Table I strategy) as one batch.
+func fig9Jobs() []core.BatchJob {
+	var jobs []core.BatchJob
+	for _, bm := range expt.Suite() {
+		sys := expt.GridSystem(bm.Qubits)
+		circ := bm.Circuit(sys.Device)
+		for _, s := range core.Strategies() {
+			jobs = append(jobs, core.BatchJob{
+				Key:      bm.Name + "/" + s,
+				Circuit:  circ,
+				System:   sys,
+				Strategy: s,
+				Config:   core.Config{Placement: bm.Placement},
+			})
+		}
+	}
+	return jobs
+}
+
+// BenchmarkBatchCompile compares three ways of running the Fig 9 sweep:
+//
+//   - serial: one core.Compile call after another, no cache — the
+//     pre-engine behavior of internal/expt.
+//   - cached-1worker: the engine pinned to one worker, isolating the
+//     memoization win from the parallelism win.
+//   - parallel: the engine at full parallelism with a shared cache — the
+//     production configuration.
+func BenchmarkBatchCompile(b *testing.B) {
+	jobs := fig9Jobs()
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, j := range jobs {
+				if _, err := core.Compile(j.Circuit, j.System, j.Strategy, j.Config); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	b.Run("cached-1worker", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := compile.NewContext(1)
+			if _, err := core.BatchCollect(ctx, jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("parallel", func(b *testing.B) {
+		var hitRate float64
+		for i := 0; i < b.N; i++ {
+			ctx := compile.NewContext(0)
+			if _, err := core.BatchCollect(ctx, jobs); err != nil {
+				b.Fatal(err)
+			}
+			hitRate = ctx.Cache.TotalStats().HitRate()
+		}
+		b.ReportMetric(100*hitRate, "cache-hit-%")
+	})
+}
+
+// BenchmarkCompileAllCtx measures the five-strategy comparison on one
+// workload through the engine (the cmd/fastsc -compare path).
+func BenchmarkCompileAllCtx(b *testing.B) {
+	bm := expt.Suite()[len(expt.Suite())-1] // xeb(25,15), the heaviest
+	sys := expt.GridSystem(bm.Qubits)
+	circ := bm.Circuit(sys.Device)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := compile.NewContext(0)
+		if _, err := core.CompileAllCtx(ctx, circ, sys, core.Config{Placement: bm.Placement}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package compile
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheCapacity is the entry capacity used when NewCache is given a
+// non-positive capacity. Slice solutions and SMT solves are small (a few
+// hundred bytes), so thousands of entries cost single-digit megabytes;
+// crosstalk graphs and static palettes are larger but number one per
+// (device, distance).
+const DefaultCacheCapacity = 8192
+
+// Stats are the hit/miss/eviction counters of one cache region.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// HitRate returns hits / (hits + misses), or 0 when the region is unused.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// add accumulates counters (used to aggregate regions).
+func (s Stats) add(o Stats) Stats {
+	return Stats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Evictions: s.Evictions + o.Evictions,
+	}
+}
+
+// Cache is a concurrency-safe LRU cache shared across compilation jobs.
+// Entries are namespaced by region (e.g. "smt", "slice", "xtalk") so that
+// hit/miss accounting can be reported per pipeline stage. Values stored in
+// the cache are shared between goroutines and MUST be treated as immutable
+// by every consumer.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	stats map[string]*Stats
+}
+
+type cacheEntry struct {
+	key    string // namespaced: region + "\x00" + key
+	region string
+	value  any
+}
+
+// NewCache returns an LRU cache holding at most capacity entries.
+// capacity <= 0 selects DefaultCacheCapacity.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		stats: make(map[string]*Stats),
+	}
+}
+
+func namespaced(region, key string) string { return region + "\x00" + key }
+
+func (c *Cache) regionStats(region string) *Stats {
+	s, ok := c.stats[region]
+	if !ok {
+		s = &Stats{}
+		c.stats[region] = s
+	}
+	return s
+}
+
+// Get looks up key in region, promoting it to most-recently-used on a hit.
+// Nil caches always miss without accounting.
+func (c *Cache) Get(region, key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.regionStats(region)
+	el, ok := c.items[namespaced(region, key)]
+	if !ok {
+		s.Misses++
+		return nil, false
+	}
+	s.Hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// Put stores value under (region, key), evicting the least-recently-used
+// entry when the cache is full. Storing an existing key refreshes its value
+// and recency. Put on a nil cache is a no-op.
+func (c *Cache) Put(region, key string, value any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nk := namespaced(region, key)
+	if el, ok := c.items[nk]; ok {
+		el.Value.(*cacheEntry).value = value
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[nk] = c.ll.PushFront(&cacheEntry{key: nk, region: region, value: value})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		ent := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, ent.key)
+		c.regionStats(ent.region).Evictions++
+	}
+}
+
+// Do returns the cached value for (region, key), computing and storing it on
+// a miss. Errors are not cached by Do — use a value type that embeds the
+// error (as the SMT memo does) when negative caching is wanted. Concurrent
+// misses on the same key may compute redundantly; both results are
+// identical by construction (only deterministic pure functions are
+// memoized), so the last Put simply wins.
+func (c *Cache) Do(region, key string, compute func() (any, error)) (any, error) {
+	if v, ok := c.Get(region, key); ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	c.Put(region, key, v)
+	return v, nil
+}
+
+// Len returns the current number of entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// StatsByRegion returns a copy of the per-region counters.
+func (c *Cache) StatsByRegion() map[string]Stats {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Stats, len(c.stats))
+	for r, s := range c.stats {
+		out[r] = *s
+	}
+	return out
+}
+
+// TotalStats aggregates the counters across all regions.
+func (c *Cache) TotalStats() Stats {
+	var total Stats
+	for _, s := range c.StatsByRegion() {
+		total = total.add(s)
+	}
+	return total
+}

@@ -1,0 +1,68 @@
+// Package compile is the batch-compilation engine of FastSC-Go: a bounded
+// worker pool that fans (circuit, compiler, system) jobs across CPUs and a
+// concurrency-safe LRU cache that memoizes the expensive inner stages of
+// the ColorDynamic pipeline across jobs.
+//
+// Two observations make the cache effective (cf. Murali et al., ASPLOS
+// 2020; the per-slice solver work of Ding et al., MICRO 2020 dominates
+// compilation cost):
+//
+//   - SMT frequency solutions depend only on (k, band, anharmonicity) — a
+//     pure function of the device signature — so every strategy and every
+//     benchmark compiled against the same chip shares them.
+//   - Per-slice coloring/frequency assignments depend only on the active
+//     interaction subgraph of the crosstalk graph, and real workloads
+//     (brickwork entanglers, XEB tilings, Trotter layers) re-issue the same
+//     few subgraphs over and over.
+//
+// A Context bundles the cache with a parallelism budget and is injected
+// into schedule.Compiler.Compile; a nil *Context is always valid and means
+// "no cache, default parallelism". All cached values are treated as
+// immutable after insertion — callers must never mutate what they get back.
+package compile
+
+import "runtime"
+
+// Context carries the shared compilation state injected into every
+// compiler: the memoization cache and the parallelism budget for batch
+// runs. The zero value and the nil pointer are both valid (no cache,
+// default workers); every method is nil-safe.
+type Context struct {
+	// Cache memoizes SMT solutions, crosstalk graphs, static palettes and
+	// per-slice coloring solutions. Nil disables memoization.
+	Cache *Cache
+	// Workers bounds the batch engine's worker pool. <= 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// NewContext returns a Context with the given parallelism budget and a
+// fresh default-capacity cache. workers <= 0 selects GOMAXPROCS.
+func NewContext(workers int) *Context {
+	return &Context{Cache: NewCache(0), Workers: workers}
+}
+
+// workers resolves the effective worker count.
+func (c *Context) workers() int {
+	if c != nil && c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// cache returns the cache, or nil when memoization is disabled.
+func (c *Context) cache() *Cache {
+	if c == nil {
+		return nil
+	}
+	return c.Cache
+}
+
+// Stats reports the cache counters, or the zero map when no cache is
+// attached.
+func (c *Context) Stats() map[string]Stats {
+	if c == nil || c.Cache == nil {
+		return nil
+	}
+	return c.Cache.StatsByRegion()
+}

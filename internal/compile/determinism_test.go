@@ -1,0 +1,165 @@
+package compile_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fastsc/internal/bench"
+	"fastsc/internal/circuit"
+	"fastsc/internal/compile"
+	"fastsc/internal/core"
+	"fastsc/internal/phys"
+	"fastsc/internal/schedule"
+	"fastsc/internal/topology"
+)
+
+func testSystem(n int) *phys.System {
+	return phys.NewSystem(topology.SquareGrid(n), phys.DefaultParams(), 42)
+}
+
+// sameSchedule compares two schedules gate by gate, frequency by frequency.
+func sameSchedule(t *testing.T, label string, a, b *schedule.Schedule) {
+	t.Helper()
+	if a.Depth() != b.Depth() {
+		t.Fatalf("%s: depth %d vs %d", label, a.Depth(), b.Depth())
+	}
+	if math.Abs(a.TotalTime-b.TotalTime) > 1e-12 {
+		t.Fatalf("%s: total time %v vs %v", label, a.TotalTime, b.TotalTime)
+	}
+	if a.MaxColorsUsed != b.MaxColorsUsed {
+		t.Fatalf("%s: colors %d vs %d", label, a.MaxColorsUsed, b.MaxColorsUsed)
+	}
+	if !reflect.DeepEqual(a.ParkingFreqs, b.ParkingFreqs) {
+		t.Fatalf("%s: parking frequencies differ", label)
+	}
+	for i := range a.Slices {
+		sa, sb := a.Slices[i], b.Slices[i]
+		if !reflect.DeepEqual(sa.Gates, sb.Gates) {
+			t.Fatalf("%s: slice %d gates differ:\n%v\n%v", label, i, sa.Gates, sb.Gates)
+		}
+		if !reflect.DeepEqual(sa.Freqs, sb.Freqs) {
+			t.Fatalf("%s: slice %d frequencies differ", label, i)
+		}
+		if sa.Colors != sb.Colors || sa.Delta != sb.Delta {
+			t.Fatalf("%s: slice %d solver outcome differs", label, i)
+		}
+	}
+}
+
+// TestCachedCompilationIsDeterministic checks the engine's core contract:
+// compiling with a shared (and pre-warmed) cache produces byte-identical
+// schedules to compiling with no cache at all, for every strategy.
+func TestCachedCompilationIsDeterministic(t *testing.T) {
+	sys := testSystem(16)
+	circs := map[string]*circuit.Circuit{
+		"xeb-deep":    bench.XEB(sys.Device, 6, 7),
+		"xeb-shallow": bench.XEB(sys.Device, 2, 3),
+	}
+	ctx := compile.NewContext(1)
+	for name, c := range circs {
+		for _, comp := range schedule.Extended() {
+			label := comp.Name() + "/" + name
+			uncached, err := comp.Compile(nil, c, sys, schedule.Options{})
+			if err != nil {
+				t.Fatalf("%s uncached: %v", label, err)
+			}
+			// First cached run fills the cache, second one hits it; both
+			// must match the uncached compilation exactly.
+			cold, err := comp.Compile(ctx, c, sys, schedule.Options{})
+			if err != nil {
+				t.Fatalf("%s cold cache: %v", label, err)
+			}
+			warm, err := comp.Compile(ctx, c, sys, schedule.Options{})
+			if err != nil {
+				t.Fatalf("%s warm cache: %v", label, err)
+			}
+			sameSchedule(t, label+" cold", uncached, cold)
+			sameSchedule(t, label+" warm", uncached, warm)
+		}
+	}
+	if ctx.Cache.TotalStats().Hits == 0 {
+		t.Fatal("warm runs never hit the cache")
+	}
+}
+
+// TestCacheSharedAcrossSystems checks that independently constructed
+// systems with identical content share cache entries (content signatures,
+// not pointers, key the cache).
+func TestCacheSharedAcrossSystems(t *testing.T) {
+	ctx := compile.NewContext(1)
+	sysA := testSystem(9)
+	sysB := testSystem(9)
+	if compile.SystemSignature(sysA) != compile.SystemSignature(sysB) {
+		t.Fatal("identical systems got different signatures")
+	}
+	c := bench.XEB(sysA.Device, 4, 7)
+	if _, err := (schedule.ColorDynamic{}).Compile(ctx, c, sysA, schedule.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	before := ctx.Cache.StatsByRegion()[compile.RegionSlice]
+	if _, err := (schedule.ColorDynamic{}).Compile(ctx, c, sysB, schedule.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	after := ctx.Cache.StatsByRegion()[compile.RegionSlice]
+	if after.Hits <= before.Hits {
+		t.Fatalf("second system reused no slice solutions: %+v -> %+v", before, after)
+	}
+	if after.Misses != before.Misses {
+		t.Fatalf("second system recomputed %d slice solutions", after.Misses-before.Misses)
+	}
+
+	sysC := phys.NewSystem(topology.SquareGrid(9), phys.DefaultParams(), 43) // different chip draw
+	if compile.SystemSignature(sysA) == compile.SystemSignature(sysC) {
+		t.Fatal("different fabrication draws must not share a signature")
+	}
+}
+
+// TestBatchCompileMatchesSerial checks that the concurrent batch engine
+// returns exactly what serial compilation returns, job for job.
+func TestBatchCompileMatchesSerial(t *testing.T) {
+	sys := testSystem(9)
+	circ := bench.XEB(sys.Device, 4, 7)
+	var jobs []core.BatchJob
+	for _, s := range core.Strategies() {
+		jobs = append(jobs, core.BatchJob{
+			Key: s, Circuit: circ, System: sys, Strategy: s,
+		})
+	}
+	batch, err := core.BatchCollect(compile.NewContext(4), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range core.Strategies() {
+		serial, err := core.Compile(circ, sys, s, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSchedule(t, s, serial.Schedule, batch[s].Schedule)
+		if serial.Report.Success != batch[s].Report.Success {
+			t.Fatalf("%s: success %v (serial) vs %v (batch)", s, serial.Report.Success, batch[s].Report.Success)
+		}
+	}
+}
+
+// TestBatchCompileRace exercises the full pipeline concurrently with a
+// shared cache; meaningful under -race.
+func TestBatchCompileRace(t *testing.T) {
+	sys := testSystem(9)
+	ctx := compile.NewContext(8)
+	var jobs []core.BatchJob
+	for i := 0; i < 4; i++ {
+		circ := bench.XEB(sys.Device, 3+i, 7)
+		for _, s := range core.Strategies() {
+			jobs = append(jobs, core.BatchJob{
+				Key: s + string(rune('0'+i)), Circuit: circ, System: sys, Strategy: s,
+			})
+		}
+	}
+	if _, err := core.BatchCollect(ctx, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Cache.TotalStats().Hits == 0 {
+		t.Fatal("no cross-job cache sharing observed")
+	}
+}

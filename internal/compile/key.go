@@ -1,0 +1,124 @@
+package compile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"fastsc/internal/phys"
+	"fastsc/internal/smt"
+	"fastsc/internal/topology"
+)
+
+// Cache regions. Keeping them as named constants makes hit/miss reports
+// and tests self-describing.
+const (
+	// RegionSMT holds smt.Solve results (including infeasibility verdicts)
+	// keyed by (k, band, alpha, minDelta).
+	RegionSMT = "smt"
+	// RegionSlice holds per-slice coloring/frequency solutions keyed by the
+	// canonical hash of the active interaction subgraph.
+	RegionSlice = "slice"
+	// RegionXtalk holds crosstalk graphs keyed by (device, distance).
+	RegionXtalk = "xtalk"
+	// RegionStatic holds program-independent frequency palettes (Baseline
+	// S/G calibration tables) keyed by system signature.
+	RegionStatic = "static"
+	// RegionParking holds parking-frequency assignments keyed by system
+	// signature.
+	RegionParking = "park"
+)
+
+type hasher struct{ h uint64 }
+
+func newHasher() *hasher { return &hasher{h: 14695981039346656037} } // FNV-64a offset
+
+func (h *hasher) bytes(p []byte) {
+	for _, b := range p {
+		h.h ^= uint64(b)
+		h.h *= 1099511628211 // FNV-64a prime
+	}
+}
+
+func (h *hasher) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.bytes(buf[:])
+}
+
+func (h *hasher) f64(v float64) { h.u64(math.Float64bits(v)) }
+
+func (h *hasher) str(s string) {
+	h.u64(uint64(len(s)))
+	h.bytes([]byte(s))
+}
+
+// DeviceSignature returns a stable content hash of a device layout: its
+// name, qubit count and coupler list. Two Device values describing the same
+// chip hash identically even when they are distinct allocations, which is
+// what lets independently constructed systems share cache entries.
+func DeviceSignature(dev *topology.Device) string {
+	h := newHasher()
+	h.str(dev.Name)
+	h.u64(uint64(dev.Qubits))
+	for _, e := range dev.Edges() { // Edges() is sorted by (U, V)
+		h.u64(uint64(e.U))
+		h.u64(uint64(e.V))
+	}
+	return fmt.Sprintf("%016x", h.h)
+}
+
+// SystemSignature returns a stable content hash of a characterized system:
+// the device signature plus every transmon's fabrication draw and every
+// coupler's bare coupling — everything the scheduler's frequency math
+// depends on. Systems sampled with the same (device, params, seed) hash
+// identically across allocations.
+func SystemSignature(sys *phys.System) string {
+	h := newHasher()
+	h.str(DeviceSignature(sys.Device))
+	for _, t := range sys.Qubits {
+		h.f64(t.OmegaMax)
+		h.f64(t.EC)
+		h.f64(t.Asymmetry)
+		h.f64(t.T1)
+		h.f64(t.T2)
+	}
+	for _, e := range sys.Device.Edges() {
+		h.f64(sys.Coupling[e])
+	}
+	return fmt.Sprintf("%016x", h.h)
+}
+
+// SMTKey is the cache key of one smt.Solve invocation. The solver is a pure
+// function of exactly these inputs.
+func SMTKey(k int, cfg smt.Config) string {
+	return fmt.Sprintf("%d|%x|%x|%x|%x",
+		k,
+		math.Float64bits(cfg.Lo), math.Float64bits(cfg.Hi),
+		math.Float64bits(cfg.Alpha), math.Float64bits(cfg.MinDelta))
+}
+
+// XtalkKey is the cache key of a crosstalk-graph construction.
+func XtalkKey(dev *topology.Device, distance int) string {
+	return fmt.Sprintf("%s|%d", DeviceSignature(dev), distance)
+}
+
+// SliceKey returns the canonical cache key of one slice-solve: the system
+// signature (which fixes the crosstalk graph's coupler indexing and the
+// interaction band), the crosstalk distance and color budget, and the
+// sorted vertex set of the active interaction subgraph. Vertex ids index
+// the device's coupler list, so the same simultaneous gate pattern maps to
+// the same key in every slice of every job on that system.
+func SliceKey(sysSig string, distance, budget int, activeVertices []int) string {
+	verts := append([]int(nil), activeVertices...)
+	sort.Ints(verts)
+	h := newHasher()
+	h.str(sysSig)
+	h.u64(uint64(distance))
+	h.u64(uint64(uint(budget)))
+	for _, v := range verts {
+		h.u64(uint64(v))
+	}
+	return fmt.Sprintf("%016x|%d", h.h, len(verts))
+}

@@ -1,0 +1,113 @@
+package compile
+
+import (
+	"fastsc/internal/graph"
+	"fastsc/internal/smt"
+	"fastsc/internal/topology"
+	"fastsc/internal/xtalk"
+)
+
+// smtResult stores a Solve outcome including its error: infeasibility
+// verdicts are as expensive to rediscover as solutions (the color-budget
+// probe walks k upward until the first failure), so they are cached too.
+type smtResult struct {
+	xs    []float64
+	delta float64
+	err   error
+}
+
+// SolveSMT is a memoizing smt.Solve: identical (k, cfg) pairs — which recur
+// across slices, strategies and jobs on the same device — are solved once.
+// The returned slice is shared; callers must not mutate it.
+func (c *Context) SolveSMT(k int, cfg smt.Config) ([]float64, float64, error) {
+	cache := c.cache()
+	if cache == nil {
+		return smt.Solve(k, cfg)
+	}
+	key := SMTKey(k, cfg)
+	if v, ok := cache.Get(RegionSMT, key); ok {
+		r := v.(smtResult)
+		return r.xs, r.delta, r.err
+	}
+	xs, delta, err := smt.Solve(k, cfg)
+	cache.Put(RegionSMT, key, smtResult{xs: xs, delta: delta, err: err})
+	return xs, delta, err
+}
+
+// Xtalk is a memoizing xtalk.Build: the distance-d crosstalk graph of a
+// device is built once and shared read-only by every job. Building it is
+// quadratic in couplers (all-pairs distances), so sharing it across a batch
+// matters on large chips.
+func (c *Context) Xtalk(dev *topology.Device, distance int) *xtalk.Graph {
+	cache := c.cache()
+	if cache == nil {
+		return xtalk.Build(dev, distance)
+	}
+	key := XtalkKey(dev, distance)
+	if v, ok := cache.Get(RegionXtalk, key); ok {
+		return v.(*xtalk.Graph)
+	}
+	g := xtalk.Build(dev, distance)
+	cache.Put(RegionXtalk, key, g)
+	return g
+}
+
+// SliceSolution is a cached per-slice solver outcome: the coloring of the
+// active interaction subgraph, the vertices deferred by the color budget,
+// and the occupancy-ordered color→frequency assignment. All fields are
+// shared read-only between jobs.
+type SliceSolution struct {
+	// Coloring maps crosstalk-graph vertex -> color for the colored part of
+	// the active subgraph.
+	Coloring graph.Coloring
+	// Deferred lists the vertices that did not fit the color budget and
+	// must be postponed to a later slice.
+	Deferred []int
+	// NumColors is the number of colors used (0 for an empty subgraph).
+	NumColors int
+	// Assign maps color -> interaction frequency (GHz).
+	Assign map[int]float64
+	// Delta is the frequency separation achieved by the solver.
+	Delta float64
+}
+
+// Slice returns the memoized solution for one active-subgraph key,
+// computing it on a miss. Compute must be a pure function of the key.
+func (c *Context) Slice(key string, compute func() (SliceSolution, error)) (SliceSolution, error) {
+	cache := c.cache()
+	if cache == nil {
+		return compute()
+	}
+	v, err := cache.Do(RegionSlice, key, func() (any, error) { return compute() })
+	if err != nil {
+		return SliceSolution{}, err
+	}
+	return v.(SliceSolution), nil
+}
+
+// Parking returns the memoized parking-frequency assignment for a system
+// (keyed by its signature), computing it on a miss. The returned map is
+// shared read-only.
+func (c *Context) Parking(sysSig string, compute func() (map[int]float64, error)) (map[int]float64, error) {
+	cache := c.cache()
+	if cache == nil {
+		return compute()
+	}
+	v, err := cache.Do(RegionParking, sysSig, func() (any, error) { return compute() })
+	if err != nil {
+		return nil, err
+	}
+	return v.(map[int]float64), nil
+}
+
+// Static returns the memoized program-independent palette (the Baseline
+// S/G calibration table) for a key, computing it on a miss. The cached
+// value is opaque to this package; schedule stores its own table type and
+// treats it as immutable.
+func (c *Context) Static(key string, compute func() (any, error)) (any, error) {
+	cache := c.cache()
+	if cache == nil {
+		return compute()
+	}
+	return cache.Do(RegionStatic, key, compute)
+}

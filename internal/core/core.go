@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"fastsc/internal/circuit"
+	"fastsc/internal/compile"
 	"fastsc/internal/mapping"
 	"fastsc/internal/noise"
 	"fastsc/internal/phys"
@@ -75,8 +76,15 @@ type Result struct {
 }
 
 // Compile routes, schedules and evaluates circ on sys under the named
-// strategy.
+// strategy, without cross-job memoization. It is shorthand for
+// CompileCtx(nil, ...); batch callers should share a compile.Context.
 func Compile(circ *circuit.Circuit, sys *phys.System, strategy string, cfg Config) (*Result, error) {
+	return CompileCtx(nil, circ, sys, strategy, cfg)
+}
+
+// CompileCtx routes, schedules and evaluates circ on sys under the named
+// strategy, memoizing the solver stages through ctx (nil disables caching).
+func CompileCtx(ctx *compile.Context, circ *circuit.Circuit, sys *phys.System, strategy string, cfg Config) (*Result, error) {
 	comp := schedule.ByName(strategy)
 	if comp == nil {
 		return nil, fmt.Errorf("core: unknown strategy %q (want one of %v)", strategy, Strategies())
@@ -91,7 +99,7 @@ func Compile(circ *circuit.Circuit, sys *phys.System, strategy string, cfg Confi
 	if err != nil {
 		return nil, err
 	}
-	sched, err := comp.Compile(routed.Routed, sys, cfg.Schedule)
+	sched, err := comp.Compile(ctx, routed.Routed, sys, cfg.Schedule)
 	if err != nil {
 		return nil, err
 	}
@@ -110,16 +118,22 @@ func Compile(circ *circuit.Circuit, sys *phys.System, strategy string, cfg Confi
 	}, nil
 }
 
-// CompileAll runs every strategy on the same circuit and system, returning
-// results keyed by strategy name.
+// CompileAll runs every strategy on the same circuit and system through the
+// batch engine, returning results keyed by strategy name.
 func CompileAll(circ *circuit.Circuit, sys *phys.System, cfg Config) (map[string]*Result, error) {
-	out := make(map[string]*Result, 5)
+	return CompileAllCtx(nil, circ, sys, cfg)
+}
+
+// CompileAllCtx is CompileAll with a shared compilation context: the five
+// strategies run concurrently under ctx's parallelism budget and share its
+// cache (parking assignments, SMT solves and the static palette are
+// computed once for all of them).
+func CompileAllCtx(ctx *compile.Context, circ *circuit.Circuit, sys *phys.System, cfg Config) (map[string]*Result, error) {
+	jobs := make([]BatchJob, 0, len(Strategies()))
 	for _, s := range Strategies() {
-		res, err := Compile(circ, sys, s, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: strategy %s: %w", s, err)
-		}
-		out[s] = res
+		jobs = append(jobs, BatchJob{
+			Key: s, Circuit: circ, System: sys, Strategy: s, Config: cfg,
+		})
 	}
-	return out, nil
+	return BatchCollect(ctx, jobs)
 }

@@ -5,8 +5,13 @@ import (
 	"strings"
 	"testing"
 
+	"fastsc/internal/compile"
 	"fastsc/internal/core"
 )
+
+// exptCtx returns a fresh batch-engine context (default workers, fresh
+// cache) for one figure run.
+func exptCtx() *compile.Context { return compile.NewContext(0) }
 
 func TestTableRendering(t *testing.T) {
 	tab := &Table{
@@ -124,7 +129,7 @@ func TestFig9Claims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full Fig 9 sweep in -short mode")
 	}
-	r, err := Fig9SuccessRates()
+	r, err := Fig9SuccessRates(exptCtx())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +157,7 @@ func TestFig10Claims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full Fig 10 sweep in -short mode")
 	}
-	r, err := Fig10DepthDecoherence()
+	r, err := Fig10DepthDecoherence(exptCtx())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +177,7 @@ func TestFig11Claims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full Fig 11 sweep in -short mode")
 	}
-	r, err := Fig11ColorSweep()
+	r, err := Fig11ColorSweep(exptCtx())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +198,7 @@ func TestFig12Claims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full Fig 12 sweep in -short mode")
 	}
-	r, err := Fig12ResidualCoupling()
+	r, err := Fig12ResidualCoupling(exptCtx())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +220,7 @@ func TestFig13Claims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full Fig 13 sweep in -short mode")
 	}
-	r, err := Fig13Connectivity()
+	r, err := Fig13Connectivity(exptCtx())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +260,7 @@ func TestValidationCorrelation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trajectory simulation in -short mode")
 	}
-	r, err := ValidationHeuristic(60)
+	r, err := ValidationHeuristic(exptCtx(), 60)
 	if err != nil {
 		t.Fatal(err)
 	}

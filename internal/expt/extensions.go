@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 
+	"fastsc/internal/compile"
 	"fastsc/internal/core"
 	"fastsc/internal/schedule"
 )
@@ -22,8 +23,34 @@ type ExtGmonResult struct {
 // (r > 0), the baseline's simultaneous gates sit on the static palette
 // while ColorDynamic-G additionally spreads them per slice; the frequency-
 // aware variant should therefore degrade more slowly with r.
-func ExtGmonDynamic() (*ExtGmonResult, error) {
+func ExtGmonDynamic(ctx *compile.Context) (*ExtGmonResult, error) {
 	residuals := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	strategies := []string{core.BaselineG, "ColorDynamic-G"}
+	suite := []Benchmark{xebBench(16, 10), xebBench(16, 15)}
+	var jobs []core.BatchJob
+	for _, b := range suite {
+		sys := GridSystem(b.Qubits)
+		circ := b.Circuit(sys.Device)
+		for _, s := range strategies {
+			for _, r := range residuals {
+				jobs = append(jobs, core.BatchJob{
+					Key:      fmt.Sprintf("%s/%s/r=%.1f", b.Name, s, r),
+					Circuit:  circ,
+					System:   sys,
+					Strategy: s,
+					Config: core.Config{
+						Placement: b.Placement,
+						Schedule:  schedule.Options{Residual: r},
+					},
+				})
+			}
+		}
+	}
+	results, err := core.BatchCollect(ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("ext-gmon: %w", err)
+	}
+
 	res := &ExtGmonResult{
 		SuccessG:   map[string][]float64{},
 		SuccessCDG: map[string][]float64{},
@@ -38,26 +65,12 @@ func ExtGmonDynamic() (*ExtGmonResult, error) {
 		Title:   "Extension (§VIII): ColorDynamic on tunable-coupler hardware vs Baseline G",
 		Columns: cols,
 	}
-	for _, b := range []Benchmark{xebBench(16, 10), xebBench(16, 15)} {
-		sys := GridSystem(b.Qubits)
-		circ := b.Circuit(sys.Device)
+	for _, b := range suite {
 		rowG := []string{b.Name, core.BaselineG}
 		rowCDG := []string{b.Name, "ColorDynamic-G"}
 		for _, r := range residuals {
-			g, err := core.Compile(circ, sys, core.BaselineG, core.Config{
-				Placement: b.Placement,
-				Schedule:  schedule.Options{Residual: r},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("ext-gmon %s G r=%v: %w", b.Name, r, err)
-			}
-			cdg, err := core.Compile(circ, sys, "ColorDynamic-G", core.Config{
-				Placement: b.Placement,
-				Schedule:  schedule.Options{Residual: r},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("ext-gmon %s CDG r=%v: %w", b.Name, r, err)
-			}
+			g := results[fmt.Sprintf("%s/%s/r=%.1f", b.Name, core.BaselineG, r)]
+			cdg := results[fmt.Sprintf("%s/%s/r=%.1f", b.Name, "ColorDynamic-G", r)]
 			res.SuccessG[b.Name] = append(res.SuccessG[b.Name], g.Report.Success)
 			res.SuccessCDG[b.Name] = append(res.SuccessCDG[b.Name], cdg.Report.Success)
 			rowG = append(rowG, fmtG(g.Report.Success))

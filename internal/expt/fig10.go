@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 
+	"fastsc/internal/compile"
 	"fastsc/internal/core"
 )
 
@@ -23,8 +24,28 @@ var fig10Strategies = []string{core.BaselineG, core.BaselineU, core.ColorDynamic
 
 // Fig10DepthDecoherence reproduces Fig 10: circuit depth (left) and
 // decoherence error (right) for the XEB workloads under Baseline G,
-// Baseline U and ColorDynamic.
-func Fig10DepthDecoherence() (*Fig10Result, error) {
+// Baseline U and ColorDynamic, run through the batch engine.
+func Fig10DepthDecoherence(ctx *compile.Context) (*Fig10Result, error) {
+	suite := XEBSuite()
+	var jobs []core.BatchJob
+	for _, b := range suite {
+		sys := GridSystem(b.Qubits)
+		circ := b.Circuit(sys.Device)
+		for _, s := range fig10Strategies {
+			jobs = append(jobs, core.BatchJob{
+				Key:      b.Name + "/" + s,
+				Circuit:  circ,
+				System:   sys,
+				Strategy: s,
+				Config:   core.Config{Placement: b.Placement},
+			})
+		}
+	}
+	results, err := core.BatchCollect(ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig10: %w", err)
+	}
+
 	res := &Fig10Result{
 		Depth:       map[string]map[string]int{},
 		Decoherence: map[string]map[string]float64{},
@@ -41,18 +62,13 @@ func Fig10DepthDecoherence() (*Fig10Result, error) {
 	}
 	var sumU, sumG float64
 	var count int
-	for _, b := range XEBSuite() {
-		sys := GridSystem(b.Qubits)
-		circ := b.Circuit(sys.Device)
+	for _, b := range suite {
 		drow := []string{b.Name}
 		erow := []string{b.Name}
 		res.Depth[b.Name] = map[string]int{}
 		res.Decoherence[b.Name] = map[string]float64{}
 		for _, s := range fig10Strategies {
-			r, err := core.Compile(circ, sys, s, core.Config{Placement: b.Placement})
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %s/%s: %w", b.Name, s, err)
-			}
+			r := results[b.Name+"/"+s]
 			res.Depth[b.Name][s] = r.Schedule.Depth()
 			res.Decoherence[b.Name][s] = r.Report.DecoherenceError
 			drow = append(drow, fmt.Sprintf("%d", r.Schedule.Depth()))

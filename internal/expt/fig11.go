@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 
+	"fastsc/internal/compile"
 	"fastsc/internal/core"
 	"fastsc/internal/schedule"
 )
@@ -35,8 +36,32 @@ func fig11Suite() []Benchmark {
 
 // Fig11ColorSweep reproduces Fig 11: program success rate as a function of
 // the maximum number of interaction colors (i.e. frequencies) ColorDynamic
-// may use per slice. The paper finds the sweet spot at 1–2 colors.
-func Fig11ColorSweep() (*Fig11Result, error) {
+// may use per slice, run through the batch engine. The paper finds the
+// sweet spot at 1–2 colors.
+func Fig11ColorSweep(ctx *compile.Context) (*Fig11Result, error) {
+	suite := fig11Suite()
+	var jobs []core.BatchJob
+	for _, b := range suite {
+		sys := GridSystem(b.Qubits)
+		circ := b.Circuit(sys.Device)
+		for _, k := range fig11MaxColors {
+			jobs = append(jobs, core.BatchJob{
+				Key:      fmt.Sprintf("%s/k=%d", b.Name, k),
+				Circuit:  circ,
+				System:   sys,
+				Strategy: core.ColorDynamic,
+				Config: core.Config{
+					Placement: b.Placement,
+					Schedule:  schedule.Options{MaxColors: k},
+				},
+			})
+		}
+	}
+	results, err := core.BatchCollect(ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig11: %w", err)
+	}
+
 	res := &Fig11Result{
 		Success:    map[string]map[int]float64{},
 		BestColors: map[string]int{},
@@ -50,20 +75,12 @@ func Fig11ColorSweep() (*Fig11Result, error) {
 		Title:   "ColorDynamic success rate vs tunability (max colors)",
 		Columns: append(cols, "best"),
 	}
-	for _, b := range fig11Suite() {
-		sys := GridSystem(b.Qubits)
-		circ := b.Circuit(sys.Device)
+	for _, b := range suite {
 		row := []string{b.Name}
 		res.Success[b.Name] = map[int]float64{}
 		best, bestV := 0, -1.0
 		for _, k := range fig11MaxColors {
-			r, err := core.Compile(circ, sys, core.ColorDynamic, core.Config{
-				Placement: b.Placement,
-				Schedule:  schedule.Options{MaxColors: k},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig11 %s k=%d: %w", b.Name, k, err)
-			}
+			r := results[fmt.Sprintf("%s/k=%d", b.Name, k)]
 			res.Success[b.Name][k] = r.Report.Success
 			row = append(row, fmtG(r.Report.Success))
 			if r.Report.Success > bestV {

@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 
+	"fastsc/internal/compile"
 	"fastsc/internal/core"
 	"fastsc/internal/schedule"
 )
@@ -27,10 +28,33 @@ func fig12Suite() []Benchmark {
 
 // Fig12ResidualCoupling reproduces Fig 12: Baseline G (gmon) success rate
 // as the residual coupling factor of "switched-off" couplers grows from 0
-// to 0.9. Fig 9's conservative assumption is r = 0; real tunable couplers
-// leak, and performance decays steeply with r.
-func Fig12ResidualCoupling() (*Fig12Result, error) {
+// to 0.9, run through the batch engine. Fig 9's conservative assumption is
+// r = 0; real tunable couplers leak, and performance decays steeply with r.
+func Fig12ResidualCoupling(ctx *compile.Context) (*Fig12Result, error) {
 	residuals := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	suite := fig12Suite()
+	var jobs []core.BatchJob
+	for _, b := range suite {
+		sys := GridSystem(b.Qubits)
+		circ := b.Circuit(sys.Device)
+		for _, r := range residuals {
+			jobs = append(jobs, core.BatchJob{
+				Key:      fmt.Sprintf("%s/r=%.1f", b.Name, r),
+				Circuit:  circ,
+				System:   sys,
+				Strategy: core.BaselineG,
+				Config: core.Config{
+					Placement: b.Placement,
+					Schedule:  schedule.Options{Residual: r},
+				},
+			})
+		}
+	}
+	results, err := core.BatchCollect(ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig12: %w", err)
+	}
+
 	res := &Fig12Result{Success: map[string][]float64{}, Residuals: residuals}
 	cols := []string{"benchmark"}
 	for _, r := range residuals {
@@ -41,18 +65,10 @@ func Fig12ResidualCoupling() (*Fig12Result, error) {
 		Title:   "Baseline G success rate vs residual coupling factor",
 		Columns: cols,
 	}
-	for _, b := range fig12Suite() {
-		sys := GridSystem(b.Qubits)
-		circ := b.Circuit(sys.Device)
+	for _, b := range suite {
 		row := []string{b.Name}
 		for _, r := range residuals {
-			result, err := core.Compile(circ, sys, core.BaselineG, core.Config{
-				Placement: b.Placement,
-				Schedule:  schedule.Options{Residual: r},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig12 %s r=%v: %w", b.Name, r, err)
-			}
+			result := results[fmt.Sprintf("%s/r=%.1f", b.Name, r)]
 			res.Success[b.Name] = append(res.Success[b.Name], result.Report.Success)
 			row = append(row, fmtG(result.Report.Success))
 		}

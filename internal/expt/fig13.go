@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"fastsc/internal/compile"
 	"fastsc/internal/core"
 	"fastsc/internal/topology"
 )
@@ -61,8 +62,31 @@ func fig13Topologies(n int) []*topology.Device {
 
 // Fig13Connectivity reproduces Fig 13: for each benchmark and device
 // connectivity, the number of interaction colors ColorDynamic uses, its
-// compilation time, and the success rates of Baseline U and ColorDynamic.
-func Fig13Connectivity() (*Fig13Result, error) {
+// compilation time, and the success rates of Baseline U and ColorDynamic,
+// run through the batch engine.
+func Fig13Connectivity(ctx *compile.Context) (*Fig13Result, error) {
+	suite := fig13Suite()
+	var jobs []core.BatchJob
+	for _, b := range suite {
+		for _, dev := range fig13Topologies(b.Qubits) {
+			sys := SystemFor(dev)
+			circ := b.Circuit(dev)
+			for _, s := range []string{core.BaselineU, core.ColorDynamic} {
+				jobs = append(jobs, core.BatchJob{
+					Key:      b.Name + "@" + dev.Name + "/" + s,
+					Circuit:  circ,
+					System:   sys,
+					Strategy: s,
+					Config:   core.Config{Placement: b.Placement},
+				})
+			}
+		}
+	}
+	results, err := core.BatchCollect(ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig13: %w", err)
+	}
+
 	res := &Fig13Result{}
 	t := &Table{
 		ID:      "fig13",
@@ -71,18 +95,10 @@ func Fig13Connectivity() (*Fig13Result, error) {
 	}
 	var sumLog float64
 	var count int
-	for _, b := range fig13Suite() {
+	for _, b := range suite {
 		for _, dev := range fig13Topologies(b.Qubits) {
-			sys := SystemFor(dev)
-			circ := b.Circuit(dev)
-			u, err := core.Compile(circ, sys, core.BaselineU, core.Config{Placement: b.Placement})
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %s/%s U: %w", b.Name, dev.Name, err)
-			}
-			cd, err := core.Compile(circ, sys, core.ColorDynamic, core.Config{Placement: b.Placement})
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %s/%s CD: %w", b.Name, dev.Name, err)
-			}
+			u := results[b.Name+"@"+dev.Name+"/"+core.BaselineU]
+			cd := results[b.Name+"@"+dev.Name+"/"+core.ColorDynamic]
 			p := Fig13Point{
 				Benchmark:   b.Name,
 				Topology:    dev.Name,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"fastsc/internal/compile"
 	"fastsc/internal/core"
 )
 
@@ -24,9 +25,31 @@ type Fig9Result struct {
 }
 
 // Fig9SuccessRates reproduces Fig 9: worst-case program success rate for
-// every benchmark under the five strategies of Table I.
-func Fig9SuccessRates() (*Fig9Result, error) {
+// every benchmark under the five strategies of Table I. The full
+// benchmark × strategy matrix is fanned through the batch engine under ctx
+// (nil runs with default parallelism and no cache).
+func Fig9SuccessRates(ctx *compile.Context) (*Fig9Result, error) {
 	strategies := core.Strategies()
+	suite := Suite()
+	var jobs []core.BatchJob
+	for _, b := range suite {
+		sys := GridSystem(b.Qubits)
+		circ := b.Circuit(sys.Device)
+		for _, s := range strategies {
+			jobs = append(jobs, core.BatchJob{
+				Key:      b.Name + "/" + s,
+				Circuit:  circ,
+				System:   sys,
+				Strategy: s,
+				Config:   core.Config{Placement: b.Placement},
+			})
+		}
+	}
+	results, err := core.BatchCollect(ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
+
 	res := &Fig9Result{Success: map[string]map[string]float64{}}
 	t := &Table{
 		ID:      "fig9",
@@ -35,16 +58,11 @@ func Fig9SuccessRates() (*Fig9Result, error) {
 	}
 	var sumRatio, sumLogU, sumLogG float64
 	var count int
-	for _, b := range Suite() {
-		sys := GridSystem(b.Qubits)
-		circ := b.Circuit(sys.Device)
+	for _, b := range suite {
 		row := []string{b.Name}
 		perStrategy := map[string]float64{}
 		for _, s := range strategies {
-			r, err := core.Compile(circ, sys, s, core.Config{Placement: b.Placement})
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s/%s: %w", b.Name, s, err)
-			}
+			r := results[b.Name+"/"+s]
 			perStrategy[s] = r.Report.Success
 			row = append(row, fmtG(r.Report.Success))
 		}
@@ -64,7 +82,7 @@ func Fig9SuccessRates() (*Fig9Result, error) {
 		res.MeanCDOverU = sumRatio / float64(count)
 		res.GeoMeanCDOverU = math.Exp(sumLogU / float64(count))
 	}
-	res.GeoMeanCDOverG = math.Exp(sumLogG / float64(len(Suite())))
+	res.GeoMeanCDOverG = math.Exp(sumLogG / float64(len(suite)))
 	res.Table = t
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("ColorDynamic vs Baseline U: mean ratio %.1fx, geomean %.1fx (paper: 13.3x mean)",

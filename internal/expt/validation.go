@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 
+	"fastsc/internal/compile"
 	"fastsc/internal/core"
 	"fastsc/internal/noise"
 	"fastsc/internal/sim"
@@ -34,29 +35,45 @@ func validationSuite() []Benchmark {
 // trajectory simulator does not model) is compared against the mean
 // trajectory fidelity. The heuristic is a worst-case bound, so it should
 // track — and generally lie below — the simulated fidelity.
-func ValidationHeuristic(shots int) (*ValidationResult, error) {
+func ValidationHeuristic(ctx *compile.Context, shots int) (*ValidationResult, error) {
 	if shots <= 0 {
 		shots = 150
 	}
+	strategies := []string{core.BaselineN, core.ColorDynamic}
+	nopt := noise.DefaultOptions()
+	nopt.FluxNoiseSigma = 0 // the trajectory simulator has no flux channel
+	suite := validationSuite()
+	var jobs []core.BatchJob
+	for _, b := range suite {
+		sys := GridSystem(b.Qubits)
+		circ := b.Circuit(sys.Device)
+		for _, strat := range strategies {
+			jobs = append(jobs, core.BatchJob{
+				Key:      b.Name + "/" + strat,
+				Circuit:  circ,
+				System:   sys,
+				Strategy: strat,
+				Config: core.Config{
+					Placement: b.Placement,
+					Noise:     &nopt,
+				},
+			})
+		}
+	}
+	results, err := core.BatchCollect(ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("validation: %w", err)
+	}
+
 	res := &ValidationResult{}
 	t := &Table{
 		ID:      "validation",
 		Title:   "Heuristic success estimate vs noisy state-vector simulation (§VI-C)",
 		Columns: []string{"benchmark", "strategy", "heuristic", "simulated", "±stderr"},
 	}
-	nopt := noise.DefaultOptions()
-	nopt.FluxNoiseSigma = 0 // the trajectory simulator has no flux channel
-	for _, b := range validationSuite() {
-		sys := GridSystem(b.Qubits)
-		circ := b.Circuit(sys.Device)
-		for _, strat := range []string{core.BaselineN, core.ColorDynamic} {
-			r, err := core.Compile(circ, sys, strat, core.Config{
-				Placement: b.Placement,
-				Noise:     &nopt,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("validation %s/%s: %w", b.Name, strat, err)
-			}
+	for _, b := range suite {
+		for _, strat := range strategies {
+			r := results[b.Name+"/"+strat]
 			opt := sim.DefaultTrajectoryOptions(benchSeed)
 			opt.Shots = shots
 			traj := sim.RunNoisy(r.Schedule, opt)

@@ -17,7 +17,7 @@ func compiled(t *testing.T, strategy string, c *circuit.Circuit, sys *phys.Syste
 	if comp == nil {
 		t.Fatalf("unknown strategy %s", strategy)
 	}
-	s, err := comp.Compile(c, sys, opts)
+	s, err := comp.Compile(nil, c, sys, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

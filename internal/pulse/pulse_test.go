@@ -13,7 +13,7 @@ import (
 
 func loweredSchedule(t *testing.T, strategy string, c *circuit.Circuit, sys *phys.System) (*schedule.Schedule, *Program) {
 	t.Helper()
-	s, err := schedule.ByName(strategy).Compile(c, sys, schedule.Options{})
+	s, err := schedule.ByName(strategy).Compile(nil, c, sys, schedule.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

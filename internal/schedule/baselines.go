@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"fastsc/internal/circuit"
+	"fastsc/internal/compile"
 	"fastsc/internal/graph"
 	"fastsc/internal/phys"
 	"fastsc/internal/smt"
@@ -19,8 +20,8 @@ type Naive struct{}
 func (Naive) Name() string { return "Baseline N" }
 
 // Compile implements Compiler.
-func (Naive) Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
-	b, err := newBuilder("Baseline N", c, sys, opts)
+func (Naive) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	b, err := newBuilder(ctx, "Baseline N", c, sys, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -78,8 +79,8 @@ type Uniform struct{}
 func (Uniform) Name() string { return "Baseline U" }
 
 // Compile implements Compiler.
-func (Uniform) Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
-	b, err := newBuilder("Baseline U", c, sys, opts)
+func (Uniform) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	b, err := newBuilder(ctx, "Baseline U", c, sys, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +89,7 @@ func (Uniform) Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Sch
 	// next-neighbor (distance-2) pairs still run in parallel at the one
 	// shared frequency — the residual crosstalk ColorDynamic's
 	// distance-2 coloring eliminates.
-	b.xg = xtalk.Build(sys.Device, 1)
+	b.xg = ctx.Xtalk(sys.Device, 1)
 	omega := (b.part.IntLo + b.part.IntHi) / 2
 
 	f := circuit.NewFrontier(b.circ)
@@ -158,36 +159,45 @@ func (st *staticTable) freqAndColor(e graph.Edge) (float64, int) {
 	return st.assign[col], col
 }
 
+// buildStaticTable computes (or fetches from the cache) the device's
+// program-independent palette. It is a pure function of the system, so it
+// is shared by every Baseline S and Baseline G job on the same chip.
 func buildStaticTable(b *builder, sys *phys.System) (*staticTable, error) {
-	xg := xtalk.Build(sys.Device, 1)
-	intCfg := b.part.InteractionConfig(sys.MeanAnharmonicity())
-	coloring := graph.WelshPowell(xg.G)
-	k := coloring.NumColors()
-	budget := maxColorsFeasible(intCfg, 32)
-	if k > budget {
-		// Band cannot host the full static palette; merge the overflow
-		// colors into the feasible range (a static compiler must ship
-		// *some* table). This degrades separation exactly as frequency
-		// crowding predicts.
-		for v, col := range coloring {
-			coloring[v] = col % budget
+	v, err := b.ctx.Static(b.sig, func() (any, error) {
+		xg := b.ctx.Xtalk(sys.Device, 1)
+		intCfg := b.part.InteractionConfig(sys.MeanAnharmonicity())
+		coloring := graph.WelshPowell(xg.G)
+		k := coloring.NumColors()
+		budget := maxColorsFeasible(b.ctx, intCfg, 32)
+		if k > budget {
+			// Band cannot host the full static palette; merge the overflow
+			// colors into the feasible range (a static compiler must ship
+			// *some* table). This degrades separation exactly as frequency
+			// crowding predicts.
+			for v, col := range coloring {
+				coloring[v] = col % budget
+			}
+			k = budget
 		}
-		k = budget
-	}
-	freqs, delta, err := smt.Solve(k, intCfg)
+		freqs, delta, err := b.ctx.SolveSMT(k, intCfg)
+		if err != nil {
+			return nil, err
+		}
+		occ := make(map[int]int)
+		for _, col := range coloring {
+			occ[col]++
+		}
+		return &staticTable{
+			xg:     xg,
+			colors: coloring,
+			assign: smt.AssignByOccupancy(occ, freqs),
+			delta:  delta,
+		}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	occ := make(map[int]int)
-	for _, col := range coloring {
-		occ[col]++
-	}
-	return &staticTable{
-		xg:     xg,
-		colors: coloring,
-		assign: smt.AssignByOccupancy(occ, freqs),
-		delta:  delta,
-	}, nil
+	return v.(*staticTable), nil
 }
 
 // staticPalette returns the per-coupler frequency lookup used by the gmon
@@ -204,8 +214,8 @@ func staticPalette(b *builder, sys *phys.System) (func(graph.Edge) float64, erro
 }
 
 // Compile implements Compiler.
-func (Static) Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
-	b, err := newBuilder("Baseline S", c, sys, opts)
+func (Static) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	b, err := newBuilder(ctx, "Baseline S", c, sys, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"fastsc/internal/circuit"
+	"fastsc/internal/compile"
 	"fastsc/internal/graph"
 	"fastsc/internal/phys"
 	"fastsc/internal/smt"
@@ -17,8 +18,8 @@ type ColorDynamic struct{}
 func (ColorDynamic) Name() string { return "ColorDynamic" }
 
 // Compile implements Compiler.
-func (ColorDynamic) Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
-	return compileColorDynamic("ColorDynamic", false, c, sys, opts)
+func (ColorDynamic) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	return compileColorDynamic(ctx, "ColorDynamic", false, c, sys, opts)
 }
 
 // GmonDynamic is the §VIII extension: ColorDynamic's program-specific
@@ -34,12 +35,12 @@ type GmonDynamic struct{}
 func (GmonDynamic) Name() string { return "ColorDynamic-G" }
 
 // Compile implements Compiler.
-func (GmonDynamic) Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
-	return compileColorDynamic("ColorDynamic-G", true, c, sys, opts)
+func (GmonDynamic) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	return compileColorDynamic(ctx, "ColorDynamic-G", true, c, sys, opts)
 }
 
-func compileColorDynamic(name string, gmon bool, c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
-	b, err := newBuilder(name, c, sys, opts)
+func compileColorDynamic(ctx *compile.Context, name string, gmon bool, c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	b, err := newBuilder(ctx, name, c, sys, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +50,7 @@ func compileColorDynamic(name string, gmon bool, c *circuit.Circuit, sys *phys.S
 	// The interaction band fits only so many colors; combined with the
 	// user's tunability budget (default 2, the Fig 11 sweet spot; -1 for
 	// unlimited) this caps each slice's coloring.
-	budget := maxColorsFeasible(intCfg, 16)
+	budget := maxColorsFeasible(ctx, intCfg, 16)
 	if opts.MaxColors > 0 && opts.MaxColors < budget {
 		budget = opts.MaxColors
 	}
@@ -64,6 +65,7 @@ func compileColorDynamic(name string, gmon bool, c *circuit.Circuit, sys *phys.S
 		// crowded (noise_conflict, §V-B6).
 		var selected []int
 		var active []graph.Edge
+		var activeVerts []int
 		gateOfEdge := make(map[graph.Edge]int)
 		for _, idx := range ready {
 			g := b.circ.Gates[idx]
@@ -73,38 +75,24 @@ func compileColorDynamic(name string, gmon bool, c *circuit.Circuit, sys *phys.S
 					continue // postpone to a later slice
 				}
 				active = append(active, e)
+				activeVerts = append(activeVerts, mustVertex(b, e))
 				gateOfEdge[e] = idx
 			}
 			selected = append(selected, idx)
 		}
 
 		// Color the active subgraph of the crosstalk graph within the
-		// color budget; gates whose vertices cannot be colored are
-		// postponed (spectral -> temporal separation trade).
-		h := b.xg.ActiveSubgraph(active)
-		coloring, deferred := graph.BoundedColoring(h, budget)
+		// color budget and solve its frequencies; gates whose vertices
+		// cannot be colored are postponed (spectral -> temporal separation
+		// trade). The whole slice solution is a pure function of the
+		// active subgraph, so it is memoized across slices and jobs.
+		sol, err := b.solveSlice(intCfg, budget, active, activeVerts)
+		if err != nil {
+			return nil, err
+		}
 		dropped := make(map[int]bool)
-		for _, v := range deferred {
+		for _, v := range sol.Deferred {
 			dropped[gateOfEdge[b.xg.Couplers[v]]] = true
-		}
-
-		k := coloring.NumColors()
-		var freqs []float64
-		delta := 0.0
-		if k > 0 {
-			freqs, delta, err = smt.Solve(k, intCfg)
-			if err != nil {
-				return nil, err
-			}
-		}
-		// Occupancy-ordered color -> frequency map (§V-B3).
-		occ := make(map[int]int)
-		for _, col := range coloring {
-			occ[col]++
-		}
-		assign := map[int]float64{}
-		if k > 0 {
-			assign = smt.AssignByOccupancy(occ, freqs)
 		}
 
 		var events []GateEvent
@@ -117,8 +105,8 @@ func compileColorDynamic(name string, gmon bool, c *circuit.Circuit, sys *phys.S
 			if g.Kind.IsTwoQubit() {
 				e := graph.NewEdge(g.Qubits[0], g.Qubits[1])
 				v := mustVertex(b, e)
-				col := coloring[v]
-				freq := assign[col]
+				col := sol.Coloring[v]
+				freq := sol.Assign[col]
 				sliceFreqs[g.Qubits[0]] = freq
 				sliceFreqs[g.Qubits[1]] = freq
 				events = append(events, GateEvent{
@@ -131,9 +119,46 @@ func compileColorDynamic(name string, gmon bool, c *circuit.Circuit, sys *phys.S
 			}
 			f.Issue(idx)
 		}
-		b.emitSlice(events, sliceFreqs, k, delta)
+		b.emitSlice(events, sliceFreqs, sol.NumColors, sol.Delta)
 	}
 	return b.finish(), nil
+}
+
+// solveSlice produces the coloring + frequency assignment for one active
+// gate set, through the per-slice cache when one is attached. The key is
+// the canonical hash of the active interaction subgraph on this system.
+func (b *builder) solveSlice(intCfg smt.Config, budget int, active []graph.Edge, activeVerts []int) (compile.SliceSolution, error) {
+	key := compile.SliceKey(b.sig, b.xg.Distance, budget, activeVerts)
+	return b.ctx.Slice(key, func() (compile.SliceSolution, error) {
+		h := b.xg.ActiveSubgraph(active)
+		coloring, deferred := graph.BoundedColoring(h, budget)
+		k := coloring.NumColors()
+		var freqs []float64
+		delta := 0.0
+		if k > 0 {
+			var err error
+			freqs, delta, err = b.ctx.SolveSMT(k, intCfg)
+			if err != nil {
+				return compile.SliceSolution{}, err
+			}
+		}
+		// Occupancy-ordered color -> frequency map (§V-B3).
+		occ := make(map[int]int)
+		for _, col := range coloring {
+			occ[col]++
+		}
+		assign := map[int]float64{}
+		if k > 0 {
+			assign = smt.AssignByOccupancy(occ, freqs)
+		}
+		return compile.SliceSolution{
+			Coloring:  coloring,
+			Deferred:  deferred,
+			NumColors: k,
+			Assign:    assign,
+			Delta:     delta,
+		}, nil
+	})
 }
 
 func mustVertex(b *builder, e graph.Edge) int {
@@ -145,11 +170,12 @@ func mustVertex(b *builder, e graph.Edge) int {
 }
 
 // maxColorsFeasible probes the largest k for which the solver can place k
-// frequencies in the band, up to cap.
-func maxColorsFeasible(cfg smt.Config, cap int) int {
+// frequencies in the band, up to cap. Solves (including the terminating
+// infeasibility) are memoized through ctx.
+func maxColorsFeasible(ctx *compile.Context, cfg smt.Config, cap int) int {
 	best := 1
 	for k := 2; k <= cap; k++ {
-		if _, _, err := smt.Solve(k, cfg); err != nil {
+		if _, _, err := ctx.SolveSMT(k, cfg); err != nil {
 			break
 		}
 		best = k

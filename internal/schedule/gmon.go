@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"fastsc/internal/circuit"
+	"fastsc/internal/compile"
 	"fastsc/internal/graph"
 	"fastsc/internal/phys"
 	"fastsc/internal/topology"
@@ -24,8 +25,8 @@ type Gmon struct{}
 func (Gmon) Name() string { return "Baseline G" }
 
 // Compile implements Compiler.
-func (Gmon) Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
-	b, err := newBuilder("Baseline G", c, sys, opts)
+func (Gmon) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
+	b, err := newBuilder(ctx, "Baseline G", c, sys, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -9,7 +9,7 @@ import (
 func TestGmonDynamicCompiles(t *testing.T) {
 	sys := testSystem(16)
 	c := bench.XEB(sys.Device, 5, 3)
-	s, err := (GmonDynamic{}).Compile(c, sys, Options{Residual: 0.5})
+	s, err := (GmonDynamic{}).Compile(nil, c, sys, Options{Residual: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,11 +32,11 @@ func TestGmonDynamicSchedulesLikeColorDynamic(t *testing.T) {
 	// model differs.
 	sys := testSystem(16)
 	c := bench.XEB(sys.Device, 5, 3)
-	cd, err := (ColorDynamic{}).Compile(c, sys, Options{})
+	cd, err := (ColorDynamic{}).Compile(nil, c, sys, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cdg, err := (GmonDynamic{}).Compile(c, sys, Options{})
+	cdg, err := (GmonDynamic{}).Compile(nil, c, sys, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

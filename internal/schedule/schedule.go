@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"fastsc/internal/circuit"
+	"fastsc/internal/compile"
 	"fastsc/internal/graph"
 	"fastsc/internal/phys"
 	"fastsc/internal/smt"
@@ -111,28 +112,32 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Compiler turns a circuit into a timed schedule on a system.
+// Compiler turns a circuit into a timed schedule on a system. The injected
+// compile.Context supplies the cross-job memoization cache and parallelism
+// budget; nil is always valid and compiles without caching.
 type Compiler interface {
 	Name() string
-	Compile(c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error)
+	Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error)
 }
 
 // builder carries the state shared by every strategy: the decomposed
 // circuit, the frequency partition, parking frequencies, and the crosstalk
 // graph.
 type builder struct {
+	ctx   *compile.Context
 	sys   *phys.System
+	sig   string // content signature of sys, the cache-key prefix
 	opts  Options
 	part  smt.Partition
 	circ  *circuit.Circuit // decomposed, native
 	crit  []int
 	xg    *xtalk.Graph
-	park  map[int]float64 // qubit -> parking frequency
+	park  map[int]float64 // qubit -> parking frequency (shared read-only)
 	sched *Schedule
 	now   float64
 }
 
-func newBuilder(name string, c *circuit.Circuit, sys *phys.System, opts Options) (*builder, error) {
+func newBuilder(ctx *compile.Context, name string, c *circuit.Circuit, sys *phys.System, opts Options) (*builder, error) {
 	opts = opts.withDefaults()
 	if c.NumQubits > sys.Device.Qubits {
 		return nil, fmt.Errorf("schedule: circuit needs %d qubits, device has %d",
@@ -157,17 +162,22 @@ func newBuilder(name string, c *circuit.Circuit, sys *phys.System, opts Options)
 		wide.Gates = dec.Gates
 		dec = wide
 	}
-	park, err := parkingFrequencies(sys, part)
+	sig := compile.SystemSignature(sys)
+	park, err := ctx.Parking(sig, func() (map[int]float64, error) {
+		return parkingFrequencies(ctx, sys, part)
+	})
 	if err != nil {
 		return nil, err
 	}
 	b := &builder{
+		ctx:  ctx,
 		sys:  sys,
+		sig:  sig,
 		opts: opts,
 		part: part,
 		circ: dec,
 		crit: dec.Criticality(),
-		xg:   xtalk.Build(sys.Device, opts.XtalkDistance),
+		xg:   ctx.Xtalk(sys.Device, opts.XtalkDistance),
 		park: park,
 		sched: &Schedule{
 			System:       sys,
@@ -195,7 +205,7 @@ const (
 // devices), maps colors to well-separated base frequencies in the parking
 // band (§IV-C1), and staggers qubits within each class. Sideband separation
 // between classes is enforced by the solver.
-func parkingFrequencies(sys *phys.System, part smt.Partition) (map[int]float64, error) {
+func parkingFrequencies(ctx *compile.Context, sys *phys.System, part smt.Partition) (map[int]float64, error) {
 	gc := sys.Device.Coupling
 	col, ok := graph.TwoColor(gc)
 	if !ok {
@@ -214,7 +224,7 @@ func parkingFrequencies(sys *phys.System, part smt.Partition) (map[int]float64, 
 	cfg := part.ParkingConfig(sys.MeanAnharmonicity())
 	cfg.Lo += parkingStagger
 	cfg.Hi -= parkingStagger
-	freqs, _, err := smt.Solve(k, cfg)
+	freqs, _, err := ctx.SolveSMT(k, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("schedule: parking assignment: %w", err)
 	}

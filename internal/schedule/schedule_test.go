@@ -49,7 +49,7 @@ func TestAllStrategiesCompileAndVerify(t *testing.T) {
 	}
 	for name, c := range circs {
 		for _, comp := range Registry() {
-			s, err := comp.Compile(c, sys, Options{})
+			s, err := comp.Compile(nil, c, sys, Options{})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", comp.Name(), name, err)
 			}
@@ -70,8 +70,8 @@ func TestScheduleDeterministic(t *testing.T) {
 	sys := testSystem(9)
 	c := bench.XEB(sys.Device, 3, 7)
 	for _, comp := range Registry() {
-		s1, err1 := comp.Compile(c, sys, Options{})
-		s2, err2 := comp.Compile(c, sys, Options{})
+		s1, err1 := comp.Compile(nil, c, sys, Options{})
+		s2, err2 := comp.Compile(nil, c, sys, Options{})
 		if err1 != nil || err2 != nil {
 			t.Fatalf("%s: %v %v", comp.Name(), err1, err2)
 		}
@@ -96,7 +96,7 @@ func TestCompileRejectsOversizedCircuit(t *testing.T) {
 	c := circuit.New(9)
 	c.H(0)
 	for _, comp := range Registry() {
-		if _, err := comp.Compile(c, sys, Options{}); err == nil {
+		if _, err := comp.Compile(nil, c, sys, Options{}); err == nil {
 			t.Fatalf("%s accepted oversized circuit", comp.Name())
 		}
 	}
@@ -104,7 +104,7 @@ func TestCompileRejectsOversizedCircuit(t *testing.T) {
 
 func TestParkingFrequenciesCheckerboard(t *testing.T) {
 	sys := testSystem(16)
-	s, err := (ColorDynamic{}).Compile(smallCircuit(), sys, Options{})
+	s, err := (ColorDynamic{}).Compile(nil, smallCircuit(), sys, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestParkingFrequenciesCheckerboard(t *testing.T) {
 
 func TestParkingInsideParkingBand(t *testing.T) {
 	sys := testSystem(9)
-	s, err := (Uniform{}).Compile(smallCircuit(), sys, Options{})
+	s, err := (Uniform{}).Compile(nil, smallCircuit(), sys, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestInteractionFrequenciesReachable(t *testing.T) {
 	sys := testSystem(9)
 	c := bench.XEB(sys.Device, 4, 1)
 	for _, comp := range Registry() {
-		s, err := comp.Compile(c, sys, Options{})
+		s, err := comp.Compile(nil, c, sys, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func TestInteractionFrequenciesReachable(t *testing.T) {
 func TestUniformSingleFrequency(t *testing.T) {
 	sys := testSystem(9)
 	c := bench.XEB(sys.Device, 4, 1)
-	s, err := (Uniform{}).Compile(c, sys, Options{})
+	s, err := (Uniform{}).Compile(nil, c, sys, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestUniformSingleFrequency(t *testing.T) {
 func TestUniformSerializesAdjacentGates(t *testing.T) {
 	sys := testSystem(9)
 	c := bench.XEB(sys.Device, 4, 1)
-	s, err := (Uniform{}).Compile(c, sys, Options{})
+	s, err := (Uniform{}).Compile(nil, c, sys, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestUniformSerializesAdjacentGates(t *testing.T) {
 func TestColorDynamicSeparatesNearbyGates(t *testing.T) {
 	sys := testSystem(16)
 	c := bench.XEB(sys.Device, 6, 2)
-	s, err := (ColorDynamic{}).Compile(c, sys, Options{})
+	s, err := (ColorDynamic{}).Compile(nil, c, sys, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestColorDynamicMaxColorsBound(t *testing.T) {
 	sys := testSystem(16)
 	c := bench.XEB(sys.Device, 6, 2)
 	for _, k := range []int{1, 2, 3, 4} {
-		s, err := (ColorDynamic{}).Compile(c, sys, Options{MaxColors: k})
+		s, err := (ColorDynamic{}).Compile(nil, c, sys, Options{MaxColors: k})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,11 +285,11 @@ func TestColorDynamicMaxColorsBound(t *testing.T) {
 func TestColorDynamicFewerColorsMeansDeeper(t *testing.T) {
 	sys := testSystem(16)
 	c := bench.XEB(sys.Device, 6, 2)
-	s1, err := (ColorDynamic{}).Compile(c, sys, Options{MaxColors: 1})
+	s1, err := (ColorDynamic{}).Compile(nil, c, sys, Options{MaxColors: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s4, err := (ColorDynamic{}).Compile(c, sys, Options{MaxColors: 4})
+	s4, err := (ColorDynamic{}).Compile(nil, c, sys, Options{MaxColors: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +302,7 @@ func TestColorDynamicFewerColorsMeansDeeper(t *testing.T) {
 func TestGmonActiveCouplersTracked(t *testing.T) {
 	sys := testSystem(9)
 	c := bench.XEB(sys.Device, 4, 1)
-	s, err := (Gmon{}).Compile(c, sys, Options{Residual: 0.3})
+	s, err := (Gmon{}).Compile(nil, c, sys, Options{Residual: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestGmonActiveCouplersTracked(t *testing.T) {
 func TestGmonTilingOnePatternPerSlice(t *testing.T) {
 	sys := testSystem(16)
 	c := bench.XEB(sys.Device, 4, 1)
-	s, err := (Gmon{}).Compile(c, sys, Options{})
+	s, err := (Gmon{}).Compile(nil, c, sys, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func TestNaiveASAPDepthMatchesCircuit(t *testing.T) {
 	c := circuit.Decompose(smallCircuit(), circuit.Hybrid)
 	wide := circuit.New(9)
 	wide.Gates = c.Gates
-	s, err := (Naive{}).Compile(smallCircuit(), sys, Options{})
+	s, err := (Naive{}).Compile(nil, smallCircuit(), sys, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +386,7 @@ func TestSlicesNeverReuseQubits(t *testing.T) {
 	sys := testSystem(9)
 	c := routedIsing(t, sys, 9, 4)
 	for _, comp := range Registry() {
-		s, err := comp.Compile(c, sys, Options{})
+		s, err := comp.Compile(nil, c, sys, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -445,7 +445,7 @@ func TestMaxColorsFeasible(t *testing.T) {
 	sys := testSystem(4)
 	lo, hi := sys.CommonRange()
 	part := smt.PartitionFor(lo, hi)
-	k := maxColorsFeasible(part.InteractionConfig(sys.MeanAnharmonicity()), 16)
+	k := maxColorsFeasible(nil, part.InteractionConfig(sys.MeanAnharmonicity()), 16)
 	if k < 2 {
 		t.Fatalf("interaction band should host at least 2 colors, got %d", k)
 	}
@@ -455,7 +455,7 @@ func TestDecomposeOptionRespected(t *testing.T) {
 	sys := testSystem(4)
 	c := circuit.New(4)
 	c.CNOT(0, 1)
-	s, err := (ColorDynamic{}).Compile(c, sys, Options{Decompose: circuit.PureISwap})
+	s, err := (ColorDynamic{}).Compile(nil, c, sys, Options{Decompose: circuit.PureISwap})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -468,7 +468,7 @@ func TestFluxRampIncludedInSliceDuration(t *testing.T) {
 	sys := testSystem(4)
 	c := circuit.New(4)
 	c.H(0)
-	s, err := (ColorDynamic{}).Compile(c, sys, Options{})
+	s, err := (ColorDynamic{}).Compile(nil, c, sys, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -135,7 +135,7 @@ func TestDecomposedCircuitSameState(t *testing.T) {
 
 func compileFor(t *testing.T, strategy string, c *circuit.Circuit, sys *phys.System) *schedule.Schedule {
 	t.Helper()
-	s, err := schedule.ByName(strategy).Compile(c, sys, schedule.Options{})
+	s, err := schedule.ByName(strategy).Compile(nil, c, sys, schedule.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
