@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench
+.PHONY: all build test lint bench warm-cache-check
 
 all: lint build test
 
@@ -22,3 +22,13 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | tee bench-results.txt
+
+# Mirrors the CI warm-cache job: a second Fig 9 sweep against the same
+# cache snapshot must report a total hit rate above 95%.
+warm-cache-check:
+	@snap=$$(mktemp -u)/fastsc-cache.snap; mkdir -p $$(dirname $$snap); \
+	$(GO) run ./cmd/experiments -cache-file "$$snap" -cache-stats fig9 > /dev/null; \
+	$(GO) run ./cmd/experiments -cache-file "$$snap" -cache-stats fig9 | tee warm-run.txt; \
+	rate=$$(awk '/^total / {gsub(/%/,"",$$NF); rate=$$NF} END {print rate}' warm-run.txt); \
+	echo "warm-run total hit rate: $$rate%"; \
+	awk -v r="$$rate" 'BEGIN { if (r == "" || r <= 95) { print "warm hit rate " r "% is not > 95%"; exit 1 } }'

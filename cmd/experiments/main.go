@@ -6,6 +6,7 @@
 //
 //	experiments fig9 fig13
 //	experiments -workers 4 -cache-stats all
+//	experiments -cache-file sweep.snap fig9   # second run starts warm
 //
 // Available ids: table1, table2, fig2, fig4, fig6, fig7, fig9, fig10,
 // fig11, fig12, fig13, fig14, fig15, ext-gmon, validation.
@@ -31,12 +32,21 @@ func main() {
 		workers    = flag.Int("workers", 0, "batch-engine worker pool size (0 = GOMAXPROCS)")
 		cacheSize  = flag.Int("cache-size", 0, "solver cache capacity in entries (0 = default)")
 		cacheStats = flag.Bool("cache-stats", false, "print cache hit/miss counters after the run")
+		cacheFile  = flag.String("cache-file", "", "cache snapshot path: loaded before the run (cold start if missing/stale) and saved after it, so repeated sweeps skip recurring solver work")
 	)
 	flag.Parse()
 
 	// One shared context for the whole run: every experiment's jobs reuse
 	// the same SMT solutions, crosstalk graphs and slice colorings.
 	ctx := &compile.Context{Cache: compile.NewCache(*cacheSize), Workers: *workers}
+	if *cacheFile != "" {
+		n, err := ctx.Cache.Load(*cacheFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cache snapshot: %v (starting cold)\n", err)
+		} else if n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: warmed solver cache with %d entries from %s\n", n, *cacheFile)
+		}
+	}
 
 	runners := []runner{
 		{"table1", func(*compile.Context) error { show(expt.TableStrategies()); return nil }},
@@ -142,6 +152,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *cacheFile != "" {
+		if err := ctx.Cache.Save(*cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cache snapshot: %v\n", err)
+		}
+	}
 	if *cacheStats {
 		printCacheStats(ctx)
 	}
@@ -164,4 +179,7 @@ func printCacheStats(ctx *compile.Context) {
 		fmt.Printf("%-8s hits %-8d misses %-8d evictions %-6d hit-rate %.1f%%\n",
 			r, s.Hits, s.Misses, s.Evictions, 100*s.HitRate())
 	}
+	t := ctx.Cache.TotalStats()
+	fmt.Printf("%-8s hits %-8d misses %-8d evictions %-6d hit-rate %.1f%%\n",
+		"total", t.Hits, t.Misses, t.Evictions, 100*t.HitRate())
 }

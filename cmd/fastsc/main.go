@@ -42,6 +42,7 @@ func main() {
 		residual  = flag.Float64("residual", 0, "gmon residual coupling factor r")
 		dist      = flag.Int("distance", 0, "crosstalk distance d (0 = default 2)")
 		workers   = flag.Int("workers", 0, "batch-engine worker pool size for -compare (0 = GOMAXPROCS)")
+		cacheFile = flag.String("cache-file", "", "cache snapshot path: loaded before compiling (cold start if missing/stale) and saved afterwards")
 		verbose   = flag.Bool("verbose", false, "print every slice with its frequencies")
 	)
 	flag.Parse()
@@ -83,15 +84,25 @@ func main() {
 	}
 
 	ctx := &compile.Context{Cache: compile.NewCache(0), Workers: *workers}
+	if *cacheFile != "" {
+		if _, err := ctx.Cache.Load(*cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "fastsc: cache snapshot: %v (starting cold)\n", err)
+		}
+	}
 	if *compare {
 		runComparison(ctx, circ, sys, cfg)
-		return
+	} else {
+		res, err := core.CompileCtx(ctx, circ, sys, *strategy, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(*strategy, dev, circ, res, *verbose)
 	}
-	res, err := core.CompileCtx(ctx, circ, sys, *strategy, cfg)
-	if err != nil {
-		fatal(err)
+	if *cacheFile != "" {
+		if err := ctx.Cache.Save(*cacheFile); err != nil {
+			fmt.Fprintf(os.Stderr, "fastsc: cache snapshot: %v\n", err)
+		}
 	}
-	printResult(*strategy, dev, circ, res, *verbose)
 }
 
 func buildDevice(name string, n int) (*topology.Device, error) {

@@ -13,12 +13,23 @@
 //
 // internal/compile is the throughput layer: a batch engine that fans
 // (circuit, compiler, system) jobs across a bounded worker pool and a
-// concurrency-safe LRU cache that memoizes the solver stages — SMT
+// concurrency-safe sharded LRU cache that memoizes the solver stages — SMT
 // frequency solutions keyed by (k, band, anharmonicity), crosstalk graphs
 // and static palettes keyed by the device's content signature, and
-// per-slice coloring/frequency assignments keyed by the canonical hash of
-// the active interaction subgraph. A compile.Context carries both and is
-// injected into every schedule.Compiler; core.BatchCompile streams results
-// over a channel, and the experiment harness (internal/expt) runs the full
-// Fig 9–13 sweeps through it.
+// per-slice coloring/frequency assignments keyed by the exact sorted
+// vertex set of the active interaction subgraph (collision-proof by
+// construction: a cache hit is always the right frequency assignment). A
+// compile.Context carries both and is injected into every
+// schedule.Compiler; core.BatchCompile streams results over a channel, and
+// the experiment harness (internal/expt) runs the full Fig 9–13 sweeps
+// through it.
+//
+// The cache deduplicates concurrent misses on the same key through a
+// single-flight group (one solve per key no matter how many workers need
+// it), shards its lock across a power of two of independent LRU lists so
+// large worker pools do not serialize, and snapshots its
+// process-independent regions to disk (versioned gob; see
+// compile.Cache.Save/Load). Both CLIs expose the snapshot as -cache-file,
+// so repeated sweeps start warm; a missing, corrupt or version-mismatched
+// snapshot silently degrades to a cold cache.
 package fastsc

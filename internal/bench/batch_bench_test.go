@@ -1,6 +1,7 @@
 package bench_test
 
 import (
+	"path/filepath"
 	"testing"
 
 	"fastsc/internal/compile"
@@ -69,6 +70,42 @@ func BenchmarkBatchCompile(b *testing.B) {
 		}
 		b.ReportMetric(100*hitRate, "cache-hit-%")
 	})
+}
+
+// BenchmarkWarmStartBatchCompile compares a cold Fig 9 sweep against one
+// warmed from a cache snapshot on disk (the cmd/experiments -cache-file
+// path): each warm iteration starts from a fresh cache, restores the
+// snapshot, and runs the full sweep. The warm run should report a higher
+// hit rate and lower wall time than the cold run.
+func BenchmarkWarmStartBatchCompile(b *testing.B) {
+	jobs := fig9Jobs()
+	path := filepath.Join(b.TempDir(), "cache.snap")
+	seed := compile.NewContext(0)
+	if _, err := core.BatchCollect(seed, jobs); err != nil {
+		b.Fatal(err)
+	}
+	if err := seed.Cache.Save(path); err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, warm bool) {
+		var hitRate float64
+		for i := 0; i < b.N; i++ {
+			ctx := compile.NewContext(0)
+			if warm {
+				if n, err := ctx.Cache.Load(path); err != nil || n == 0 {
+					b.Fatalf("snapshot load: n=%d err=%v", n, err)
+				}
+			}
+			if _, err := core.BatchCollect(ctx, jobs); err != nil {
+				b.Fatal(err)
+			}
+			hitRate = ctx.Cache.TotalStats().HitRate()
+		}
+		b.ReportMetric(100*hitRate, "cache-hit-%")
+	}
+	b.Run("cold", func(b *testing.B) { run(b, false) })
+	b.Run("warm", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkCompileAllCtx measures the five-strategy comparison on one

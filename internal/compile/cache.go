@@ -1,10 +1,5 @@
 package compile
 
-import (
-	"container/list"
-	"sync"
-)
-
 // DefaultCacheCapacity is the entry capacity used when NewCache is given a
 // non-positive capacity. Slice solutions and SMT solves are small (a few
 // hundred bytes), so thousands of entries cost single-digit megabytes;
@@ -26,7 +21,7 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// add accumulates counters (used to aggregate regions).
+// add accumulates counters (used to aggregate regions and shards).
 func (s Stats) add(o Stats) Stats {
 	return Stats{
 		Hits:      s.Hits + o.Hits,
@@ -35,132 +30,178 @@ func (s Stats) add(o Stats) Stats {
 	}
 }
 
-// Cache is a concurrency-safe LRU cache shared across compilation jobs.
-// Entries are namespaced by region (e.g. "smt", "slice", "xtalk") so that
-// hit/miss accounting can be reported per pipeline stage. Values stored in
-// the cache are shared between goroutines and MUST be treated as immutable
-// by every consumer.
+// Cache is a concurrency-safe sharded LRU cache shared across compilation
+// jobs. Entries are namespaced by region (e.g. "smt", "slice", "xtalk") so
+// that hit/miss accounting can be reported per pipeline stage.
+//
+// Keys are hashed onto a power-of-two number of independently locked
+// shards, each with its own LRU list, so concurrent lookups from a large
+// worker pool do not serialize on one mutex. LRU ordering and the capacity
+// bound therefore hold per shard, not globally: an eviction removes the
+// least-recently-used entry of the full shard, which is only
+// approximately the globally least-recently-used entry. Use shards=1
+// (NewCacheSharded) when exact global LRU order matters.
+//
+// Do deduplicates concurrent misses on the same key through a
+// single-flight group: one caller computes, everyone else blocks and
+// shares the result.
+//
+// Values stored in the cache are shared between goroutines and MUST be
+// treated as immutable by every consumer.
 type Cache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
-	stats map[string]*Stats
+	shards []*cacheShard
+	mask   uint64
+	flight flightGroup
 }
 
-type cacheEntry struct {
-	key    string // namespaced: region + "\x00" + key
-	region string
-	value  any
-}
-
-// NewCache returns an LRU cache holding at most capacity entries.
-// capacity <= 0 selects DefaultCacheCapacity.
+// NewCache returns a cache holding at most ~capacity entries, sharded for
+// the current GOMAXPROCS. capacity <= 0 selects DefaultCacheCapacity.
 func NewCache(capacity int) *Cache {
+	return NewCacheSharded(capacity, 0)
+}
+
+// NewCacheSharded returns a cache with an explicit shard count, which is
+// rounded up to a power of two, clamped to [1, maxShards], then halved
+// until it does not exceed capacity. shards <= 0 selects the
+// GOMAXPROCS-derived default. Capacity is split evenly across shards
+// (rounding up), so the effective total capacity is
+// shards * ceil(capacity/shards).
+func NewCacheSharded(capacity, shards int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
-	return &Cache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
-		stats: make(map[string]*Stats),
+	if shards <= 0 {
+		shards = defaultShardCount()
 	}
+	n := 1
+	for n < shards && n < maxShards {
+		n <<= 1
+	}
+	for n > capacity {
+		n >>= 1
+	}
+	perShard := (capacity + n - 1) / n
+	c := &Cache{shards: make([]*cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = newCacheShard(perShard)
+	}
+	return c
 }
 
 func namespaced(region, key string) string { return region + "\x00" + key }
 
-func (c *Cache) regionStats(region string) *Stats {
-	s, ok := c.stats[region]
-	if !ok {
-		s = &Stats{}
-		c.stats[region] = s
+// shardFor hashes a namespaced key onto its shard (FNV-64a).
+func (c *Cache) shardFor(nk string) *cacheShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(nk); i++ {
+		h ^= uint64(nk[i])
+		h *= 1099511628211
 	}
-	return s
+	return c.shards[h&c.mask]
+}
+
+// NumShards returns the shard count (useful for tests and benchmarks).
+func (c *Cache) NumShards() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.shards)
 }
 
 // Get looks up key in region, promoting it to most-recently-used on a hit.
 // Nil caches always miss without accounting.
 func (c *Cache) Get(region, key string) (any, bool) {
+	return c.get(region, key, true)
+}
+
+// peek is Get without hit/miss accounting, used by the single-flight
+// re-check (whose caller already recorded its miss).
+func (c *Cache) peek(region, key string) (any, bool) {
+	return c.get(region, key, false)
+}
+
+func (c *Cache) get(region, key string, account bool) (any, bool) {
 	if c == nil {
 		return nil, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.regionStats(region)
-	el, ok := c.items[namespaced(region, key)]
-	if !ok {
-		s.Misses++
-		return nil, false
-	}
-	s.Hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).value, true
+	nk := namespaced(region, key)
+	s := c.shardFor(nk)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.get(region, nk, account)
 }
 
 // Put stores value under (region, key), evicting the least-recently-used
-// entry when the cache is full. Storing an existing key refreshes its value
-// and recency. Put on a nil cache is a no-op.
+// entry of the key's shard when that shard is full. Storing an existing
+// key refreshes its value and recency. Put on a nil cache is a no-op.
 func (c *Cache) Put(region, key string, value any) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	nk := namespaced(region, key)
-	if el, ok := c.items[nk]; ok {
-		el.Value.(*cacheEntry).value = value
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.items[nk] = c.ll.PushFront(&cacheEntry{key: nk, region: region, value: value})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		ent := oldest.Value.(*cacheEntry)
-		c.ll.Remove(oldest)
-		delete(c.items, ent.key)
-		c.regionStats(ent.region).Evictions++
-	}
+	s := c.shardFor(nk)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.put(region, nk, value)
 }
 
-// Do returns the cached value for (region, key), computing and storing it on
-// a miss. Errors are not cached by Do — use a value type that embeds the
-// error (as the SMT memo does) when negative caching is wanted. Concurrent
-// misses on the same key may compute redundantly; both results are
-// identical by construction (only deterministic pure functions are
-// memoized), so the last Put simply wins.
+// Do returns the cached value for (region, key), computing and storing it
+// on a miss. Concurrent misses on the same key are deduplicated through a
+// single-flight group: exactly one caller runs compute while the others
+// block and share its result (including its error). Errors are shared
+// with in-flight waiters but never cached — the next caller after a
+// failed flight computes afresh; use a value type that embeds the error
+// (as the SMT memo does) when negative caching is wanted.
 func (c *Cache) Do(region, key string, compute func() (any, error)) (any, error) {
+	if c == nil {
+		return compute()
+	}
 	if v, ok := c.Get(region, key); ok {
 		return v, nil
 	}
-	v, err := compute()
-	if err != nil {
-		return nil, err
-	}
-	c.Put(region, key, v)
-	return v, nil
+	return c.flight.do(namespaced(region, key), func() (any, error) {
+		// Re-check: a previous flight may have stored the value between
+		// this caller's miss and its turn as leader. Without this, a
+		// caller overlapping the tail of a finished flight would compute
+		// a second time.
+		if v, ok := c.peek(region, key); ok {
+			return v, nil
+		}
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		c.Put(region, key, v)
+		return v, nil
+	})
 }
 
-// Len returns the current number of entries.
+// Len returns the current number of entries across all shards.
 func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// StatsByRegion returns a copy of the per-region counters.
+// StatsByRegion returns the per-region counters aggregated across shards.
 func (c *Cache) StatsByRegion() map[string]Stats {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]Stats, len(c.stats))
-	for r, s := range c.stats {
-		out[r] = *s
+	out := make(map[string]Stats)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for r, st := range s.stats {
+			out[r] = out[r].add(*st)
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -172,4 +213,26 @@ func (c *Cache) TotalStats() Stats {
 		total = total.add(s)
 	}
 	return total
+}
+
+// regionEntries returns a copy of one region's (bare key -> value) map,
+// used by the snapshot writer. Values are the shared immutable cache
+// values; callers must not mutate them.
+func (c *Cache) regionEntries(region string) map[string]any {
+	if c == nil {
+		return nil
+	}
+	prefix := namespaced(region, "")
+	out := make(map[string]any)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for nk, el := range s.items {
+			ent := el.Value.(*cacheEntry)
+			if ent.region == region {
+				out[nk[len(prefix):]] = ent.value
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
 }

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"fastsc/internal/smt"
 )
@@ -45,7 +47,8 @@ func TestCacheRegionsAreIndependent(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := NewCache(2)
+	// One shard: exact global LRU order is only guaranteed per shard.
+	c := NewCacheSharded(2, 1)
 	c.Put("r", "a", 1)
 	c.Put("r", "b", 2)
 	c.Get("r", "a")    // promote a
@@ -158,6 +161,113 @@ func TestCacheConcurrentStress(t *testing.T) {
 	total := c.TotalStats()
 	if total.Hits+total.Misses == 0 {
 		t.Fatal("no accesses recorded")
+	}
+}
+
+func TestNewCacheShardedDefaults(t *testing.T) {
+	if n := NewCache(0).NumShards(); n < 1 || n&(n-1) != 0 {
+		t.Fatalf("default shard count %d is not a power of two", n)
+	}
+	if n := NewCacheSharded(1024, 3).NumShards(); n != 4 {
+		t.Fatalf("shards=3 should round up to 4, got %d", n)
+	}
+	if n := NewCacheSharded(1024, 1<<20).NumShards(); n != maxShards {
+		t.Fatalf("shard count should clamp to %d, got %d", maxShards, n)
+	}
+	if n := NewCacheSharded(2, 16).NumShards(); n > 2 {
+		t.Fatalf("shard count should not exceed capacity, got %d", n)
+	}
+	var nilCache *Cache
+	if nilCache.NumShards() != 0 {
+		t.Fatal("nil cache should report zero shards")
+	}
+}
+
+// TestCacheShardedCapacityBound checks that the sharded cache's total size
+// stays within shards * ceil(capacity/shards) under a worst-case fill.
+func TestCacheShardedCapacityBound(t *testing.T) {
+	const capacity, shards = 64, 8
+	c := NewCacheSharded(capacity, shards)
+	for i := 0; i < 10*capacity; i++ {
+		c.Put("r", fmt.Sprintf("k%d", i), i)
+	}
+	if max := shards * ((capacity + shards - 1) / shards); c.Len() > max {
+		t.Fatalf("cache grew to %d entries, cap %d", c.Len(), max)
+	}
+	if ev := c.StatsByRegion()["r"].Evictions; ev == 0 {
+		t.Fatal("overfill recorded no evictions")
+	}
+}
+
+// TestCacheDoSingleFlight checks the exactly-one-compute contract: many
+// goroutines missing on the same key concurrently must trigger one
+// computation, with every caller receiving its value. Meaningful under
+// -race.
+func TestCacheDoSingleFlight(t *testing.T) {
+	c := NewCache(64)
+	const goroutines = 32
+	var computes atomic.Int64
+	var ready, done sync.WaitGroup
+	ready.Add(goroutines)
+	done.Add(goroutines)
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer done.Done()
+			ready.Done()
+			<-start
+			v, err := c.Do("r", "k", func() (any, error) {
+				computes.Add(1)
+				time.Sleep(10 * time.Millisecond) // widen the dedup window
+				return 42, nil
+			})
+			if err != nil || v.(int) != 42 {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+		}()
+	}
+	ready.Wait()
+	close(start)
+	done.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times for one key, want exactly 1", n)
+	}
+}
+
+// TestCacheDoSingleFlightSharesErrors checks that an in-flight error is
+// delivered to every waiter but is not cached: the next (sequential)
+// caller computes afresh.
+func TestCacheDoSingleFlightSharesErrors(t *testing.T) {
+	c := NewCache(64)
+	boom := errors.New("boom")
+	const goroutines = 8
+	var computes atomic.Int64
+	var ready, done sync.WaitGroup
+	ready.Add(goroutines)
+	done.Add(goroutines)
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer done.Done()
+			ready.Done()
+			<-start
+			if _, err := c.Do("r", "k", func() (any, error) {
+				computes.Add(1)
+				time.Sleep(10 * time.Millisecond)
+				return nil, boom
+			}); !errors.Is(err, boom) {
+				t.Errorf("Do err = %v, want boom", err)
+			}
+		}()
+	}
+	ready.Wait()
+	close(start)
+	done.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("failing compute ran %d times concurrently, want 1", n)
+	}
+	if _, err := c.Do("r", "k", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatalf("error was cached: %v", err)
 	}
 }
 

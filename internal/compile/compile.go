@@ -19,6 +19,29 @@
 // into schedule.Compiler.Compile; a nil *Context is always valid and means
 // "no cache, default parallelism". All cached values are treated as
 // immutable after insertion — callers must never mutate what they get back.
+//
+// # Cache v2: sharding, single-flight, persistence
+//
+// The cache is sharded: keys hash onto a power of two of independently
+// locked LRU shards (one per GOMAXPROCS by default, NewCacheSharded to
+// override), so a >32-core worker pool does not serialize on one mutex.
+// LRU order and the capacity bound hold per shard.
+//
+// Cache.Do deduplicates concurrent misses on the same key through a
+// single-flight group: exactly one caller computes, every concurrent
+// caller for that key blocks and shares the result (errors included;
+// errors are still never cached). A slice subgraph issued by 32 jobs at
+// once is solved once, not 32 times.
+//
+// The process-independent regions (SMT solves, static palettes, parking
+// assignments, slice solutions — see PersistRegions) snapshot to disk via
+// Cache.Save/Load as a versioned gob stream; both CLIs expose it as
+// -cache-file, so repeated sweeps start warm. A missing, corrupt or
+// version-mismatched snapshot degrades to a cold cache rather than an
+// error, and snapshots carry KeyVersion so keys from an older key scheme
+// can never be read back. Cache keys are exact encodings (not hashes) of
+// their inputs wherever collision would change compilation output:
+// SliceKey encodes the full sorted active-vertex set.
 package compile
 
 import "runtime"

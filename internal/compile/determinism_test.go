@@ -2,8 +2,12 @@ package compile_test
 
 import (
 	"math"
+	"path/filepath"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"fastsc/internal/bench"
 	"fastsc/internal/circuit"
@@ -138,6 +142,99 @@ func TestBatchCompileMatchesSerial(t *testing.T) {
 		sameSchedule(t, s, serial.Schedule, batch[s].Schedule)
 		if serial.Report.Success != batch[s].Report.Success {
 			t.Fatalf("%s: success %v (serial) vs %v (batch)", s, serial.Report.Success, batch[s].Report.Success)
+		}
+	}
+}
+
+// TestSliceSingleFlightStress checks the engine-level exactly-one-compute
+// contract: many workers missing on the same slice key at once must run
+// one solve, not one per worker (pre-v2, concurrent misses computed
+// redundantly and the last Put won). Meaningful under -race.
+func TestSliceSingleFlightStress(t *testing.T) {
+	ctx := compile.NewContext(0)
+	const goroutines = 24
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		key := compile.SliceKey("sig", 2, 2, []int{r, r + 1, r + 7})
+		var computes atomic.Int64
+		var ready, done sync.WaitGroup
+		ready.Add(goroutines)
+		done.Add(goroutines)
+		start := make(chan struct{})
+		for g := 0; g < goroutines; g++ {
+			go func() {
+				defer done.Done()
+				ready.Done()
+				<-start
+				sol, err := ctx.Slice(key, func() (compile.SliceSolution, error) {
+					computes.Add(1)
+					time.Sleep(time.Millisecond)
+					return compile.SliceSolution{NumColors: r}, nil
+				})
+				if err != nil || sol.NumColors != r {
+					t.Errorf("round %d: Slice = %+v, %v", r, sol, err)
+				}
+			}()
+		}
+		ready.Wait()
+		close(start)
+		done.Wait()
+		if n := computes.Load(); n != 1 {
+			t.Fatalf("round %d: %d computes for one key, want exactly 1", r, n)
+		}
+	}
+}
+
+// TestWarmStartCompilationIsDeterministic checks the persistence
+// counterpart of the determinism contract: a process that loads another
+// process's cache snapshot (simulated here by a fresh Context + Load)
+// produces byte-identical schedules to an uncached compilation, while
+// actually hitting the restored entries.
+func TestWarmStartCompilationIsDeterministic(t *testing.T) {
+	sys := testSystem(16)
+	circ := bench.XEB(sys.Device, 5, 7)
+	path := filepath.Join(t.TempDir(), "cache.snap")
+
+	// "Process 1": compile everything, snapshot the cache.
+	first := compile.NewContext(1)
+	for _, comp := range schedule.Extended() {
+		if _, err := comp.Compile(first, circ, sys, schedule.Options{}); err != nil {
+			t.Fatalf("%s seed run: %v", comp.Name(), err)
+		}
+	}
+	if err := first.Cache.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Process 2": cold context warmed only from disk.
+	warm := compile.NewContext(1)
+	n, err := warm.Cache.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("snapshot restored no entries")
+	}
+	for _, comp := range schedule.Extended() {
+		label := comp.Name() + "/warm-start"
+		uncached, err := comp.Compile(nil, circ, sys, schedule.Options{})
+		if err != nil {
+			t.Fatalf("%s uncached: %v", label, err)
+		}
+		warmed, err := comp.Compile(warm, circ, sys, schedule.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		sameSchedule(t, label, uncached, warmed)
+	}
+	st := warm.Cache.TotalStats()
+	if st.Hits == 0 {
+		t.Fatal("warm start never hit the restored cache")
+	}
+	for _, region := range []string{compile.RegionSlice, compile.RegionSMT, compile.RegionParking, compile.RegionStatic} {
+		rs := warm.Cache.StatsByRegion()[region]
+		if rs.Misses != 0 {
+			t.Errorf("region %s recomputed %d entries despite warm start", region, rs.Misses)
 		}
 	}
 }

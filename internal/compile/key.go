@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"fastsc/internal/phys"
 	"fastsc/internal/smt"
@@ -18,7 +20,7 @@ const (
 	// keyed by (k, band, alpha, minDelta).
 	RegionSMT = "smt"
 	// RegionSlice holds per-slice coloring/frequency solutions keyed by the
-	// canonical hash of the active interaction subgraph.
+	// exact sorted vertex set of the active interaction subgraph.
 	RegionSlice = "slice"
 	// RegionXtalk holds crosstalk graphs keyed by (device, distance).
 	RegionXtalk = "xtalk"
@@ -29,6 +31,17 @@ const (
 	// signature.
 	RegionParking = "park"
 )
+
+// KeyVersion is the version of the cache-key scheme, folded into SliceKey
+// and checked against snapshots on load so that keys built by an older
+// scheme can never be read back. Bump it whenever any key or signature
+// format changes.
+//
+// History: v1 reduced the active vertex set to a 64-bit FNV digest (a
+// collision would silently serve the wrong frequency assignment) and
+// omitted device coordinates from DeviceSignature (the parking stagger
+// reads them). v2 encodes the exact vertex set and hashes coordinates.
+const KeyVersion = 2
 
 type hasher struct{ h uint64 }
 
@@ -55,7 +68,8 @@ func (h *hasher) str(s string) {
 }
 
 // DeviceSignature returns a stable content hash of a device layout: its
-// name, qubit count and coupler list. Two Device values describing the same
+// name, qubit count, coupler list and qubit coordinates (the parking
+// stagger pattern depends on them). Two Device values describing the same
 // chip hash identically even when they are distinct allocations, which is
 // what lets independently constructed systems share cache entries.
 func DeviceSignature(dev *topology.Device) string {
@@ -66,14 +80,25 @@ func DeviceSignature(dev *topology.Device) string {
 		h.u64(uint64(e.U))
 		h.u64(uint64(e.V))
 	}
+	h.u64(uint64(len(dev.Coords)))
+	for q := 0; q < dev.Qubits; q++ {
+		if c, ok := dev.Coords[q]; ok {
+			h.u64(uint64(q))
+			h.u64(uint64(int64(c.Row)))
+			h.u64(uint64(int64(c.Col)))
+		}
+	}
 	return fmt.Sprintf("%016x", h.h)
 }
 
 // SystemSignature returns a stable content hash of a characterized system:
 // the device signature plus every transmon's fabrication draw and every
 // coupler's bare coupling — everything the scheduler's frequency math
-// depends on. Systems sampled with the same (device, params, seed) hash
-// identically across allocations.
+// depends on. (phys.System.Params is deliberately not hashed: every Params
+// field the compilers read is copied into the Transmon draws and the
+// Coupling map by phys.NewSystem; see the key-drift guard test.) Systems
+// sampled with the same (device, params, seed) hash identically across
+// allocations.
 func SystemSignature(sys *phys.System) string {
 	h := newHasher()
 	h.str(DeviceSignature(sys.Device))
@@ -91,7 +116,8 @@ func SystemSignature(sys *phys.System) string {
 }
 
 // SMTKey is the cache key of one smt.Solve invocation. The solver is a pure
-// function of exactly these inputs.
+// function of exactly these inputs; the key is an exact encoding, not a
+// hash, so distinct configurations can never collide.
 func SMTKey(k int, cfg smt.Config) string {
 	return fmt.Sprintf("%d|%x|%x|%x|%x",
 		k,
@@ -104,21 +130,33 @@ func XtalkKey(dev *topology.Device, distance int) string {
 	return fmt.Sprintf("%s|%d", DeviceSignature(dev), distance)
 }
 
-// SliceKey returns the canonical cache key of one slice-solve: the system
-// signature (which fixes the crosstalk graph's coupler indexing and the
-// interaction band), the crosstalk distance and color budget, and the
-// sorted vertex set of the active interaction subgraph. Vertex ids index
-// the device's coupler list, so the same simultaneous gate pattern maps to
-// the same key in every slice of every job on that system.
+// SliceKey returns the canonical cache key of one slice-solve: the key
+// version, the system signature (which fixes the crosstalk graph's coupler
+// indexing and the interaction band), the crosstalk distance and color
+// budget, and the exact sorted vertex set of the active interaction
+// subgraph, delta-encoded in hex. Vertex ids index the device's coupler
+// list, so the same simultaneous gate pattern maps to the same key in
+// every slice of every job on that system.
+//
+// The encoding is injective: the fixed-arity '|'-separated header cannot
+// alias (the signature is fixed-width hex, the ints are decimal), and two
+// distinct sorted vertex lists differ in some ','-separated delta token.
+// Unlike the v1 key — a 64-bit digest of the vertex set — no pair of
+// distinct slices can ever share a key, so a cache hit is always the right
+// frequency assignment.
 func SliceKey(sysSig string, distance, budget int, activeVertices []int) string {
 	verts := append([]int(nil), activeVertices...)
 	sort.Ints(verts)
-	h := newHasher()
-	h.str(sysSig)
-	h.u64(uint64(distance))
-	h.u64(uint64(uint(budget)))
-	for _, v := range verts {
-		h.u64(uint64(v))
+	var sb strings.Builder
+	sb.Grow(len(sysSig) + 16 + 3*len(verts))
+	fmt.Fprintf(&sb, "v%d|%s|%d|%d|", KeyVersion, sysSig, distance, budget)
+	prev := 0
+	for i, v := range verts {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatInt(int64(v-prev), 16))
+		prev = v
 	}
-	return fmt.Sprintf("%016x|%d", h.h, len(verts))
+	return sb.String()
 }

@@ -1,0 +1,144 @@
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"fastsc/internal/phys"
+	"fastsc/internal/smt"
+	"fastsc/internal/topology"
+)
+
+// TestSliceKeyCollisionProof is the regression test for the v1 key bug:
+// SliceKey used to reduce the active vertex set to a 64-bit FNV digest
+// plus a length, so two distinct slices could alias and silently serve
+// the wrong frequency assignment. The v2 key encodes the exact sorted
+// vertex set, so distinct sets can never map to the same key. The test
+// stresses the aliasing families a digest or a sloppy encoding would
+// merge: every subset of a small universe (exhaustive injectivity), sets
+// with equal length and equal sum (defeats additive hashes), multi-digit
+// concatenation ambiguity (defeats separator-free encodings), and
+// duplicate-vs-distinct multiplicity.
+func TestSliceKeyCollisionProof(t *testing.T) {
+	seen := make(map[string][]int)
+	record := func(verts []int) {
+		k := SliceKey("sig", 2, 2, verts)
+		sorted := append([]int(nil), verts...)
+		sort.Ints(sorted)
+		if prev, ok := seen[k]; ok && !reflect.DeepEqual(prev, sorted) {
+			t.Fatalf("collision: %v and %v share key %q", prev, sorted, k)
+		}
+		seen[k] = sorted
+	}
+
+	// Exhaustive: all 2^16 subsets of {0..15}.
+	for mask := 0; mask < 1<<16; mask++ {
+		var verts []int
+		for v := 0; v < 16; v++ {
+			if mask&(1<<v) != 0 {
+				verts = append(verts, v)
+			}
+		}
+		record(verts)
+	}
+
+	// Concatenation-ambiguity pairs: {1,2,3} vs {12,3} vs {1,23} vs {123}.
+	for _, verts := range [][]int{{1, 2, 3}, {12, 3}, {1, 23}, {123}, {0x12, 3}, {1, 0x23}} {
+		record(verts)
+	}
+
+	// Equal length + equal sum, and duplicate multiplicity.
+	for _, verts := range [][]int{{0, 3}, {1, 2}, {0, 1, 5}, {0, 2, 4}, {1, 1, 4}, {2, 2, 2}, {1, 2, 2}, {1, 1, 2}} {
+		record(verts)
+	}
+
+	// Randomized large sets (vertex ids up to realistic coupler counts).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(40)
+		verts := make([]int, n)
+		for j := range verts {
+			verts[j] = rng.Intn(2048)
+		}
+		record(verts)
+	}
+}
+
+// TestSliceKeyVersioned checks that the key carries the key-scheme version
+// so a snapshot written under an older scheme can never satisfy a v2
+// lookup (Load additionally rejects such snapshots wholesale).
+func TestSliceKeyVersioned(t *testing.T) {
+	k := SliceKey("sig", 2, 2, []int{1, 2})
+	if want := fmt.Sprintf("v%d|", KeyVersion); !strings.HasPrefix(k, want) {
+		t.Fatalf("key %q does not carry version prefix %q", k, want)
+	}
+}
+
+// assertExactFields fails unless typ has exactly the named fields. Every
+// key/signature in this package was written against a specific struct
+// layout; when a field is added, this guard forces the author to fold it
+// into the key (or consciously exclude it), update the expected list and
+// bump KeyVersion — otherwise the new field would silently alias cache
+// entries across configurations that differ only in it.
+func assertExactFields(t *testing.T, typ reflect.Type, keyFunc string, want ...string) {
+	t.Helper()
+	var got []string
+	for i := 0; i < typ.NumField(); i++ {
+		got = append(got, typ.Field(i).Name)
+	}
+	sort.Strings(got)
+	sorted := append([]string(nil), want...)
+	sort.Strings(sorted)
+	if !reflect.DeepEqual(got, sorted) {
+		t.Fatalf("%s has fields %v, but %s was written against %v.\n"+
+			"Fold the new field into %s (or document its exclusion here), "+
+			"update this list, and bump compile.KeyVersion.",
+			typ, got, keyFunc, sorted, keyFunc)
+	}
+}
+
+// TestKeySchemaDrift pins the struct layouts the cache keys hash. See
+// assertExactFields for the contract.
+func TestKeySchemaDrift(t *testing.T) {
+	// All four Config fields are folded into SMTKey.
+	assertExactFields(t, reflect.TypeOf(smt.Config{}), "SMTKey",
+		"Lo", "Hi", "Alpha", "MinDelta")
+
+	// All Device fields are folded into DeviceSignature: Name, Qubits,
+	// Coupling (via the sorted edge list) and Coords (the parking stagger
+	// pattern reads them).
+	assertExactFields(t, reflect.TypeOf(topology.Device{}), "DeviceSignature",
+		"Name", "Qubits", "Coupling", "Coords")
+	assertExactFields(t, reflect.TypeOf(topology.Coord{}), "DeviceSignature",
+		"Row", "Col")
+
+	// SystemSignature folds Device, Qubits (every Transmon field) and
+	// Coupling. Params is excluded on purpose: phys.NewSystem copies every
+	// Params field the compilers read into the Transmon draws (OmegaMax,
+	// EC, Asymmetry, T1, T2) and the Coupling map (G0); OmegaSigma only
+	// shapes the sampling. If System or Transmon gains a field, fold it in
+	// or extend this justification.
+	assertExactFields(t, reflect.TypeOf(phys.System{}), "SystemSignature",
+		"Device", "Qubits", "Coupling", "Params")
+	assertExactFields(t, reflect.TypeOf(phys.Transmon{}), "SystemSignature",
+		"OmegaMax", "EC", "Asymmetry", "T1", "T2")
+}
+
+// TestDeviceSignatureCoversCoords is the regression test for the v1
+// signature gap: staggerOffset reads qubit coordinates, so two devices
+// identical except for coordinates must not share parking cache entries.
+func TestDeviceSignatureCoversCoords(t *testing.T) {
+	a := topology.Linear(4)
+	b := topology.Linear(4)
+	if DeviceSignature(a) != DeviceSignature(b) {
+		t.Fatal("identical devices must share a signature")
+	}
+	b.Coords[2] = topology.Coord{Row: 5, Col: 7}
+	if DeviceSignature(a) == DeviceSignature(b) {
+		t.Fatal("devices differing only in coordinates must not share a signature")
+	}
+}

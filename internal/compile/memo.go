@@ -17,39 +17,38 @@ type smtResult struct {
 }
 
 // SolveSMT is a memoizing smt.Solve: identical (k, cfg) pairs — which recur
-// across slices, strategies and jobs on the same device — are solved once.
-// The returned slice is shared; callers must not mutate it.
+// across slices, strategies and jobs on the same device — are solved once,
+// including under concurrency (misses go through the cache's single-flight
+// layer; the solve outcome embeds its error, so infeasibility verdicts are
+// cached and deduplicated like solutions). The returned slice is shared;
+// callers must not mutate it.
 func (c *Context) SolveSMT(k int, cfg smt.Config) ([]float64, float64, error) {
 	cache := c.cache()
 	if cache == nil {
 		return smt.Solve(k, cfg)
 	}
-	key := SMTKey(k, cfg)
-	if v, ok := cache.Get(RegionSMT, key); ok {
-		r := v.(smtResult)
-		return r.xs, r.delta, r.err
-	}
-	xs, delta, err := smt.Solve(k, cfg)
-	cache.Put(RegionSMT, key, smtResult{xs: xs, delta: delta, err: err})
-	return xs, delta, err
+	v, _ := cache.Do(RegionSMT, SMTKey(k, cfg), func() (any, error) {
+		xs, delta, err := smt.Solve(k, cfg)
+		return smtResult{xs: xs, delta: delta, err: err}, nil
+	})
+	r := v.(smtResult)
+	return r.xs, r.delta, r.err
 }
 
 // Xtalk is a memoizing xtalk.Build: the distance-d crosstalk graph of a
-// device is built once and shared read-only by every job. Building it is
-// quadratic in couplers (all-pairs distances), so sharing it across a batch
-// matters on large chips.
+// device is built once — single-flighted under concurrent misses — and
+// shared read-only by every job. Building it is quadratic in couplers
+// (all-pairs distances), so sharing it across a batch matters on large
+// chips.
 func (c *Context) Xtalk(dev *topology.Device, distance int) *xtalk.Graph {
 	cache := c.cache()
 	if cache == nil {
 		return xtalk.Build(dev, distance)
 	}
-	key := XtalkKey(dev, distance)
-	if v, ok := cache.Get(RegionXtalk, key); ok {
-		return v.(*xtalk.Graph)
-	}
-	g := xtalk.Build(dev, distance)
-	cache.Put(RegionXtalk, key, g)
-	return g
+	v, _ := cache.Do(RegionXtalk, XtalkKey(dev, distance), func() (any, error) {
+		return xtalk.Build(dev, distance), nil
+	})
+	return v.(*xtalk.Graph)
 }
 
 // SliceSolution is a cached per-slice solver outcome: the coloring of the

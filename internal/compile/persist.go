@@ -1,0 +1,196 @@
+package compile
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+
+	"fastsc/internal/smt"
+)
+
+// SnapshotVersion is the on-disk snapshot format version. A snapshot
+// written with any other version (or any other KeyVersion) is rejected
+// wholesale on load and the cache starts cold — stale keys are never read
+// back.
+const SnapshotVersion = 2
+
+// snapshotMagic guards against feeding an arbitrary gob stream (or a
+// truncated file) to Load.
+const snapshotMagic = "fastsc-cache-snapshot"
+
+// PersistRegions are the cache regions included in snapshots: everything
+// process-independent. SMT solves, static palettes, parking assignments
+// and slice solutions are pure functions of content-hashed inputs (system
+// signatures, exact vertex sets), so an entry written by one process is
+// valid in every other. RegionXtalk is excluded: crosstalk graphs hold
+// pointer-heavy adjacency structures that rebuild in milliseconds and
+// would dominate the snapshot size.
+var PersistRegions = []string{RegionSMT, RegionStatic, RegionParking, RegionSlice}
+
+// RegisterSnapshotType registers a concrete type stored in the
+// opaque-valued static region with the snapshot codec, so Save can encode
+// it and Load can decode it. Packages that put their own types into the
+// cache call this from an init function (schedule does for its static
+// palette). It is a thin wrapper over gob.Register.
+func RegisterSnapshotType(v any) { gob.Register(v) }
+
+// diskSnapshot is the gob payload of a cache snapshot. The typed regions
+// decode in one pass; Static carries individually encoded blobs because
+// its values are opaque to this package and one unregistered type must
+// cost one entry, not the snapshot.
+type diskSnapshot struct {
+	Magic      string
+	Version    int
+	KeyVersion int
+	SMT        map[string]persistedSMT
+	Park       map[string]map[int]float64
+	Slice      map[string]SliceSolution
+	Static     []diskEntry
+}
+
+// diskEntry is one opaque static-region entry; Blob is the value
+// gob-encoded on its own.
+type diskEntry struct {
+	Key  string
+	Blob []byte
+}
+
+// persistedSMT is the gob form of an smtResult: the error is flattened to
+// its message plus an infeasibility flag so errors.Is(err,
+// smt.ErrInfeasible) still holds after a round trip.
+type persistedSMT struct {
+	Xs         []float64
+	Delta      float64
+	ErrMsg     string
+	Infeasible bool
+}
+
+// persistedErr restores a flattened error with its ErrInfeasible identity.
+type persistedErr struct {
+	msg  string
+	base error
+}
+
+func (e *persistedErr) Error() string { return e.msg }
+func (e *persistedErr) Unwrap() error { return e.base }
+
+func toPersistedSMT(r smtResult) persistedSMT {
+	p := persistedSMT{Xs: r.xs, Delta: r.delta}
+	if r.err != nil {
+		p.ErrMsg = r.err.Error()
+		p.Infeasible = errors.Is(r.err, smt.ErrInfeasible)
+	}
+	return p
+}
+
+func fromPersistedSMT(p persistedSMT) smtResult {
+	r := smtResult{xs: p.Xs, delta: p.Delta}
+	if p.ErrMsg != "" {
+		if p.Infeasible {
+			r.err = &persistedErr{msg: p.ErrMsg, base: smt.ErrInfeasible}
+		} else {
+			r.err = errors.New(p.ErrMsg)
+		}
+	}
+	return r
+}
+
+// Save writes a versioned snapshot of the process-independent cache
+// regions (PersistRegions) to path, atomically (temp file + rename).
+// Static-region entries whose values cannot be gob-encoded — an
+// unregistered provider type — are skipped silently: a snapshot is a
+// best-effort warm start, never a source of truth. Save on a nil cache is
+// a no-op.
+func (c *Cache) Save(path string) error {
+	if c == nil {
+		return nil
+	}
+	snap := diskSnapshot{
+		Magic:      snapshotMagic,
+		Version:    SnapshotVersion,
+		KeyVersion: KeyVersion,
+		SMT:        make(map[string]persistedSMT),
+		Park:       make(map[string]map[int]float64),
+		Slice:      make(map[string]SliceSolution),
+	}
+	for k, v := range c.regionEntries(RegionSMT) {
+		snap.SMT[k] = toPersistedSMT(v.(smtResult))
+	}
+	for k, v := range c.regionEntries(RegionParking) {
+		snap.Park[k] = v.(map[int]float64)
+	}
+	for k, v := range c.regionEntries(RegionSlice) {
+		snap.Slice[k] = v.(SliceSolution)
+	}
+	for k, v := range c.regionEntries(RegionStatic) {
+		var blob bytes.Buffer
+		if err := gob.NewEncoder(&blob).Encode(&v); err != nil {
+			continue
+		}
+		snap.Static = append(snap.Static, diskEntry{Key: k, Blob: blob.Bytes()})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return fmt.Errorf("compile: encode cache snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("compile: write cache snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("compile: write cache snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load restores a snapshot written by Save into the cache and returns the
+// number of entries restored. Degradation is deliberate and silent: a
+// missing file, a corrupt or truncated snapshot, a version or key-version
+// mismatch, or an undecodable static entry all leave the cache cold (or
+// partially warm) and return nil — a compilation must never fail because
+// its warm start did. The returned error is non-nil only for genuine I/O
+// failures on an existing file. Load on a nil cache is a no-op.
+func (c *Cache) Load(path string) (int, error) {
+	if c == nil {
+		return 0, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("compile: read cache snapshot: %w", err)
+	}
+	var snap diskSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return 0, nil // corrupt: cold start
+	}
+	if snap.Magic != snapshotMagic || snap.Version != SnapshotVersion || snap.KeyVersion != KeyVersion {
+		return 0, nil // other format/key generation: cold start
+	}
+	restored := 0
+	for k, p := range snap.SMT {
+		c.Put(RegionSMT, k, fromPersistedSMT(p))
+		restored++
+	}
+	for k, v := range snap.Park {
+		c.Put(RegionParking, k, v)
+		restored++
+	}
+	for k, v := range snap.Slice {
+		c.Put(RegionSlice, k, v)
+		restored++
+	}
+	for _, ent := range snap.Static {
+		var v any
+		if err := gob.NewDecoder(bytes.NewReader(ent.Blob)).Decode(&v); err != nil {
+			continue
+		}
+		c.Put(RegionStatic, ent.Key, v)
+		restored++
+	}
+	return restored, nil
+}

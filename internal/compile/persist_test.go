@@ -1,0 +1,194 @@
+package compile
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fastsc/internal/graph"
+	"fastsc/internal/smt"
+)
+
+// testPalette stands in for the opaque values schedule stores in the
+// static region; it is registered with the snapshot codec like any real
+// provider type.
+type testPalette struct {
+	Assign map[int]float64
+	Delta  float64
+}
+
+func init() { RegisterSnapshotType(&testPalette{}) }
+
+func snapshotPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "cache.snap")
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := NewCache(0)
+	infeasible := &persistedErr{msg: "smt: no feasible frequency assignment: 9 colors", base: smt.ErrInfeasible}
+	c.Put(RegionSMT, "ok", smtResult{xs: []float64{6.1, 6.4}, delta: 0.25})
+	c.Put(RegionSMT, "bad", smtResult{err: infeasible})
+	c.Put(RegionParking, "sys1", map[int]float64{0: 5.1, 1: 5.2})
+	c.Put(RegionStatic, "sys1", &testPalette{Assign: map[int]float64{0: 6.3}, Delta: 0.1})
+	c.Put(RegionSlice, "v2|sig|2|2|1,1", SliceSolution{
+		Coloring:  graph.Coloring{3: 0, 7: 1},
+		Deferred:  []int{9},
+		NumColors: 2,
+		Assign:    map[int]float64{0: 6.2, 1: 6.6},
+		Delta:     0.3,
+	})
+	c.Put(RegionXtalk, "dev|2", "not persisted")
+
+	path := snapshotPath(t)
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	warm := NewCache(0)
+	n, err := warm.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("restored %d entries, want 5", n)
+	}
+
+	v, ok := warm.Get(RegionSMT, "ok")
+	if !ok {
+		t.Fatal("smt entry missing after round trip")
+	}
+	if r := v.(smtResult); !reflect.DeepEqual(r.xs, []float64{6.1, 6.4}) || r.delta != 0.25 || r.err != nil {
+		t.Fatalf("smt entry corrupted: %+v", r)
+	}
+	v, ok = warm.Get(RegionSMT, "bad")
+	if !ok {
+		t.Fatal("infeasibility verdict missing after round trip")
+	}
+	if r := v.(smtResult); r.err == nil || !errors.Is(r.err, smt.ErrInfeasible) || r.err.Error() != infeasible.Error() {
+		t.Fatalf("infeasibility verdict lost identity or message: %v", r.err)
+	}
+	if v, ok := warm.Get(RegionParking, "sys1"); !ok || !reflect.DeepEqual(v, map[int]float64{0: 5.1, 1: 5.2}) {
+		t.Fatalf("parking entry corrupted: %v (%v)", v, ok)
+	}
+	if v, ok := warm.Get(RegionStatic, "sys1"); !ok || !reflect.DeepEqual(v, &testPalette{Assign: map[int]float64{0: 6.3}, Delta: 0.1}) {
+		t.Fatalf("static entry corrupted: %v (%v)", v, ok)
+	}
+	v, ok = warm.Get(RegionSlice, "v2|sig|2|2|1,1")
+	if !ok {
+		t.Fatal("slice entry missing after round trip")
+	}
+	sol := v.(SliceSolution)
+	if !reflect.DeepEqual(sol.Coloring, graph.Coloring{3: 0, 7: 1}) || sol.NumColors != 2 ||
+		!reflect.DeepEqual(sol.Assign, map[int]float64{0: 6.2, 1: 6.6}) || sol.Delta != 0.3 ||
+		!reflect.DeepEqual(sol.Deferred, []int{9}) {
+		t.Fatalf("slice entry corrupted: %+v", sol)
+	}
+	if _, ok := warm.Get(RegionXtalk, "dev|2"); ok {
+		t.Fatal("xtalk region must not be persisted")
+	}
+}
+
+func TestSnapshotLoadMissingFileIsCold(t *testing.T) {
+	c := NewCache(0)
+	n, err := c.Load(filepath.Join(t.TempDir(), "nope.snap"))
+	if n != 0 || err != nil {
+		t.Fatalf("missing snapshot: n=%d err=%v, want cold start", n, err)
+	}
+}
+
+func TestSnapshotLoadCorruptIsCold(t *testing.T) {
+	path := snapshotPath(t)
+	if err := os.WriteFile(path, []byte("definitely not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(0)
+	n, err := c.Load(path)
+	if n != 0 || err != nil || c.Len() != 0 {
+		t.Fatalf("corrupt snapshot: n=%d err=%v len=%d, want cold start", n, err, c.Len())
+	}
+	// The cache must stay fully usable after a failed load.
+	c.Put("r", "k", 1)
+	if v, ok := c.Get("r", "k"); !ok || v.(int) != 1 {
+		t.Fatal("cache unusable after corrupt load")
+	}
+}
+
+// writeDoctoredSnapshot saves a valid one-entry snapshot, then rewrites
+// its header through mutate and writes it back.
+func writeDoctoredSnapshot(t *testing.T, path string, mutate func(*diskSnapshot)) {
+	t.Helper()
+	c := NewCache(0)
+	c.Put(RegionParking, "sys", map[int]float64{0: 5.0})
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap diskSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&snap)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotVersionMismatchIsCold(t *testing.T) {
+	cases := map[string]func(*diskSnapshot){
+		"format-version": func(s *diskSnapshot) { s.Version = SnapshotVersion + 1 },
+		"key-version":    func(s *diskSnapshot) { s.KeyVersion = KeyVersion - 1 },
+		"magic":          func(s *diskSnapshot) { s.Magic = "something-else" },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := snapshotPath(t)
+			writeDoctoredSnapshot(t, path, mutate)
+			c := NewCache(0)
+			if n, err := c.Load(path); n != 0 || err != nil || c.Len() != 0 {
+				t.Fatalf("mismatched snapshot: n=%d err=%v len=%d, want cold start", n, err, c.Len())
+			}
+		})
+	}
+}
+
+// TestSnapshotSkipsUnencodableStatics checks that an unregistered type in
+// the opaque static region drops that entry, not the snapshot.
+func TestSnapshotSkipsUnencodableStatics(t *testing.T) {
+	type unregistered struct{ X chan int } // channels never gob-encode
+	c := NewCache(0)
+	c.Put(RegionStatic, "bad", &unregistered{})
+	c.Put(RegionParking, "sys", map[int]float64{0: 5.0})
+	path := snapshotPath(t)
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	warm := NewCache(0)
+	n, err := warm.Load(path)
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v, want the one encodable entry", n, err)
+	}
+	if _, ok := warm.Get(RegionStatic, "bad"); ok {
+		t.Fatal("unencodable entry should have been skipped")
+	}
+}
+
+func TestSnapshotNilCache(t *testing.T) {
+	var c *Cache
+	if err := c.Save(filepath.Join(t.TempDir(), "x")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Load("anything"); n != 0 || err != nil {
+		t.Fatalf("nil cache Load = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,95 @@
+package compile
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+)
+
+// maxShards bounds the shard count. 64 shards keep the per-shard maps
+// dense at the default capacity while covering every host the batch
+// engine realistically runs on.
+const maxShards = 64
+
+// defaultShardCount picks the smallest power of two >= GOMAXPROCS,
+// clamped to [1, maxShards]: one shard per runnable worker removes the
+// global lock from the hot path without fragmenting the LRU into
+// uselessly small pieces.
+func defaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n && s < maxShards {
+		s <<= 1
+	}
+	return s
+}
+
+// cacheShard is one independently locked slice of the cache: its own LRU
+// list, entry map and per-region counters. A shard owns every key whose
+// hash lands in it, so all ordering and accounting for that key is
+// single-shard and needs only the shard mutex.
+type cacheShard struct {
+	mu    sync.Mutex // guards every field below
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	stats map[string]*Stats
+}
+
+type cacheEntry struct {
+	key    string // namespaced: region + "\x00" + key
+	region string
+	value  any
+}
+
+func newCacheShard(capacity int) *cacheShard {
+	return &cacheShard{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		stats: make(map[string]*Stats),
+	}
+}
+
+func (s *cacheShard) regionStats(region string) *Stats {
+	st, ok := s.stats[region]
+	if !ok {
+		st = &Stats{}
+		s.stats[region] = st
+	}
+	return st
+}
+
+// get looks up nk, promoting it on a hit. When account is false the
+// counters are left untouched (used by the single-flight re-check, whose
+// caller already recorded its miss).
+func (s *cacheShard) get(region, nk string, account bool) (any, bool) {
+	el, ok := s.items[nk]
+	if !ok {
+		if account {
+			s.regionStats(region).Misses++
+		}
+		return nil, false
+	}
+	if account {
+		s.regionStats(region).Hits++
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+func (s *cacheShard) put(region, nk string, value any) {
+	if el, ok := s.items[nk]; ok {
+		el.Value.(*cacheEntry).value = value
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[nk] = s.ll.PushFront(&cacheEntry{key: nk, region: region, value: value})
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		ent := oldest.Value.(*cacheEntry)
+		s.ll.Remove(oldest)
+		delete(s.items, ent.key)
+		s.regionStats(ent.region).Evictions++
+	}
+}

@@ -41,7 +41,12 @@ type BatchResult struct {
 // workers, no cache) and streams results over the returned channel as they
 // complete. All jobs share ctx's cache, so recurring device-level solver
 // work (SMT solutions, crosstalk graphs, static palettes) and recurring
-// slice subgraphs are computed once across the whole batch.
+// slice subgraphs are computed once across the whole batch — including
+// when many workers miss on the same key simultaneously: the cache's
+// single-flight layer blocks the duplicates on the one computation.
+// Warm-starting the batch from a previous process's snapshot
+// (compile.Cache.Load / the CLIs' -cache-file flag) removes even the
+// first computation of each recurring entry.
 func BatchCompile(ctx *compile.Context, jobs []BatchJob) <-chan BatchResult {
 	ejobs := make([]compile.Job, len(jobs))
 	for i, j := range jobs {

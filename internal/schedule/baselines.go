@@ -140,31 +140,49 @@ type Static struct{}
 // Name implements Compiler.
 func (Static) Name() string { return "Baseline S" }
 
-// staticTable is the program-independent per-coupler frequency table shared
-// by Baseline S (as its whole strategy) and Baseline G (as its Sycamore-like
-// per-pair calibration): a Welsh–Powell coloring of the nearest-neighbor
-// crosstalk graph — the 8-color mesh palette of Fig 7 — mapped to
-// frequencies by one SMT solve. A distance-2 whole-device palette would not
-// fit any realistic band with usable separation.
+// StaticPalette is the persistable core of the program-independent
+// per-coupler frequency table shared by Baseline S (as its whole strategy)
+// and Baseline G (as its Sycamore-like per-pair calibration): a
+// Welsh–Powell coloring of the nearest-neighbor crosstalk graph — the
+// 8-color mesh palette of Fig 7 — mapped to frequencies by one SMT solve.
+// A distance-2 whole-device palette would not fit any realistic band with
+// usable separation.
+//
+// Colors index vertices of the distance-1 crosstalk graph, which is
+// rebuilt deterministically per process from the (content-signed) device —
+// that is what makes this value valid across processes and therefore
+// snapshot-safe. All fields are immutable after construction.
+type StaticPalette struct {
+	// Colors maps crosstalk-graph vertex -> palette color.
+	Colors graph.Coloring
+	// Assign maps color -> interaction frequency (GHz).
+	Assign map[int]float64
+	// Delta is the frequency separation achieved by the solver.
+	Delta float64
+}
+
+func init() { compile.RegisterSnapshotType(&StaticPalette{}) }
+
+// staticTable pairs the persistable palette with this process's crosstalk
+// graph (cached separately in the xtalk region).
 type staticTable struct {
-	xg     *xtalk.Graph
-	colors graph.Coloring
-	assign map[int]float64
-	delta  float64
+	xg  *xtalk.Graph
+	pal *StaticPalette
 }
 
 func (st *staticTable) freqAndColor(e graph.Edge) (float64, int) {
 	v := st.xg.Index[e]
-	col := st.colors[v]
-	return st.assign[col], col
+	col := st.pal.Colors[v]
+	return st.pal.Assign[col], col
 }
 
 // buildStaticTable computes (or fetches from the cache) the device's
 // program-independent palette. It is a pure function of the system, so it
-// is shared by every Baseline S and Baseline G job on the same chip.
+// is shared by every Baseline S and Baseline G job on the same chip — and,
+// through cache snapshots, across processes.
 func buildStaticTable(b *builder, sys *phys.System) (*staticTable, error) {
+	xg := b.ctx.Xtalk(sys.Device, 1)
 	v, err := b.ctx.Static(b.sig, func() (any, error) {
-		xg := b.ctx.Xtalk(sys.Device, 1)
 		intCfg := b.part.InteractionConfig(sys.MeanAnharmonicity())
 		coloring := graph.WelshPowell(xg.G)
 		k := coloring.NumColors()
@@ -187,17 +205,16 @@ func buildStaticTable(b *builder, sys *phys.System) (*staticTable, error) {
 		for _, col := range coloring {
 			occ[col]++
 		}
-		return &staticTable{
-			xg:     xg,
-			colors: coloring,
-			assign: smt.AssignByOccupancy(occ, freqs),
-			delta:  delta,
+		return &StaticPalette{
+			Colors: coloring,
+			Assign: smt.AssignByOccupancy(occ, freqs),
+			Delta:  delta,
 		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return v.(*staticTable), nil
+	return &staticTable{xg: xg, pal: v.(*StaticPalette)}, nil
 }
 
 // staticPalette returns the per-coupler frequency lookup used by the gmon
@@ -249,7 +266,7 @@ func (Static) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System
 			}
 			f.Issue(idx)
 		}
-		b.emitSlice(events, sliceFreqs, len(colorsUsed), st.delta)
+		b.emitSlice(events, sliceFreqs, len(colorsUsed), st.pal.Delta)
 	}
 	return b.finish(), nil
 }
