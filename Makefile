@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench warm-cache-check
+# The committed machine-readable benchmark record for this PR generation
+# (bench-json writes it; bench-regress compares a fresh run against it).
+BENCH_JSON ?= BENCH_3.json
+
+.PHONY: all build test lint bench bench-json bench-regress warm-cache-check
 
 all: lint build test
 
@@ -21,7 +25,28 @@ lint:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | tee bench-results.txt
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./... | tee bench-results.txt
+
+# bench-json runs the full benchmark suite and writes both the raw text
+# (bench-results.txt) and the machine-readable $(BENCH_JSON) map of
+# benchmark -> {ns/op, B/op, allocs/op, custom metrics}. CI uploads both
+# as artifacts so the perf trajectory is tracked across PRs. The two steps
+# are separate commands (not a pipeline) so a failing benchmark run fails
+# the target instead of being masked by the parser's exit status.
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./... > bench-results.txt
+	$(GO) run ./cmd/benchjson < bench-results.txt > $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
+
+# bench-regress re-runs the batch-compilation benchmark and fails when its
+# cold path regressed >20% in ns/op against the committed $(BENCH_JSON).
+# (CI's regression job benches the base commit on the same runner instead,
+# which removes machine-to-machine noise; this target is the local check.)
+bench-regress:
+	$(GO) test -bench='BenchmarkBatchCompile' -benchmem -benchtime=2x -count=3 -run='^$$' ./internal/bench/ > /tmp/bench-head.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench-head.txt > /tmp/bench-head.json
+	$(GO) run ./cmd/benchcmp -baseline $(BENCH_JSON) -new /tmp/bench-head.json \
+		-pattern 'BenchmarkBatchCompile' -max-regress 20 -require-overlap
 
 # Mirrors the CI warm-cache job: a second Fig 9 sweep against the same
 # cache snapshot must report a total hit rate above 95%.

@@ -1,0 +1,115 @@
+// Command benchcmp compares two benchjson documents and fails (exit 1)
+// when any benchmark matching -pattern regressed in ns/op by more than
+// -max-regress percent. It is the CI benchmark-regression guard:
+//
+//	benchcmp -baseline bench-base.json -new bench-head.json \
+//	         -pattern 'BenchmarkBatchCompile' -max-regress 20
+//
+// Benchmarks present on only one side are reported but do not fail the
+// comparison (new benchmarks appear, old ones get renamed); pass
+// -require-overlap to fail when *no* benchmark matched on both sides,
+// which catches a misconfigured pattern.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]result)
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline benchjson file")
+	newPath := flag.String("new", "", "candidate benchjson file")
+	pattern := flag.String("pattern", ".", "regexp selecting benchmarks to guard")
+	maxRegress := flag.Float64("max-regress", 20, "max allowed ns/op regression in percent")
+	requireOverlap := flag.Bool("require-overlap", false, "fail when no benchmark matches on both sides")
+	flag.Parse()
+	if *baselinePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -baseline and -new are required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*pattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp: bad -pattern:", err)
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cand, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(cand))
+	for name := range cand {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	overlap := 0
+	failed := false
+	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		n := cand[name]
+		b, ok := base[name]
+		if !ok || b.NsPerOp == 0 {
+			fmt.Printf("%-60s %14s %14.0f %8s\n", name, "-", n.NsPerOp, "new")
+			continue
+		}
+		overlap++
+		delta := 100 * (n.NsPerOp - b.NsPerOp) / b.NsPerOp
+		mark := ""
+		if delta > *maxRegress {
+			mark = "  << REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %+7.1f%%%s\n", name, b.NsPerOp, n.NsPerOp, delta, mark)
+	}
+	for name := range base {
+		if re.MatchString(name) {
+			if _, ok := cand[name]; !ok {
+				fmt.Printf("%-60s %14.0f %14s %8s\n", name, base[name].NsPerOp, "-", "gone")
+			}
+		}
+	}
+
+	if overlap == 0 {
+		fmt.Printf("no benchmark matched %q on both sides\n", *pattern)
+		if *requireOverlap {
+			os.Exit(1)
+		}
+		return
+	}
+	if failed {
+		fmt.Printf("FAIL: ns/op regression above %.0f%% threshold\n", *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: %d benchmark(s) within %.0f%% of baseline\n", overlap, *maxRegress)
+}

@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a machine-readable JSON document mapping benchmark name to
+// its measurements, so the perf trajectory can be tracked across PRs and
+// diffed by cmd/benchcmp.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -benchtime=1x -run='^$' ./... | benchjson > BENCH.json
+//
+// When a benchmark appears multiple times (-count=N), the minimum of each
+// measurement is kept — the least-noise estimate of the true cost — and
+// Runs records how many samples were folded in. Names are kept verbatim
+// (including any -GOMAXPROCS suffix): a "-8" cannot be distinguished from
+// a legitimate name ending in a number, and meaningful ns/op comparisons
+// happen on one machine with one GOMAXPROCS anyway (the CI regression
+// guard benches base and head on the same runner). Keys in the emitted
+// JSON are sorted by encoding/json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's folded measurements.
+type Result struct {
+	Runs        int     `json:"runs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values by unit (e.g.
+	// "cache-hit-%").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	results := make(map[string]*Result)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r, ok := results[name]
+		if !ok {
+			r = &Result{}
+			results[name] = r
+		}
+		r.Runs++
+		if r.Runs == 1 || iters > r.Iterations {
+			r.Iterations = iters
+		}
+		first := r.Runs == 1
+		// The remainder is (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				if first || val < r.NsPerOp {
+					r.NsPerOp = val
+				}
+			case "B/op":
+				if first || val < r.BytesPerOp {
+					r.BytesPerOp = val
+				}
+			case "allocs/op":
+				if first || val < r.AllocsPerOp {
+					r.AllocsPerOp = val
+				}
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				if prev, ok := r.Metrics[unit]; !ok || val < prev {
+					r.Metrics[unit] = val
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}

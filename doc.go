@@ -27,9 +27,34 @@
 // The cache deduplicates concurrent misses on the same key through a
 // single-flight group (one solve per key no matter how many workers need
 // it), shards its lock across a power of two of independent LRU lists so
-// large worker pools do not serialize, and snapshots its
-// process-independent regions to disk (versioned gob; see
-// compile.Cache.Save/Load). Both CLIs expose the snapshot as -cache-file,
-// so repeated sweeps start warm; a missing, corrupt or version-mismatched
-// snapshot silently degrades to a cold cache.
+// large worker pools do not serialize, weighs entries by approximate byte
+// size when evicting (a crosstalk graph pays for the slice entries it
+// displaces), and snapshots its process-independent regions to disk
+// (versioned gob; see compile.Cache.Save/Load). Both CLIs expose the
+// snapshot as -cache-file, so repeated sweeps start warm; a missing,
+// corrupt or version-mismatched snapshot silently degrades to a cold
+// cache.
+//
+// # Flat graph core
+//
+// internal/graph stores graphs as sorted per-vertex neighbor slices over
+// dense non-negative vertex ids (adjacency-slice/CSR style) rather than
+// nested maps: neighbor iteration is O(deg) over contiguous int32s
+// (Graph.Adj), HasEdge is a binary search, BFS runs over flat distance
+// arrays, AllPairsDistances returns a flat n×n matrix, and colorings are
+// []int32 indexed by vertex with -1 for uncolored (graph.Coloring). The
+// representation is immutable-by-convention once built and every
+// iteration order is sorted ascending, so compilation output is
+// deterministic and cache keys can consume vertex sets as sorted slices
+// natively (compile.SliceKey skips its defensive copy for sorted input).
+// Graph.EdgeID gives each edge the dense id of its position in the sorted
+// Edges() enumeration — the coupler numbering shared by xtalk.Graph, the
+// static palettes and the tiling patterns — via a lazily built, mutation-
+// invalidated index, so edge→index lookups are map-free too.
+//
+// internal/xtalk builds the distance-d crosstalk graph by bounded BFS from
+// each coupler's endpoints — O(couplers · reach(d)) instead of the old
+// all-pairs O(couplers²) probe — and internal/schedule compiles slices
+// against reusable sync.Pool scratch buffers, so the cold (cache-miss)
+// path allocates only what the finished Schedule retains.
 package fastsc

@@ -207,9 +207,12 @@ func xebPatterns(dev *topology.Device) [][]graph.Edge {
 		lg, couplers := graph.LineGraph(dev.Coupling)
 		coloring := graph.WelshPowell(lg)
 		for v, cl := range coloring {
-			byClass[cl] = append(byClass[cl], couplers[v])
-			if cl > maxClass {
-				maxClass = cl
+			if cl < 0 {
+				continue
+			}
+			byClass[int(cl)] = append(byClass[int(cl)], couplers[v])
+			if int(cl) > maxClass {
+				maxClass = int(cl)
 			}
 		}
 	}

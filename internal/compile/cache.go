@@ -1,10 +1,12 @@
 package compile
 
-// DefaultCacheCapacity is the entry capacity used when NewCache is given a
-// non-positive capacity. Slice solutions and SMT solves are small (a few
-// hundred bytes), so thousands of entries cost single-digit megabytes;
-// crosstalk graphs and static palettes are larger but number one per
-// (device, distance).
+// DefaultCacheCapacity is the capacity (in cost units, see entryCost) used
+// when NewCache is given a non-positive capacity. One unit covers a small
+// entry — a slice solution or SMT solve of a few hundred bytes — so
+// thousands of entries cost single-digit megabytes; bulky values
+// (crosstalk graphs, whole-device palettes) report their approximate byte
+// size and occupy proportionally many units, so eviction under pressure
+// sheds them at their real weight.
 const DefaultCacheCapacity = 8192
 
 // Stats are the hit/miss/eviction counters of one cache region.
@@ -54,8 +56,9 @@ type Cache struct {
 	flight flightGroup
 }
 
-// NewCache returns a cache holding at most ~capacity entries, sharded for
-// the current GOMAXPROCS. capacity <= 0 selects DefaultCacheCapacity.
+// NewCache returns a cache holding at most ~capacity cost units (~entries,
+// for small values), sharded for the current GOMAXPROCS. capacity <= 0
+// selects DefaultCacheCapacity.
 func NewCache(capacity int) *Cache {
 	return NewCacheSharded(capacity, 0)
 }

@@ -144,9 +144,14 @@ func XtalkKey(dev *topology.Device, distance int) string {
 // Unlike the v1 key — a 64-bit digest of the vertex set — no pair of
 // distinct slices can ever share a key, so a cache hit is always the right
 // frequency assignment.
+// Callers on the hot path pass an already-sorted slice, which skips the
+// defensive copy; unsorted input is copied and sorted, never mutated.
 func SliceKey(sysSig string, distance, budget int, activeVertices []int) string {
-	verts := append([]int(nil), activeVertices...)
-	sort.Ints(verts)
+	verts := activeVertices
+	if !sort.IntsAreSorted(verts) {
+		verts = append([]int(nil), activeVertices...)
+		sort.Ints(verts)
+	}
 	var sb strings.Builder
 	sb.Grow(len(sysSig) + 16 + 3*len(verts))
 	fmt.Fprintf(&sb, "v%d|%s|%d|%d|", KeyVersion, sysSig, distance, budget)

@@ -56,16 +56,18 @@ func (c *Context) Xtalk(dev *topology.Device, distance int) *xtalk.Graph {
 // and the occupancy-ordered color→frequency assignment. All fields are
 // shared read-only between jobs.
 type SliceSolution struct {
-	// Coloring maps crosstalk-graph vertex -> color for the colored part of
-	// the active subgraph.
+	// Coloring assigns each crosstalk-graph vertex of the active subgraph
+	// its color, densely indexed by vertex id (Uncolored outside the
+	// colored set).
 	Coloring graph.Coloring
-	// Deferred lists the vertices that did not fit the color budget and
-	// must be postponed to a later slice.
+	// Deferred lists, in ascending order, the vertices that did not fit
+	// the color budget and must be postponed to a later slice.
 	Deferred []int
 	// NumColors is the number of colors used (0 for an empty subgraph).
 	NumColors int
-	// Assign maps color -> interaction frequency (GHz).
-	Assign map[int]float64
+	// Assign holds each color's interaction frequency (GHz), indexed by
+	// color.
+	Assign []float64
 	// Delta is the frequency separation achieved by the solver.
 	Delta float64
 }
@@ -85,9 +87,9 @@ func (c *Context) Slice(key string, compute func() (SliceSolution, error)) (Slic
 }
 
 // Parking returns the memoized parking-frequency assignment for a system
-// (keyed by its signature), computing it on a miss. The returned map is
-// shared read-only.
-func (c *Context) Parking(sysSig string, compute func() (map[int]float64, error)) (map[int]float64, error) {
+// (keyed by its signature), computing it on a miss. The returned slice is
+// indexed by qubit id and shared read-only.
+func (c *Context) Parking(sysSig string, compute func() ([]float64, error)) ([]float64, error) {
 	cache := c.cache()
 	if cache == nil {
 		return compute()
@@ -96,7 +98,7 @@ func (c *Context) Parking(sysSig string, compute func() (map[int]float64, error)
 	if err != nil {
 		return nil, err
 	}
-	return v.(map[int]float64), nil
+	return v.([]float64), nil
 }
 
 // Static returns the memoized program-independent palette (the Baseline

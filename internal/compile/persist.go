@@ -14,7 +14,12 @@ import (
 // written with any other version (or any other KeyVersion) is rejected
 // wholesale on load and the cache starts cold — stale keys are never read
 // back.
-const SnapshotVersion = 2
+//
+// History: v3 switched the cached value shapes to the flat-core
+// representation (parking assignments and color→frequency maps became
+// dense slices, colorings became []int32), so v2 snapshots no longer
+// decode.
+const SnapshotVersion = 3
 
 // snapshotMagic guards against feeding an arbitrary gob stream (or a
 // truncated file) to Load.
@@ -45,7 +50,7 @@ type diskSnapshot struct {
 	Version    int
 	KeyVersion int
 	SMT        map[string]persistedSMT
-	Park       map[string]map[int]float64
+	Park       map[string][]float64
 	Slice      map[string]SliceSolution
 	Static     []diskEntry
 }
@@ -112,14 +117,14 @@ func (c *Cache) Save(path string) error {
 		Version:    SnapshotVersion,
 		KeyVersion: KeyVersion,
 		SMT:        make(map[string]persistedSMT),
-		Park:       make(map[string]map[int]float64),
+		Park:       make(map[string][]float64),
 		Slice:      make(map[string]SliceSolution),
 	}
 	for k, v := range c.regionEntries(RegionSMT) {
 		snap.SMT[k] = toPersistedSMT(v.(smtResult))
 	}
 	for k, v := range c.regionEntries(RegionParking) {
-		snap.Park[k] = v.(map[int]float64)
+		snap.Park[k] = v.([]float64)
 	}
 	for k, v := range c.regionEntries(RegionSlice) {
 		snap.Slice[k] = v.(SliceSolution)

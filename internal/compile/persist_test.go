@@ -33,13 +33,13 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	infeasible := &persistedErr{msg: "smt: no feasible frequency assignment: 9 colors", base: smt.ErrInfeasible}
 	c.Put(RegionSMT, "ok", smtResult{xs: []float64{6.1, 6.4}, delta: 0.25})
 	c.Put(RegionSMT, "bad", smtResult{err: infeasible})
-	c.Put(RegionParking, "sys1", map[int]float64{0: 5.1, 1: 5.2})
+	c.Put(RegionParking, "sys1", []float64{5.1, 5.2})
 	c.Put(RegionStatic, "sys1", &testPalette{Assign: map[int]float64{0: 6.3}, Delta: 0.1})
 	c.Put(RegionSlice, "v2|sig|2|2|1,1", SliceSolution{
-		Coloring:  graph.Coloring{3: 0, 7: 1},
+		Coloring:  graph.Coloring{-1, -1, -1, 0, -1, -1, -1, 1},
 		Deferred:  []int{9},
 		NumColors: 2,
-		Assign:    map[int]float64{0: 6.2, 1: 6.6},
+		Assign:    []float64{6.2, 6.6},
 		Delta:     0.3,
 	})
 	c.Put(RegionXtalk, "dev|2", "not persisted")
@@ -71,7 +71,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if r := v.(smtResult); r.err == nil || !errors.Is(r.err, smt.ErrInfeasible) || r.err.Error() != infeasible.Error() {
 		t.Fatalf("infeasibility verdict lost identity or message: %v", r.err)
 	}
-	if v, ok := warm.Get(RegionParking, "sys1"); !ok || !reflect.DeepEqual(v, map[int]float64{0: 5.1, 1: 5.2}) {
+	if v, ok := warm.Get(RegionParking, "sys1"); !ok || !reflect.DeepEqual(v, []float64{5.1, 5.2}) {
 		t.Fatalf("parking entry corrupted: %v (%v)", v, ok)
 	}
 	if v, ok := warm.Get(RegionStatic, "sys1"); !ok || !reflect.DeepEqual(v, &testPalette{Assign: map[int]float64{0: 6.3}, Delta: 0.1}) {
@@ -82,8 +82,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatal("slice entry missing after round trip")
 	}
 	sol := v.(SliceSolution)
-	if !reflect.DeepEqual(sol.Coloring, graph.Coloring{3: 0, 7: 1}) || sol.NumColors != 2 ||
-		!reflect.DeepEqual(sol.Assign, map[int]float64{0: 6.2, 1: 6.6}) || sol.Delta != 0.3 ||
+	if !reflect.DeepEqual(sol.Coloring, graph.Coloring{-1, -1, -1, 0, -1, -1, -1, 1}) || sol.NumColors != 2 ||
+		!reflect.DeepEqual(sol.Assign, []float64{6.2, 6.6}) || sol.Delta != 0.3 ||
 		!reflect.DeepEqual(sol.Deferred, []int{9}) {
 		t.Fatalf("slice entry corrupted: %+v", sol)
 	}
@@ -122,7 +122,7 @@ func TestSnapshotLoadCorruptIsCold(t *testing.T) {
 func writeDoctoredSnapshot(t *testing.T, path string, mutate func(*diskSnapshot)) {
 	t.Helper()
 	c := NewCache(0)
-	c.Put(RegionParking, "sys", map[int]float64{0: 5.0})
+	c.Put(RegionParking, "sys", []float64{5.0})
 	if err := c.Save(path); err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestSnapshotSkipsUnencodableStatics(t *testing.T) {
 	type unregistered struct{ X chan int } // channels never gob-encode
 	c := NewCache(0)
 	c.Put(RegionStatic, "bad", &unregistered{})
-	c.Put(RegionParking, "sys", map[int]float64{0: 5.0})
+	c.Put(RegionParking, "sys", []float64{5.0})
 	path := snapshotPath(t)
 	if err := c.Save(path); err != nil {
 		t.Fatal(err)

@@ -30,7 +30,8 @@ func defaultShardCount() int {
 // single-shard and needs only the shard mutex.
 type cacheShard struct {
 	mu    sync.Mutex // guards every field below
-	cap   int
+	cap   int        // capacity in cost units (see entryCost)
+	used  int        // total cost of resident entries
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 	stats map[string]*Stats
@@ -40,6 +41,7 @@ type cacheEntry struct {
 	key    string // namespaced: region + "\x00" + key
 	region string
 	value  any
+	cost   int // capacity units (entryCost at insertion)
 }
 
 func newCacheShard(capacity int) *cacheShard {
@@ -79,17 +81,30 @@ func (s *cacheShard) get(region, nk string, account bool) (any, bool) {
 }
 
 func (s *cacheShard) put(region, nk string, value any) {
+	cost := entryCost(value)
 	if el, ok := s.items[nk]; ok {
-		el.Value.(*cacheEntry).value = value
+		ent := el.Value.(*cacheEntry)
+		s.used += cost - ent.cost
+		ent.value, ent.cost = value, cost
 		s.ll.MoveToFront(el)
+		s.evict()
 		return
 	}
-	s.items[nk] = s.ll.PushFront(&cacheEntry{key: nk, region: region, value: value})
-	for s.ll.Len() > s.cap {
+	s.items[nk] = s.ll.PushFront(&cacheEntry{key: nk, region: region, value: value, cost: cost})
+	s.used += cost
+	s.evict()
+}
+
+// evict removes least-recently-used entries until the shard's cost fits its
+// capacity. The most recent entry is never evicted, so one entry larger
+// than the whole shard still caches (it just keeps the shard to itself).
+func (s *cacheShard) evict() {
+	for s.used > s.cap && s.ll.Len() > 1 {
 		oldest := s.ll.Back()
 		ent := oldest.Value.(*cacheEntry)
 		s.ll.Remove(oldest)
 		delete(s.items, ent.key)
+		s.used -= ent.cost
 		s.regionStats(ent.region).Evictions++
 	}
 }

@@ -1,0 +1,94 @@
+package compile
+
+import (
+	"fmt"
+	"testing"
+
+	"fastsc/internal/graph"
+)
+
+// bulkyValue is a test stand-in for a crosstalk graph or palette: a cached
+// value that reports a large approximate size.
+type bulkyValue struct{ bytes int }
+
+func (b *bulkyValue) ApproxSize() int { return b.bytes }
+
+func TestEntryCostWeighsByApproximateSize(t *testing.T) {
+	if c := entryCost("small string"); c != 1 {
+		t.Fatalf("plain value cost = %d, want 1", c)
+	}
+	if c := entryCost(smtResult{xs: []float64{6.1, 6.4}}); c != 1 {
+		t.Fatalf("smt result cost = %d, want 1", c)
+	}
+	small := entryCost(SliceSolution{Coloring: graph.NewColoring(8), Assign: []float64{6.2, 6.6}})
+	big := entryCost(&bulkyValue{bytes: 64 * 1024})
+	if small != 1 {
+		t.Fatalf("typical slice solution cost = %d, want 1", small)
+	}
+	if big <= 10*small {
+		t.Fatalf("a 64 KB value costs %d units, want far above a slice entry's %d", big, small)
+	}
+}
+
+// TestSizeAwareEvictionShedsBulkyEntries fills a single-shard cache with
+// small entries, then inserts one bulky value: the bulky entry must pay
+// for itself by evicting proportionally many small entries, not just one.
+func TestSizeAwareEvictionShedsBulkyEntries(t *testing.T) {
+	const capUnits = 32
+	c := NewCacheSharded(capUnits, 1)
+	for i := 0; i < capUnits; i++ {
+		c.Put("r", fmt.Sprintf("small-%d", i), i)
+	}
+	if c.Len() != capUnits {
+		t.Fatalf("cache holds %d entries, want %d", c.Len(), capUnits)
+	}
+	// ~10 units of bulk must displace ~10 small entries.
+	bulky := &bulkyValue{bytes: 10 * costUnitBytes} // 11 units: 1 + 10·unit
+	c.Put("r", "bulky", bulky)
+	wantLen := capUnits + 1 - entryCost(bulky)
+	if c.Len() != wantLen {
+		t.Fatalf("after bulky insert: %d entries, want %d", c.Len(), wantLen)
+	}
+	if v, ok := c.Get("r", "bulky"); !ok || v != bulky {
+		t.Fatal("bulky entry missing after insert")
+	}
+	// The survivors must be the most recently used small entries.
+	if _, ok := c.Get("r", "small-0"); ok {
+		t.Fatal("oldest small entry survived size-aware eviction")
+	}
+	if _, ok := c.Get("r", fmt.Sprintf("small-%d", capUnits-1)); !ok {
+		t.Fatal("newest small entry was evicted")
+	}
+	ev := c.StatsByRegion()["r"].Evictions
+	if int(ev) != entryCost(bulky) {
+		t.Fatalf("evictions = %d, want %d", ev, entryCost(bulky))
+	}
+}
+
+// TestOversizedEntryStillCaches pins the degenerate case: a value larger
+// than the whole shard evicts everything else but is itself retained.
+func TestOversizedEntryStillCaches(t *testing.T) {
+	c := NewCacheSharded(4, 1)
+	c.Put("r", "a", 1)
+	c.Put("r", "b", 2)
+	c.Put("r", "huge", &bulkyValue{bytes: 1 << 20})
+	if v, ok := c.Get("r", "huge"); !ok || v.(*bulkyValue).bytes != 1<<20 {
+		t.Fatal("oversized entry was not cached")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("oversized entry should hold the shard alone, len = %d", c.Len())
+	}
+}
+
+// TestXtalkGraphReportsSize checks the Sizer plumbing end to end for the
+// values the eviction policy is about: crosstalk graphs weigh much more
+// than slice solutions.
+func TestXtalkGraphSizerPlumbing(t *testing.T) {
+	g := graph.NewDense(64)
+	for i := 0; i+1 < 64; i++ {
+		g.AddEdge(i, i+1)
+	}
+	if g.ApproxSize() < 64*4 {
+		t.Fatalf("graph ApproxSize = %d, implausibly small", g.ApproxSize())
+	}
+}

@@ -1,35 +1,98 @@
 package graph
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
-// Coloring assigns a color (small non-negative integer) to each vertex.
-type Coloring map[int]int
+// Uncolored marks a vertex that has no color assigned.
+const Uncolored int32 = -1
+
+// Coloring assigns a color (small non-negative integer) to each vertex,
+// stored densely: c[v] is the color of vertex v, or Uncolored (-1) for
+// vertices outside the colored set (absent from the graph, or deferred by a
+// color budget). Index a Coloring directly — c[v] — on the vertex ids of
+// the graph it was produced from; len(c) covers that graph's Cap().
+type Coloring []int32
+
+// NewColoring returns an all-Uncolored coloring spanning vertices 0..n-1.
+func NewColoring(n int) Coloring {
+	c := make(Coloring, n)
+	for i := range c {
+		c[i] = Uncolored
+	}
+	return c
+}
+
+// Has reports whether vertex v has a color.
+func (c Coloring) Has(v int) bool {
+	return v >= 0 && v < len(c) && c[v] >= 0
+}
+
+// Colored returns the number of vertices with a color.
+func (c Coloring) Colored() int {
+	n := 0
+	for _, col := range c {
+		if col >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxColor returns the largest color used, or -1 when nothing is colored.
+func (c Coloring) MaxColor() int {
+	max := -1
+	for _, col := range c {
+		if int(col) > max {
+			max = int(col)
+		}
+	}
+	return max
+}
 
 // NumColors returns the number of distinct colors used.
 func (c Coloring) NumColors() int {
-	seen := make(map[int]struct{}, len(c))
-	for _, col := range c {
-		seen[col] = struct{}{}
+	max := c.MaxColor()
+	if max < 0 {
+		return 0
 	}
-	return len(seen)
-}
-
-// Classes groups vertices by color; classes[k] lists the vertices with color
-// k in ascending order. Colors are assumed to be 0..NumColors-1 (as produced
-// by the greedy colorers in this package).
-func (c Coloring) Classes() [][]int {
+	seen := newBitset(max + 1)
 	n := 0
 	for _, col := range c {
-		if col+1 > n {
-			n = col + 1
+		if col >= 0 && !seen.has(int(col)) {
+			seen.set(int(col))
+			n++
 		}
 	}
-	classes := make([][]int, n)
-	for v, col := range c {
-		classes[col] = append(classes[col], v)
+	return n
+}
+
+// ColorCounts returns the occupancy of each color: counts[k] is the number
+// of vertices colored k, for k in [0, MaxColor]. Colors the greedy colorers
+// produce are contiguous (0..NumColors-1), but sparse colorings are
+// tolerated — unused colors simply count zero.
+func (c Coloring) ColorCounts() []int {
+	counts := make([]int, c.MaxColor()+1)
+	for _, col := range c {
+		if col >= 0 {
+			counts[col]++
+		}
 	}
-	for _, cl := range classes {
-		sort.Ints(cl)
+	return counts
+}
+
+// Classes groups vertices by color: classes[k] lists the vertices with
+// color k in ascending order, for every k in [0, MaxColor]. The colors need
+// not be contiguous — a color that no vertex uses yields an empty (nil)
+// class rather than shifting later classes, so classes[k] always means
+// "the vertices colored exactly k". Uncolored vertices appear in no class.
+func (c Coloring) Classes() [][]int {
+	classes := make([][]int, c.MaxColor()+1)
+	for v, col := range c {
+		if col >= 0 {
+			classes[col] = append(classes[col], v) // v ascending -> sorted
+		}
 	}
 	return classes
 }
@@ -37,48 +100,96 @@ func (c Coloring) Classes() [][]int {
 // Valid reports whether c is a proper coloring of g: every vertex of g is
 // colored and no edge is monochromatic.
 func (c Coloring) Valid(g *Graph) bool {
-	for _, v := range g.Nodes() {
-		if _, ok := c[v]; !ok {
+	for v := 0; v < g.Cap(); v++ {
+		if !g.HasNode(v) {
+			continue
+		}
+		if !c.Has(v) {
 			return false
 		}
-	}
-	for _, e := range g.Edges() {
-		if c[e.U] == c[e.V] {
-			return false
+		for _, u := range g.Adj(v) {
+			if int(u) > v && c[u] == c[v] {
+				return false
+			}
 		}
 	}
 	return true
 }
 
-// GreedyColoring colors the vertices of g in the given order, assigning each
-// vertex the smallest color not used by an already-colored neighbor. The
-// order must contain every vertex of g exactly once.
-func GreedyColoring(g *Graph, order []int) Coloring {
-	c := make(Coloring, g.NumNodes())
-	for _, v := range order {
-		used := make(map[int]struct{})
-		for u := range g.adj[v] {
-			if col, ok := c[u]; ok {
-				used[col] = struct{}{}
-			}
-		}
-		col := 0
-		for {
-			if _, taken := used[col]; !taken {
-				break
-			}
-			col++
-		}
-		c[v] = col
+// bitset is a small reusable bit vector for used-color scans.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
 	}
+}
+
+// firstClear returns the smallest index < limit whose bit is unset, or -1.
+func (b bitset) firstClear(limit int) int {
+	for w := 0; w*64 < limit; w++ {
+		inv := ^b[w]
+		if inv == 0 {
+			continue
+		}
+		i := w*64 + bits.TrailingZeros64(inv)
+		if i >= limit {
+			return -1
+		}
+		return i
+	}
+	return -1
+}
+
+// greedyInto colors g's vertices in the given order, assigning each vertex
+// the smallest color not used by an already-colored neighbor and at most
+// maxColors colors (maxColors <= 0 means unbounded). Vertices that cannot
+// be colored within the budget are returned in ascending order. The used
+// bitset is the only per-call scratch: cleared per vertex, never
+// reallocated, which is what makes the coloring path allocation-lean.
+func greedyInto(c Coloring, g *Graph, order []int, maxColors int) []int {
+	// A vertex of degree d needs at most color d; the scan never looks past
+	// MaxDegree+1 bits.
+	limit := g.MaxDegree() + 1
+	if maxColors > 0 && maxColors < limit {
+		limit = maxColors
+	}
+	used := newBitset(limit)
+	var deferred []int
+	for _, v := range order {
+		used.clear()
+		for _, u := range g.Adj(v) {
+			if col := c[u]; col >= 0 && int(col) < limit {
+				used.set(int(col))
+			}
+		}
+		col := used.firstClear(limit)
+		if col < 0 {
+			deferred = append(deferred, v)
+			continue
+		}
+		c[v] = int32(col)
+	}
+	sortInts(deferred)
+	return deferred
+}
+
+// GreedyColoring colors the vertices of g in the given order, assigning
+// each vertex the smallest color not used by an already-colored neighbor.
+// The order must contain every vertex of g exactly once.
+func GreedyColoring(g *Graph, order []int) Coloring {
+	c := NewColoring(g.Cap())
+	greedyInto(c, g, order, 0)
 	return c
 }
 
-// WelshPowell colors g greedily in order of non-increasing degree, breaking
-// degree ties by ascending vertex id. This is the polynomial-time
-// approximation named by the paper (§V-B2); it uses at most MaxDegree+1
-// colors.
-func WelshPowell(g *Graph) Coloring {
+// welshPowellOrder returns g's vertices by non-increasing degree, breaking
+// degree ties by ascending vertex id.
+func welshPowellOrder(g *Graph) []int {
 	order := g.Nodes()
 	sort.SliceStable(order, func(i, j int) bool {
 		di, dj := g.Degree(order[i]), g.Degree(order[j])
@@ -87,7 +198,17 @@ func WelshPowell(g *Graph) Coloring {
 		}
 		return order[i] < order[j]
 	})
-	return GreedyColoring(g, order)
+	return order
+}
+
+// WelshPowell colors g greedily in order of non-increasing degree, breaking
+// degree ties by ascending vertex id. This is the polynomial-time
+// approximation named by the paper (§V-B2); it uses at most MaxDegree+1
+// colors.
+func WelshPowell(g *Graph) Coloring {
+	c := NewColoring(g.Cap())
+	greedyInto(c, g, welshPowellOrder(g), 0)
+	return c
 }
 
 // BoundedColoring colors g with at most maxColors colors, dropping vertices
@@ -99,40 +220,8 @@ func WelshPowell(g *Graph) Coloring {
 // The compiler uses this to honor the tunability budget of Fig 11: gates
 // whose crosstalk-graph vertices are deferred get postponed to a later slice.
 func BoundedColoring(g *Graph, maxColors int) (Coloring, []int) {
-	if maxColors <= 0 {
-		return WelshPowell(g), nil
-	}
-	order := g.Nodes()
-	sort.SliceStable(order, func(i, j int) bool {
-		di, dj := g.Degree(order[i]), g.Degree(order[j])
-		if di != dj {
-			return di > dj
-		}
-		return order[i] < order[j]
-	})
-	c := make(Coloring, len(order))
-	var deferred []int
-	for _, v := range order {
-		used := make(map[int]struct{})
-		for u := range g.adj[v] {
-			if col, ok := c[u]; ok {
-				used[col] = struct{}{}
-			}
-		}
-		col := -1
-		for k := 0; k < maxColors; k++ {
-			if _, taken := used[k]; !taken {
-				col = k
-				break
-			}
-		}
-		if col < 0 {
-			deferred = append(deferred, v)
-			continue
-		}
-		c[v] = col
-	}
-	sort.Ints(deferred)
+	c := NewColoring(g.Cap())
+	deferred := greedyInto(c, g, welshPowellOrder(g), maxColors)
 	return c, deferred
 }
 
@@ -140,18 +229,19 @@ func BoundedColoring(g *Graph, maxColors int) (Coloring, []int) {
 // is bipartite, and (nil, false) otherwise. A 2-colorable connectivity graph
 // (e.g. any 2-D mesh) needs only two idle frequencies (§IV-C1).
 func TwoColor(g *Graph) (Coloring, bool) {
-	c := make(Coloring, g.NumNodes())
-	for _, start := range g.Nodes() {
-		if _, done := c[start]; done {
+	c := NewColoring(g.Cap())
+	queue := make([]int32, 0, g.NumNodes())
+	for start := 0; start < g.Cap(); start++ {
+		if !g.HasNode(start) || c[start] >= 0 {
 			continue
 		}
 		c[start] = 0
-		queue := []int{start}
+		queue = append(queue[:0], int32(start))
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, u := range g.Neighbors(v) {
-				if cu, ok := c[u]; ok {
+			for _, u := range g.Adj(int(v)) {
+				if cu := c[u]; cu >= 0 {
 					if cu == c[v] {
 						return nil, false
 					}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchGraphs builds coloring workloads shaped like the compiler's: the
+// line graph of a mesh (what WelshPowell colors for static palettes) and a
+// random graph of comparable density.
+func meshLineGraph(side int) *Graph {
+	g := New()
+	id := func(r, c int) int { return r*side + c }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < side {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	lg, _ := LineGraph(g)
+	return lg
+}
+
+// BenchmarkColoring measures the greedy coloring hot path (used per slice
+// by the compiler and per device by the static baselines). allocs/op is
+// the headline number: the flat representation colors with a constant
+// handful of allocations instead of one map per vertex.
+func BenchmarkColoring(b *testing.B) {
+	for _, side := range []int{8, 16} {
+		lg := meshLineGraph(side)
+		b.Run(fmt.Sprintf("WelshPowell/mesh-line-%dx%d", side, side), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if c := WelshPowell(lg); !c.Valid(lg) {
+					b.Fatal("invalid coloring")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Greedy/mesh-line-%dx%d", side, side), func(b *testing.B) {
+			order := lg.Nodes()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if c := GreedyColoring(lg, order); !c.Valid(lg) {
+					b.Fatal("invalid coloring")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Bounded2/mesh-line-%dx%d", side, side), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				BoundedColoring(lg, 2)
+			}
+		})
+	}
+	rng := rand.New(rand.NewSource(3))
+	g := gnp(256, 0.05, rng)
+	b.Run("WelshPowell/gnp-256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if c := WelshPowell(g); !c.Valid(g) {
+				b.Fatal("invalid coloring")
+			}
+		}
+	})
+}

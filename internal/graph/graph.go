@@ -4,14 +4,26 @@
 // coloring (Welsh–Powell).
 //
 // Graphs are simple (no self loops, no parallel edges) and undirected, with
-// integer vertex identifiers. All iteration orders are deterministic (sorted
-// ascending) so that compilation results are reproducible run to run.
+// dense non-negative integer vertex identifiers. The representation is flat:
+// one sorted neighbor slice per vertex (adjacency-slice / CSR-style), so
+// neighbor iteration is O(deg) with zero map probes, HasEdge is a binary
+// search, and the whole structure is a handful of contiguous allocations.
+// All iteration orders are deterministic (sorted ascending) so that
+// compilation results are reproducible run to run.
+//
+// Vertex ids index into the adjacency table directly, so they should be
+// small and dense (qubit ids 0..n-1, coupler ids 0..m-1 — which is how every
+// caller in this codebase numbers vertices). Sparse id sets still work —
+// Subgraph keeps original ids, with absent ids simply marked not-present —
+// but the table spans [0, max id], so ids in the millions would waste
+// memory. Negative ids panic.
 package graph
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Edge is an undirected edge between vertices U and V, normalized U < V.
@@ -53,16 +65,37 @@ func (e Edge) SharesVertex(f Edge) bool {
 
 func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 
-// Graph is a simple undirected graph over integer vertices.
-// The zero value is not usable; construct with New.
+// Graph is a simple undirected graph over dense non-negative integer
+// vertices, stored as sorted per-vertex neighbor slices.
+// The zero value is an empty graph; construct with New or NewDense.
 type Graph struct {
-	adj map[int]map[int]struct{}
-	m   int // edge count
+	adj     [][]int32
+	present []bool
+	n       int // vertex count
+	m       int // edge count
+
+	// edgeIDs caches the dense forward-edge index built lazily by EdgeID;
+	// any mutation clears it. atomic so concurrent readers of an immutable
+	// graph can build it on demand without a lock.
+	edgeIDs atomic.Pointer[edgeIndex]
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{adj: make(map[int]map[int]struct{})}
+	return &Graph{}
+}
+
+// NewDense returns a graph with vertices 0..n-1 and no edges.
+func NewDense(n int) *Graph {
+	g := &Graph{
+		adj:     make([][]int32, n),
+		present: make([]bool, n),
+		n:       n,
+	}
+	for v := range g.present {
+		g.present[v] = true
+	}
+	return g
 }
 
 // FromEdges builds a graph containing the given edges (and their endpoints).
@@ -74,59 +107,142 @@ func FromEdges(edges []Edge) *Graph {
 	return g
 }
 
+func checkVertex(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("graph: negative vertex id %d", v))
+	}
+}
+
+// grow extends the adjacency table to cover vertex v.
+func (g *Graph) grow(v int) {
+	if v < len(g.adj) {
+		return
+	}
+	adj := make([][]int32, v+1)
+	copy(adj, g.adj)
+	present := make([]bool, v+1)
+	copy(present, g.present)
+	g.adj, g.present = adj, present
+}
+
 // AddNode inserts an isolated vertex; it is a no-op if v already exists.
+// It panics on negative ids.
 func (g *Graph) AddNode(v int) {
-	if _, ok := g.adj[v]; !ok {
-		g.adj[v] = make(map[int]struct{})
+	checkVertex(v)
+	g.grow(v)
+	if !g.present[v] {
+		g.present[v] = true
+		g.n++
+		g.edgeIDs.Store(nil)
 	}
 }
 
 // AddEdge inserts the undirected edge {a,b}, adding endpoints as needed.
-// Adding an existing edge is a no-op. It panics on self loops.
+// Adding an existing edge is a no-op. It panics on self loops and negative
+// ids. Inserting edges in ascending neighbor order appends in O(1); out of
+// order inserts shift the neighbor slice (O(deg)).
 func (g *Graph) AddEdge(a, b int) {
 	if a == b {
 		panic(fmt.Sprintf("graph: self loop on vertex %d", a))
 	}
 	g.AddNode(a)
 	g.AddNode(b)
-	if _, ok := g.adj[a][b]; ok {
+	if !insertSorted(&g.adj[a], int32(b)) {
 		return
 	}
-	g.adj[a][b] = struct{}{}
-	g.adj[b][a] = struct{}{}
+	insertSorted(&g.adj[b], int32(a))
 	g.m++
+	g.edgeIDs.Store(nil)
+}
+
+// insertSorted inserts x into the sorted slice *s, reporting whether it was
+// absent. Appending in ascending order is O(1).
+func insertSorted(s *[]int32, x int32) bool {
+	t := *s
+	if n := len(t); n == 0 || t[n-1] < x {
+		*s = append(t, x)
+		return true
+	}
+	i := searchInt32(t, x)
+	if i < len(t) && t[i] == x {
+		return false
+	}
+	t = append(t, 0)
+	copy(t[i+1:], t[i:])
+	t[i] = x
+	*s = t
+	return true
+}
+
+// searchInt32 returns the insertion index of x in the sorted slice s.
+func searchInt32(s []int32, x int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // RemoveEdge deletes the edge {a,b} if present.
 func (g *Graph) RemoveEdge(a, b int) {
-	if _, ok := g.adj[a][b]; !ok {
+	if !g.HasEdge(a, b) {
 		return
 	}
-	delete(g.adj[a], b)
-	delete(g.adj[b], a)
+	removeSorted(&g.adj[a], int32(b))
+	removeSorted(&g.adj[b], int32(a))
 	g.m--
+	g.edgeIDs.Store(nil)
+}
+
+func removeSorted(s *[]int32, x int32) {
+	t := *s
+	i := searchInt32(t, x)
+	copy(t[i:], t[i+1:])
+	*s = t[:len(t)-1]
 }
 
 // HasNode reports whether v is a vertex of g.
 func (g *Graph) HasNode(v int) bool {
-	_, ok := g.adj[v]
-	return ok
+	return v >= 0 && v < len(g.present) && g.present[v]
 }
 
-// HasEdge reports whether the edge {a,b} is present.
+// HasEdge reports whether the edge {a,b} is present (binary search over the
+// smaller endpoint's neighbor slice).
 func (g *Graph) HasEdge(a, b int) bool {
-	_, ok := g.adj[a][b]
-	return ok
+	if a < 0 || b < 0 || a >= len(g.adj) || b >= len(g.adj) {
+		return false
+	}
+	s, x := g.adj[a], int32(b)
+	if len(g.adj[b]) < len(s) {
+		s, x = g.adj[b], int32(a)
+	}
+	i := searchInt32(s, x)
+	return i < len(s) && s[i] == x
 }
 
 // NumNodes returns the vertex count.
-func (g *Graph) NumNodes() int { return len(g.adj) }
+func (g *Graph) NumNodes() int { return g.n }
 
 // NumEdges returns the edge count.
 func (g *Graph) NumEdges() int { return g.m }
 
+// Cap returns the adjacency-table span: one greater than the largest vertex
+// id ever added. Dense per-vertex scratch buffers (BFS distances, colorings)
+// are sized by Cap, so slots for absent ids exist but are marked absent.
+func (g *Graph) Cap() int { return len(g.adj) }
+
 // Degree returns the number of neighbors of v (0 if v is absent).
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int {
+	if v < 0 || v >= len(g.adj) {
+		return 0
+	}
+	return len(g.adj[v])
+}
 
 // MaxDegree returns the largest vertex degree in g (0 for an empty graph).
 func (g *Graph) MaxDegree() int {
@@ -139,23 +255,37 @@ func (g *Graph) MaxDegree() int {
 	return max
 }
 
+// Adj returns v's neighbors in ascending order as a shared slice — the
+// graph's own storage, valid until the next mutation. Callers must not
+// modify it. This is the zero-allocation iteration primitive the hot paths
+// use; Neighbors returns a copy as []int for convenience.
+func (g *Graph) Adj(v int) []int32 {
+	if v < 0 || v >= len(g.adj) {
+		return nil
+	}
+	return g.adj[v]
+}
+
 // Nodes returns the vertices in ascending order.
 func (g *Graph) Nodes() []int {
-	vs := make([]int, 0, len(g.adj))
-	for v := range g.adj {
-		vs = append(vs, v)
+	vs := make([]int, 0, g.n)
+	for v, ok := range g.present {
+		if ok {
+			vs = append(vs, v)
+		}
 	}
-	sort.Ints(vs)
 	return vs
 }
 
-// Neighbors returns the neighbors of v in ascending order.
+// Neighbors returns a copy of the neighbors of v in ascending order.
 func (g *Graph) Neighbors(v int) []int {
-	ns := make([]int, 0, len(g.adj[v]))
-	for u := range g.adj[v] {
-		ns = append(ns, u)
+	if v < 0 || v >= len(g.adj) {
+		return []int{}
 	}
-	sort.Ints(ns)
+	ns := make([]int, len(g.adj[v]))
+	for i, u := range g.adj[v] {
+		ns[i] = int(u)
+	}
 	return ns
 }
 
@@ -163,57 +293,123 @@ func (g *Graph) Neighbors(v int) []int {
 func (g *Graph) Edges() []Edge {
 	es := make([]Edge, 0, g.m)
 	for v, nbrs := range g.adj {
-		for u := range nbrs {
-			if v < u {
-				es = append(es, Edge{U: v, V: u})
+		for _, u := range nbrs {
+			if int(u) > v {
+				es = append(es, Edge{U: v, V: int(u)})
 			}
 		}
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
-		}
-		return es[i].V < es[j].V
-	})
 	return es
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := New()
-	for v := range g.adj {
-		c.AddNode(v)
+	c := &Graph{
+		adj:     make([][]int32, len(g.adj)),
+		present: make([]bool, len(g.present)),
+		n:       g.n,
+		m:       g.m,
 	}
+	copy(c.present, g.present)
 	for v, nbrs := range g.adj {
-		for u := range nbrs {
-			if v < u {
-				c.AddEdge(v, u)
-			}
+		if len(nbrs) > 0 {
+			c.adj[v] = append([]int32(nil), nbrs...)
 		}
 	}
 	return c
 }
 
-// Subgraph returns the subgraph induced by the given vertex set.
+// Subgraph returns the subgraph induced by the given vertex set. Vertices
+// keep their original ids; ids not present in g are ignored.
 func (g *Graph) Subgraph(vertices []int) *Graph {
-	keep := make(map[int]struct{}, len(vertices))
+	maxV := -1
+	keep := make([]bool, len(g.adj))
+	kept := 0
 	for _, v := range vertices {
-		if g.HasNode(v) {
-			keep[v] = struct{}{}
+		if g.HasNode(v) && !keep[v] {
+			keep[v] = true
+			kept++
+			if v > maxV {
+				maxV = v
+			}
 		}
 	}
-	s := New()
-	for v := range keep {
-		s.AddNode(v)
+	s := &Graph{
+		adj:     make([][]int32, maxV+1),
+		present: make([]bool, maxV+1),
+		n:       kept,
 	}
-	for v := range keep {
-		for u := range g.adj[v] {
-			if _, ok := keep[u]; ok && v < u {
-				s.AddEdge(v, u)
+	for v := 0; v <= maxV; v++ {
+		if !keep[v] {
+			continue
+		}
+		s.present[v] = true
+		for _, u := range g.adj[v] {
+			if int(u) < len(keep) && keep[u] {
+				s.adj[v] = append(s.adj[v], u) // g.adj[v] sorted -> s.adj[v] sorted
+				if int(u) > v {
+					s.m++
+				}
 			}
 		}
 	}
 	return s
+}
+
+// ApproxSize returns the approximate in-memory footprint of g in bytes,
+// used by the compile cache's size-aware eviction.
+func (g *Graph) ApproxSize() int {
+	size := 64 + len(g.adj)*24 + len(g.present)
+	for _, nbrs := range g.adj {
+		size += 4 * cap(nbrs)
+	}
+	return size
+}
+
+// edgeIndex is the lazily built dense edge-id table: fwd[v] is the id of
+// the first edge {v, u} with u > v, in Edges() order.
+type edgeIndex struct {
+	fwd []int32
+}
+
+// EdgeID returns the dense id of edge {a,b} — its position in Edges() —
+// and whether the edge exists. The index is built lazily on first use and
+// invalidated by any mutation; on an immutable (fully built) graph it is
+// safe to call concurrently.
+func (g *Graph) EdgeID(a, b int) (int, bool) {
+	if a > b {
+		a, b = b, a
+	}
+	if a < 0 || b >= len(g.adj) || a == b {
+		return 0, false
+	}
+	idx := g.edgeIDs.Load()
+	if idx == nil {
+		idx = g.buildEdgeIndex()
+	}
+	nbrs := g.adj[a]
+	i := searchInt32(nbrs, int32(b))
+	if i >= len(nbrs) || nbrs[i] != int32(b) {
+		return 0, false
+	}
+	firstFwd := searchInt32(nbrs, int32(a)) // b > a, so forward nbrs start past a
+	return int(idx.fwd[a]) + i - firstFwd, true
+}
+
+func (g *Graph) buildEdgeIndex() *edgeIndex {
+	fwd := make([]int32, len(g.adj))
+	next := int32(0)
+	for v, nbrs := range g.adj {
+		fwd[v] = next
+		for _, u := range nbrs {
+			if int(u) > v {
+				next++
+			}
+		}
+	}
+	idx := &edgeIndex{fwd: fwd}
+	g.edgeIDs.Store(idx)
+	return idx
 }
 
 // String renders the graph as "n=<nodes> m=<edges> [edge list]".
@@ -229,3 +425,6 @@ func (g *Graph) String() string {
 	b.WriteByte(']')
 	return b.String()
 }
+
+// sortInts sorts xs ascending (tiny helper shared by this package).
+func sortInts(xs []int) { sort.Ints(xs) }

@@ -362,22 +362,20 @@ func TestBoundedColoringDefers(t *testing.T) {
 		}
 	}
 	c, deferred := BoundedColoring(g, 2)
-	if len(c)+len(deferred) != 4 {
-		t.Fatalf("partition broken: %d colored + %d deferred", len(c), len(deferred))
+	if c.Colored()+len(deferred) != 4 {
+		t.Fatalf("partition broken: %d colored + %d deferred", c.Colored(), len(deferred))
 	}
 	if len(deferred) != 2 {
 		t.Fatalf("deferred %d vertices from K4 with budget 2, want 2", len(deferred))
 	}
 	for v, col := range c {
-		if col < 0 || col >= 2 {
+		if c.Has(v) && (col < 0 || col >= 2) {
 			t.Fatalf("vertex %d got out-of-budget color %d", v, col)
 		}
 	}
 	// Colored part must be proper.
 	for _, e := range g.Edges() {
-		cu, okU := c[e.U]
-		cv, okV := c[e.V]
-		if okU && okV && cu == cv {
+		if c.Has(e.U) && c.Has(e.V) && c[e.U] == c[e.V] {
 			t.Fatalf("edge %v monochromatic in bounded coloring", e)
 		}
 	}
@@ -393,10 +391,34 @@ func TestBoundedColoringNoBudget(t *testing.T) {
 }
 
 func TestColoringClasses(t *testing.T) {
-	c := Coloring{0: 0, 1: 1, 2: 0, 3: 1}
+	c := Coloring{0, 1, 0, 1}
 	classes := c.Classes()
 	if !reflect.DeepEqual(classes[0], []int{0, 2}) || !reflect.DeepEqual(classes[1], []int{1, 3}) {
 		t.Fatalf("Classes = %v", classes)
+	}
+}
+
+// Classes must tolerate sparse and non-contiguous colors: a color nobody
+// uses yields an empty class at its own index (classes[k] always means
+// "colored exactly k"), and uncolored vertices are skipped.
+func TestColoringClassesSparseColors(t *testing.T) {
+	c := Coloring{5, Uncolored, 2, 5, Uncolored, 0}
+	classes := c.Classes()
+	if len(classes) != 6 {
+		t.Fatalf("Classes span = %d, want 6 (max color 5)", len(classes))
+	}
+	want := [][]int{0: {5}, 2: {2}, 5: {0, 3}}
+	for k := range classes {
+		if !reflect.DeepEqual(classes[k], want[k]) {
+			t.Fatalf("classes[%d] = %v, want %v", k, classes[k], want[k])
+		}
+	}
+	if c.NumColors() != 3 {
+		t.Fatalf("NumColors = %d, want 3 distinct", c.NumColors())
+	}
+	counts := c.ColorCounts()
+	if !reflect.DeepEqual(counts, []int{1, 0, 1, 0, 0, 2}) {
+		t.Fatalf("ColorCounts = %v", counts)
 	}
 }
 

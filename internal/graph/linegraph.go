@@ -10,20 +10,18 @@ package graph
 // (Algorithm 2, line 2: networkx.line_graph).
 func LineGraph(g *Graph) (*Graph, []Edge) {
 	edges := g.Edges()
-	lg := New()
-	for i := range edges {
-		lg.AddNode(i)
-	}
-	// Bucket edge ids by endpoint; edges sharing a bucket are adjacent in L(g).
-	byVertex := make(map[int][]int, g.NumNodes())
+	lg := NewDense(len(edges))
+	// Bucket edge ids by endpoint; edges sharing a bucket are adjacent in
+	// L(g). Buckets fill in edge-id order, so each is sorted ascending.
+	byVertex := make([][]int32, g.Cap())
 	for i, e := range edges {
-		byVertex[e.U] = append(byVertex[e.U], i)
-		byVertex[e.V] = append(byVertex[e.V], i)
+		byVertex[e.U] = append(byVertex[e.U], int32(i))
+		byVertex[e.V] = append(byVertex[e.V], int32(i))
 	}
 	for _, ids := range byVertex {
 		for i := 0; i < len(ids); i++ {
 			for j := i + 1; j < len(ids); j++ {
-				lg.AddEdge(ids[i], ids[j])
+				lg.AddEdge(int(ids[i]), int(ids[j]))
 			}
 		}
 	}

@@ -1,0 +1,276 @@
+package graph
+
+// Representation-equivalence property tests: the flat adjacency-slice Graph
+// must agree with a trivially-correct map-based reference model on every
+// query, under randomized interleaved edge insert/remove sequences. The
+// reference is the shape of the pre-flat-core implementation
+// (map[int]map[int]struct{} adjacency), so these tests pin the refactor to
+// the old semantics.
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// refGraph is the map-based reference model.
+type refGraph struct {
+	adj map[int]map[int]struct{}
+	m   int
+}
+
+func newRefGraph() *refGraph {
+	return &refGraph{adj: make(map[int]map[int]struct{})}
+}
+
+func (g *refGraph) addNode(v int) {
+	if _, ok := g.adj[v]; !ok {
+		g.adj[v] = make(map[int]struct{})
+	}
+}
+
+func (g *refGraph) addEdge(a, b int) {
+	g.addNode(a)
+	g.addNode(b)
+	if _, ok := g.adj[a][b]; ok {
+		return
+	}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+	g.m++
+}
+
+func (g *refGraph) removeEdge(a, b int) {
+	if _, ok := g.adj[a][b]; !ok {
+		return
+	}
+	delete(g.adj[a], b)
+	delete(g.adj[b], a)
+	g.m--
+}
+
+func (g *refGraph) hasEdge(a, b int) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+func (g *refGraph) neighbors(v int) []int {
+	ns := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		ns = append(ns, u)
+	}
+	sort.Ints(ns)
+	return ns
+}
+
+func (g *refGraph) nodes() []int {
+	vs := make([]int, 0, len(g.adj))
+	for v := range g.adj {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+func (g *refGraph) edges() []Edge {
+	var es []Edge
+	for v, nbrs := range g.adj {
+		for u := range nbrs {
+			if v < u {
+				es = append(es, Edge{U: v, V: u})
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}
+
+// checkAgainstRef compares every observable of g against the reference.
+func checkAgainstRef(t *testing.T, step int, g *Graph, ref *refGraph, idSpace int) {
+	t.Helper()
+	if g.NumNodes() != len(ref.adj) {
+		t.Fatalf("step %d: NumNodes = %d, ref %d", step, g.NumNodes(), len(ref.adj))
+	}
+	if g.NumEdges() != ref.m {
+		t.Fatalf("step %d: NumEdges = %d, ref %d", step, g.NumEdges(), ref.m)
+	}
+	if got, want := g.Nodes(), ref.nodes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("step %d: Nodes = %v, ref %v", step, got, want)
+	}
+	if got, want := g.Edges(), ref.edges(); !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+		t.Fatalf("step %d: Edges = %v, ref %v", step, got, want)
+	}
+	for v := 0; v < idSpace; v++ {
+		_, refHas := ref.adj[v]
+		if g.HasNode(v) != refHas {
+			t.Fatalf("step %d: HasNode(%d) = %v, ref %v", step, v, g.HasNode(v), refHas)
+		}
+		if g.Degree(v) != len(ref.adj[v]) {
+			t.Fatalf("step %d: Degree(%d) = %d, ref %d", step, v, g.Degree(v), len(ref.adj[v]))
+		}
+		if refHas {
+			if got, want := g.Neighbors(v), ref.neighbors(v); !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+				t.Fatalf("step %d: Neighbors(%d) = %v, ref %v", step, v, got, want)
+			}
+		}
+		for u := 0; u < idSpace; u++ {
+			if g.HasEdge(v, u) != ref.hasEdge(v, u) {
+				t.Fatalf("step %d: HasEdge(%d,%d) = %v, ref %v", step, v, u, g.HasEdge(v, u), ref.hasEdge(v, u))
+			}
+		}
+	}
+}
+
+// TestFlatGraphMatchesMapReference drives both representations through the
+// same randomized insert/remove sequence and checks full observable
+// equality after every batch, plus Clone and Subgraph equivalence.
+func TestFlatGraphMatchesMapReference(t *testing.T) {
+	const (
+		idSpace = 14
+		steps   = 600
+		seeds   = 8
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		ref := newRefGraph()
+		for step := 0; step < steps; step++ {
+			a, b := rng.Intn(idSpace), rng.Intn(idSpace)
+			switch op := rng.Intn(10); {
+			case op < 5 && a != b: // bias toward insertion
+				g.AddEdge(a, b)
+				ref.addEdge(a, b)
+			case op < 8 && a != b:
+				g.RemoveEdge(a, b)
+				ref.removeEdge(a, b)
+			default:
+				g.AddNode(a)
+				ref.addNode(a)
+			}
+			if step%37 == 0 || step == steps-1 {
+				checkAgainstRef(t, step, g, ref, idSpace)
+			}
+		}
+
+		// Clone must be equal and independent.
+		c := g.Clone()
+		checkAgainstRef(t, -1, c, ref, idSpace)
+		c.AddEdge(idSpace, idSpace+1)
+		if g.HasEdge(idSpace, idSpace+1) {
+			t.Fatal("Clone shares storage with the original")
+		}
+
+		// Subgraph must match the reference model's induced subgraph.
+		var keep []int
+		for v := 0; v < idSpace; v++ {
+			if rng.Intn(2) == 0 {
+				keep = append(keep, v)
+			}
+		}
+		sub := g.Subgraph(keep)
+		subRef := newRefGraph()
+		inKeep := make(map[int]bool)
+		for _, v := range keep {
+			if _, ok := ref.adj[v]; ok {
+				inKeep[v] = true
+				subRef.addNode(v)
+			}
+		}
+		for _, e := range ref.edges() {
+			if inKeep[e.U] && inKeep[e.V] {
+				subRef.addEdge(e.U, e.V)
+			}
+		}
+		checkAgainstRef(t, -2, sub, subRef, idSpace)
+	}
+}
+
+// TestEdgeIDMatchesEdgesOrder checks the dense edge index against the
+// sorted edge enumeration, including after mutations that invalidate it.
+func TestEdgeIDMatchesEdgesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := gnp(12, 0.4, rng)
+	verify := func() {
+		t.Helper()
+		for id, e := range g.Edges() {
+			got, ok := g.EdgeID(e.U, e.V)
+			if !ok || got != id {
+				t.Fatalf("EdgeID(%v) = %d,%v, want %d", e, got, ok, id)
+			}
+			if got, ok := g.EdgeID(e.V, e.U); !ok || got != id {
+				t.Fatalf("EdgeID reversed (%v) = %d,%v, want %d", e, got, ok, id)
+			}
+		}
+		if _, ok := g.EdgeID(0, 0); ok {
+			t.Fatal("EdgeID(0,0) should not exist")
+		}
+	}
+	verify()
+	// Mutations must invalidate the cached index.
+	g.AddEdge(0, 11)
+	verify()
+	es := g.Edges()
+	g.RemoveEdge(es[len(es)/2].U, es[len(es)/2].V)
+	verify()
+	if _, ok := g.EdgeID(es[len(es)/2].U, es[len(es)/2].V); ok {
+		t.Fatal("EdgeID still reports a removed edge")
+	}
+}
+
+// TestBFSDistancesMatchesReference cross-checks the dense BFS against a
+// Floyd–Warshall style reference on random graphs, and the flat all-pairs
+// matrix against per-source BFS.
+func TestBFSDistancesMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gnp(10, 0.25, rng)
+		n := g.Cap()
+		// Floyd–Warshall reference.
+		const inf = 1 << 20
+		d := make([][]int, n)
+		for i := range d {
+			d[i] = make([]int, n)
+			for j := range d[i] {
+				if i == j && g.HasNode(i) {
+					d[i][j] = 0
+				} else {
+					d[i][j] = inf
+				}
+			}
+		}
+		for _, e := range g.Edges() {
+			d[e.U][e.V], d[e.V][e.U] = 1, 1
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if d[i][k]+d[k][j] < d[i][j] {
+						d[i][j] = d[i][k] + d[k][j]
+					}
+				}
+			}
+		}
+		all := g.AllPairsDistances()
+		for i := 0; i < n; i++ {
+			bfs := g.BFSDistances(i)
+			for j := 0; j < n; j++ {
+				want := d[i][j]
+				if want >= inf || !g.HasNode(i) || !g.HasNode(j) {
+					want = Unreachable
+				}
+				if bfs[j] != want {
+					t.Fatalf("seed %d: BFS(%d)[%d] = %d, want %d", seed, i, j, bfs[j], want)
+				}
+				if all.At(i, j) != want {
+					t.Fatalf("seed %d: AllPairs(%d,%d) = %d, want %d", seed, i, j, all.At(i, j), want)
+				}
+			}
+		}
+	}
+}

@@ -5,29 +5,59 @@ package graph
 const Unreachable = -1
 
 // BFSDistances returns the unweighted shortest-path distance from src to
-// every vertex of g. Vertices not reachable from src (including vertices
-// absent from g) map to Unreachable.
-func (g *Graph) BFSDistances(src int) map[int]int {
-	dist := make(map[int]int, g.NumNodes())
-	for v := range g.adj {
-		dist[v] = Unreachable
+// every vertex slot of g: the result has length Cap() and is indexed by
+// vertex id. Vertices not reachable from src (including absent ids) hold
+// Unreachable.
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.Cap())
+	for i := range dist {
+		dist[i] = Unreachable
 	}
 	if !g.HasNode(src) {
 		return dist
 	}
 	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for u := range g.adj[v] {
+	queue := make([]int32, 1, g.NumNodes())
+	queue[0] = int32(src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		for _, u := range g.adj[v] {
 			if dist[u] == Unreachable {
-				dist[u] = dist[v] + 1
+				dist[u] = dv + 1
 				queue = append(queue, u)
 			}
 		}
 	}
 	return dist
+}
+
+// BoundedBFS fills dist (length >= g.Cap(), pre-set to Unreachable on every
+// slot it will touch) with distances from src up to maxDist hops, appending
+// every reached vertex (src included) to touched. queue is scratch; both
+// slices grow as needed and are returned for reuse. Callers reset the
+// touched slots to Unreachable afterwards — that is O(reach), not O(n),
+// which is what makes distance-bounded sweeps (the crosstalk-graph build)
+// linear in reached volume rather than graph size.
+func (g *Graph) BoundedBFS(src, maxDist int, dist []int32, queue, touched []int32) (q, t []int32) {
+	queue = append(queue[:0], int32(src))
+	touched = append(touched, int32(src))
+	dist[src] = 0
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		if int(dv) >= maxDist {
+			continue
+		}
+		for _, u := range g.adj[v] {
+			if dist[u] == Unreachable {
+				dist[u] = dv + 1
+				queue = append(queue, u)
+				touched = append(touched, u)
+			}
+		}
+	}
+	return queue, touched
 }
 
 // Distance returns the unweighted shortest-path distance between a and b,
@@ -39,16 +69,19 @@ func (g *Graph) Distance(a, b int) int {
 	if a == b {
 		return 0
 	}
-	// Bidirectional-ish early exit: plain BFS with target check.
-	dist := map[int]int{a: 0}
-	queue := []int{a}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for u := range g.adj[v] {
-			if _, seen := dist[u]; !seen {
+	dist := make([]int, g.Cap())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[a] = 0
+	queue := make([]int32, 1, g.NumNodes())
+	queue[0] = int32(a)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range g.adj[v] {
+			if dist[u] == Unreachable {
 				dist[u] = dist[v] + 1
-				if u == b {
+				if int(u) == b {
 					return dist[u]
 				}
 				queue = append(queue, u)
@@ -67,18 +100,23 @@ func (g *Graph) ShortestPath(a, b int) []int {
 	if a == b {
 		return []int{a}
 	}
-	prev := map[int]int{a: a}
-	queue := []int{a}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		// Deterministic expansion order keeps routed circuits stable.
-		for _, u := range g.Neighbors(v) {
-			if _, seen := prev[u]; seen {
+	const unseen = int32(-2)
+	prev := make([]int32, g.Cap())
+	for i := range prev {
+		prev[i] = unseen
+	}
+	prev[a] = int32(a)
+	queue := make([]int32, 1, g.NumNodes())
+	queue[0] = int32(a)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		// Ascending neighbor order keeps routed circuits stable.
+		for _, u := range g.adj[v] {
+			if prev[u] != unseen {
 				continue
 			}
 			prev[u] = v
-			if u == b {
+			if int(u) == b {
 				return reconstruct(prev, a, b)
 			}
 			queue = append(queue, u)
@@ -87,17 +125,17 @@ func (g *Graph) ShortestPath(a, b int) []int {
 	return nil
 }
 
-func reconstruct(prev map[int]int, a, b int) []int {
-	var rev []int
-	for v := b; ; v = prev[v] {
-		rev = append(rev, v)
+func reconstruct(prev []int32, a, b int) []int {
+	n := 1
+	for v := b; v != a; v = int(prev[v]) {
+		n++
+	}
+	path := make([]int, n)
+	for i, v := n-1, b; ; i, v = i-1, int(prev[v]) {
+		path[i] = v
 		if v == a {
 			break
 		}
-	}
-	path := make([]int, len(rev))
-	for i, v := range rev {
-		path[len(rev)-1-i] = v
 	}
 	return path
 }
@@ -105,27 +143,70 @@ func reconstruct(prev map[int]int, a, b int) []int {
 // Connected reports whether g is connected (the empty graph counts as
 // connected).
 func (g *Graph) Connected() bool {
-	nodes := g.Nodes()
-	if len(nodes) == 0 {
+	if g.n == 0 {
 		return true
 	}
-	dist := g.BFSDistances(nodes[0])
-	for _, d := range dist {
-		if d == Unreachable {
+	first := -1
+	for v := 0; v < g.Cap(); v++ {
+		if g.HasNode(v) {
+			first = v
+			break
+		}
+	}
+	dist := g.BFSDistances(first)
+	for v, d := range dist {
+		if g.HasNode(v) && d == Unreachable {
 			return false
 		}
 	}
 	return true
 }
 
-// AllPairsDistances computes BFS distances from every vertex. The result
-// maps source -> (vertex -> distance).
-func (g *Graph) AllPairsDistances() map[int]map[int]int {
-	all := make(map[int]map[int]int, g.NumNodes())
-	for _, v := range g.Nodes() {
-		all[v] = g.BFSDistances(v)
+// DistanceMatrix is the flat all-pairs BFS distance table of a graph:
+// row-major n×n int32 storage indexed by vertex id.
+type DistanceMatrix struct {
+	stride int
+	d      []int32
+}
+
+// At returns the distance from u to v (Unreachable when either id is
+// absent or no path exists).
+func (m *DistanceMatrix) At(u, v int) int {
+	if u < 0 || v < 0 || u >= m.stride || v >= m.stride {
+		return Unreachable
 	}
-	return all
+	return int(m.d[u*m.stride+v])
+}
+
+// AllPairsDistances computes BFS distances from every vertex into one flat
+// Cap()×Cap() matrix, reusing a single queue across sources. Rows of absent
+// vertices are all Unreachable.
+func (g *Graph) AllPairsDistances() *DistanceMatrix {
+	n := g.Cap()
+	m := &DistanceMatrix{stride: n, d: make([]int32, n*n)}
+	for i := range m.d {
+		m.d[i] = Unreachable
+	}
+	queue := make([]int32, 0, g.NumNodes())
+	for src := 0; src < n; src++ {
+		if !g.HasNode(src) {
+			continue
+		}
+		row := m.d[src*n : (src+1)*n]
+		row[src] = 0
+		queue = append(queue[:0], int32(src))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			dv := row[v]
+			for _, u := range g.adj[v] {
+				if row[u] == Unreachable {
+					row[u] = dv + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return m
 }
 
 // EdgeDistance returns the distance between two edges of g, defined (as in
@@ -141,6 +222,9 @@ func (g *Graph) EdgeDistance(e, f Edge) int {
 	for _, a := range [2]int{e.U, e.V} {
 		dist := g.BFSDistances(a)
 		for _, b := range [2]int{f.U, f.V} {
+			if b >= len(dist) {
+				continue
+			}
 			if d := dist[b]; d != Unreachable && (best == Unreachable || d < best) {
 				best = d
 			}

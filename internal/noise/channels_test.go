@@ -46,7 +46,7 @@ func TestAmbientChannelArithmetic(t *testing.T) {
 	comp.X(0) // some physical gate so usedQubits is nonempty
 	s := makeSchedule(sys, schedule.Slice{
 		Duration: tau,
-		Freqs:    map[int]float64{0: fu, 1: fv},
+		Freqs:    []float64{fu, fv},
 		Gates:    []schedule.GateEvent{{Gate: comp.Gates[0], Duration: 25, Freq: fu}},
 	}, comp)
 
@@ -79,7 +79,7 @@ func TestSpectatorChannelArithmetic(t *testing.T) {
 	gate := comp.Gates[0]
 	s := makeSchedule(sys, schedule.Slice{
 		Duration:       tau,
-		Freqs:          map[int]float64{0: fInt, 1: fInt, 2: fSpec},
+		Freqs:          []float64{fInt, fInt, fSpec},
 		Gates:          []schedule.GateEvent{{Gate: gate, Duration: tau - 2, Freq: fInt}},
 		ActiveCouplers: []graph.Edge{edge(0, 1)},
 	}, comp)
@@ -110,7 +110,7 @@ func TestGateGateChannelDistanceOne(t *testing.T) {
 	ev2 := schedule.GateEvent{Gate: comp.Gates[1], Duration: tau, Freq: f2}
 	s := makeSchedule(sys, schedule.Slice{
 		Duration:       tau,
-		Freqs:          map[int]float64{0: f1, 1: f1, 2: f2, 3: f2},
+		Freqs:          []float64{f1, f1, f2, f2},
 		Gates:          []schedule.GateEvent{ev1, ev2},
 		ActiveCouplers: []graph.Edge{edge(0, 1), edge(2, 3)},
 	}, comp)
@@ -141,7 +141,7 @@ func TestGateGateChannelDistanceTwoScaled(t *testing.T) {
 	comp.CZ(0, 1).CZ(3, 4)
 	s := makeSchedule(sys, schedule.Slice{
 		Duration: tau,
-		Freqs:    map[int]float64{0: f, 1: f, 2: 5.3, 3: f, 4: f, 5: 5.3},
+		Freqs:    []float64{f, f, 5.3, f, f, 5.3},
 		Gates: []schedule.GateEvent{
 			{Gate: comp.Gates[0], Duration: tau, Freq: f},
 			{Gate: comp.Gates[1], Duration: tau, Freq: f},
@@ -175,7 +175,7 @@ func TestGmonScalesChannels(t *testing.T) {
 	comp.X(0)
 	s := makeSchedule(sys, schedule.Slice{
 		Duration: tau,
-		Freqs:    map[int]float64{0: fu, 1: fv},
+		Freqs:    []float64{fu, fv},
 		Gates:    []schedule.GateEvent{{Gate: comp.Gates[0], Duration: 25, Freq: fu}},
 	}, comp)
 	s.Gmon = true
@@ -203,7 +203,7 @@ func TestDecoherenceArithmetic(t *testing.T) {
 	comp.X(0).X(1)
 	s := makeSchedule(sys, schedule.Slice{
 		Duration: tau,
-		Freqs:    map[int]float64{0: 5.2, 1: 5.7},
+		Freqs:    []float64{5.2, 5.7},
 		Gates: []schedule.GateEvent{
 			{Gate: comp.Gates[0], Duration: 25, Freq: 5.2},
 			{Gate: comp.Gates[1], Duration: 25, Freq: 5.7},

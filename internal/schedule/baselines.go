@@ -30,11 +30,13 @@ func (Naive) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System,
 	// calibration that picks each pair's operating point in isolation —
 	// ignoring its neighbors (so nearby gates collide spectrally) and the
 	// partition discipline of §V-B4 entirely (so gates can land on parked
-	// spectators or their sidebands).
-	edgeIdx := sys.Device.EdgeIndex()
+	// spectators or their sidebands). Coupler ids are the connectivity
+	// graph's dense edge ids.
+	gc := sys.Device.Coupling
 	intLo, intHi := b.part.ParkLo, b.part.IntHi
 	freqOf := func(e graph.Edge) float64 {
-		h := uint64(edgeIdx[e])*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+		id, _ := gc.EdgeID(e.U, e.V)
+		h := uint64(id)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
 		h ^= h >> 31
 		h *= 0x94D049BB133111EB
 		h ^= h >> 29
@@ -46,14 +48,13 @@ func (Naive) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System,
 	for !f.Done() {
 		ready := f.Ready() // issue everything: pure ASAP
 		var events []GateEvent
-		sliceFreqs := make(map[int]float64)
 		for _, idx := range ready {
 			g := b.circ.Gates[idx]
 			if g.Kind.IsTwoQubit() {
 				e := graph.NewEdge(g.Qubits[0], g.Qubits[1])
 				freq := freqOf(e)
-				sliceFreqs[g.Qubits[0]] = freq
-				sliceFreqs[g.Qubits[1]] = freq
+				b.setFreq(g.Qubits[0], freq)
+				b.setFreq(g.Qubits[1], freq)
 				events = append(events, GateEvent{
 					Gate: g, Duration: b.gateDuration(g, freq), Freq: freq, Color: -1,
 				})
@@ -64,7 +65,7 @@ func (Naive) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System,
 			}
 			f.Issue(idx)
 		}
-		b.emitSlice(events, sliceFreqs, 0, 0)
+		b.emitSlice(events, 0, 0)
 	}
 	return b.finish(), nil
 }
@@ -92,25 +93,24 @@ func (Uniform) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.Syste
 	b.xg = ctx.Xtalk(sys.Device, 1)
 	omega := (b.part.IntLo + b.part.IntHi) / 2
 
+	scr := b.scr
 	f := circuit.NewFrontier(b.circ)
 	for !f.Done() {
 		ready := f.Ready()
 		sortByCriticality(ready, b.crit)
 		var events []GateEvent
-		var active []graph.Edge
-		sliceFreqs := make(map[int]float64)
 		for _, idx := range ready {
 			g := b.circ.Gates[idx]
 			if g.Kind.IsTwoQubit() {
 				// Serialize any pair of crosstalk-adjacent gates: with a
 				// single shared frequency, spectral separation is
 				// impossible, so separation must be temporal.
-				if b.xg.ConflictDegree(g.Qubits[0], g.Qubits[1], active) > 0 {
+				if b.xg.ConflictDegree(g.Qubits[0], g.Qubits[1], scr.active) > 0 {
 					continue
 				}
-				active = append(active, graph.NewEdge(g.Qubits[0], g.Qubits[1]))
-				sliceFreqs[g.Qubits[0]] = omega
-				sliceFreqs[g.Qubits[1]] = omega
+				scr.active = append(scr.active, graph.NewEdge(g.Qubits[0], g.Qubits[1]))
+				b.setFreq(g.Qubits[0], omega)
+				b.setFreq(g.Qubits[1], omega)
 				events = append(events, GateEvent{
 					Gate: g, Duration: b.gateDuration(g, omega), Freq: omega, Color: 0,
 				})
@@ -122,10 +122,10 @@ func (Uniform) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.Syste
 			f.Issue(idx)
 		}
 		colors := 0
-		if len(active) > 0 {
+		if len(scr.active) > 0 {
 			colors = 1
 		}
-		b.emitSlice(events, sliceFreqs, colors, 0)
+		b.emitSlice(events, colors, 0)
 	}
 	return b.finish(), nil
 }
@@ -153,12 +153,20 @@ func (Static) Name() string { return "Baseline S" }
 // that is what makes this value valid across processes and therefore
 // snapshot-safe. All fields are immutable after construction.
 type StaticPalette struct {
-	// Colors maps crosstalk-graph vertex -> palette color.
+	// Colors assigns each crosstalk-graph vertex (coupler id) a palette
+	// color, densely indexed.
 	Colors graph.Coloring
-	// Assign maps color -> interaction frequency (GHz).
-	Assign map[int]float64
+	// Assign holds each color's interaction frequency (GHz), indexed by
+	// color.
+	Assign []float64
 	// Delta is the frequency separation achieved by the solver.
 	Delta float64
+}
+
+// ApproxSize reports the palette's approximate in-memory size in bytes for
+// the compile cache's size-aware eviction.
+func (p *StaticPalette) ApproxSize() int {
+	return 4*len(p.Colors) + 8*len(p.Assign) + 64
 }
 
 func init() { compile.RegisterSnapshotType(&StaticPalette{}) }
@@ -171,8 +179,8 @@ type staticTable struct {
 }
 
 func (st *staticTable) freqAndColor(e graph.Edge) (float64, int) {
-	v := st.xg.Index[e]
-	col := st.pal.Colors[v]
+	v, _ := st.xg.VertexOf(e.U, e.V)
+	col := int(st.pal.Colors[v])
 	return st.pal.Assign[col], col
 }
 
@@ -193,7 +201,9 @@ func buildStaticTable(b *builder, sys *phys.System) (*staticTable, error) {
 			// *some* table). This degrades separation exactly as frequency
 			// crowding predicts.
 			for v, col := range coloring {
-				coloring[v] = col % budget
+				if col >= 0 {
+					coloring[v] = col % int32(budget)
+				}
 			}
 			k = budget
 		}
@@ -201,13 +211,9 @@ func buildStaticTable(b *builder, sys *phys.System) (*staticTable, error) {
 		if err != nil {
 			return nil, err
 		}
-		occ := make(map[int]int)
-		for _, col := range coloring {
-			occ[col]++
-		}
 		return &StaticPalette{
 			Colors: coloring,
-			Assign: smt.AssignByOccupancy(occ, freqs),
+			Assign: smt.AssignByOccupancy(coloring.ColorCounts(), freqs),
 			Delta:  delta,
 		}, nil
 	})
@@ -242,20 +248,23 @@ func (Static) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System
 	}
 	b.xg = st.xg
 
+	scr := b.scr
+	scr.ensureColors(len(st.pal.Assign))
 	f := circuit.NewFrontier(b.circ)
 	for !f.Done() {
 		ready := f.Ready()
 		var events []GateEvent
-		sliceFreqs := make(map[int]float64)
-		colorsUsed := make(map[int]bool)
 		for _, idx := range ready {
 			g := b.circ.Gates[idx]
 			if g.Kind.IsTwoQubit() {
 				e := graph.NewEdge(g.Qubits[0], g.Qubits[1])
 				freq, col := st.freqAndColor(e)
-				colorsUsed[col] = true
-				sliceFreqs[g.Qubits[0]] = freq
-				sliceFreqs[g.Qubits[1]] = freq
+				if !scr.colorSeen[col] {
+					scr.colorSeen[col] = true
+					scr.colorList = append(scr.colorList, int32(col))
+				}
+				b.setFreq(g.Qubits[0], freq)
+				b.setFreq(g.Qubits[1], freq)
 				events = append(events, GateEvent{
 					Gate: g, Duration: b.gateDuration(g, freq), Freq: freq, Color: col,
 				})
@@ -266,7 +275,7 @@ func (Static) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System
 			}
 			f.Issue(idx)
 		}
-		b.emitSlice(events, sliceFreqs, len(colorsUsed), st.pal.Delta)
+		b.emitSlice(events, len(scr.colorList), st.pal.Delta)
 	}
 	return b.finish(), nil
 }

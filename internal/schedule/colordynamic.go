@@ -1,6 +1,8 @@
 package schedule
 
 import (
+	"sort"
+
 	"fastsc/internal/circuit"
 	"fastsc/internal/compile"
 	"fastsc/internal/graph"
@@ -55,6 +57,7 @@ func compileColorDynamic(ctx *compile.Context, name string, gmon bool, c *circui
 		budget = opts.MaxColors
 	}
 
+	scr := b.scr
 	f := circuit.NewFrontier(b.circ)
 	for !f.Done() {
 		ready := f.Ready()
@@ -63,22 +66,21 @@ func compileColorDynamic(ctx *compile.Context, name string, gmon bool, c *circui
 		// Queueing scheduler: admit gates most-critical first, postponing
 		// two-qubit gates whose crosstalk neighborhoods are already
 		// crowded (noise_conflict, §V-B6).
-		var selected []int
-		var active []graph.Edge
-		var activeVerts []int
-		gateOfEdge := make(map[graph.Edge]int)
 		for _, idx := range ready {
 			g := b.circ.Gates[idx]
+			vert := int32(-1)
 			if g.Kind.IsTwoQubit() {
 				e := graph.NewEdge(g.Qubits[0], g.Qubits[1])
-				if b.xg.ConflictDegree(g.Qubits[0], g.Qubits[1], active) >= opts.ConflictLimit {
+				if b.xg.ConflictDegree(g.Qubits[0], g.Qubits[1], scr.active) >= opts.ConflictLimit {
 					continue // postpone to a later slice
 				}
-				active = append(active, e)
-				activeVerts = append(activeVerts, mustVertex(b, e))
-				gateOfEdge[e] = idx
+				v := mustVertex(b, e)
+				scr.active = append(scr.active, e)
+				scr.activeVerts = append(scr.activeVerts, v)
+				vert = int32(v)
 			}
-			selected = append(selected, idx)
+			scr.selected = append(scr.selected, int32(idx))
+			scr.selVerts = append(scr.selVerts, vert)
 		}
 
 		// Color the active subgraph of the crosstalk graph within the
@@ -86,29 +88,23 @@ func compileColorDynamic(ctx *compile.Context, name string, gmon bool, c *circui
 		// cannot be colored are postponed (spectral -> temporal separation
 		// trade). The whole slice solution is a pure function of the
 		// active subgraph, so it is memoized across slices and jobs.
-		sol, err := b.solveSlice(intCfg, budget, active, activeVerts)
+		sol, err := b.solveSlice(intCfg, budget)
 		if err != nil {
 			return nil, err
 		}
-		dropped := make(map[int]bool)
-		for _, v := range sol.Deferred {
-			dropped[gateOfEdge[b.xg.Couplers[v]]] = true
-		}
 
 		var events []GateEvent
-		sliceFreqs := make(map[int]float64)
-		for _, idx := range selected {
-			if dropped[idx] {
-				continue
-			}
+		for i, sidx := range scr.selected {
+			idx := int(sidx)
 			g := b.circ.Gates[idx]
-			if g.Kind.IsTwoQubit() {
-				e := graph.NewEdge(g.Qubits[0], g.Qubits[1])
-				v := mustVertex(b, e)
-				col := sol.Coloring[v]
+			if v := scr.selVerts[i]; v >= 0 {
+				if deferredContains(sol.Deferred, int(v)) {
+					continue // postponed by the color budget
+				}
+				col := int(sol.Coloring[v])
 				freq := sol.Assign[col]
-				sliceFreqs[g.Qubits[0]] = freq
-				sliceFreqs[g.Qubits[1]] = freq
+				b.setFreq(g.Qubits[0], freq)
+				b.setFreq(g.Qubits[1], freq)
 				events = append(events, GateEvent{
 					Gate: g, Duration: b.gateDuration(g, freq), Freq: freq, Color: col,
 				})
@@ -119,18 +115,28 @@ func compileColorDynamic(ctx *compile.Context, name string, gmon bool, c *circui
 			}
 			f.Issue(idx)
 		}
-		b.emitSlice(events, sliceFreqs, sol.NumColors, sol.Delta)
+		b.emitSlice(events, sol.NumColors, sol.Delta)
 	}
 	return b.finish(), nil
 }
 
-// solveSlice produces the coloring + frequency assignment for one active
-// gate set, through the per-slice cache when one is attached. The key is
-// the canonical hash of the active interaction subgraph on this system.
-func (b *builder) solveSlice(intCfg smt.Config, budget int, active []graph.Edge, activeVerts []int) (compile.SliceSolution, error) {
-	key := compile.SliceKey(b.sig, b.xg.Distance, budget, activeVerts)
+// deferredContains reports whether v is in the sorted deferred list.
+func deferredContains(deferred []int, v int) bool {
+	i := sort.SearchInts(deferred, v)
+	return i < len(deferred) && deferred[i] == v
+}
+
+// solveSlice produces the coloring + frequency assignment for the active
+// gate set staged in the builder's scratch, through the per-slice cache
+// when one is attached. The key is the exact sorted active vertex set of
+// the interaction subgraph on this system.
+func (b *builder) solveSlice(intCfg smt.Config, budget int) (compile.SliceSolution, error) {
+	scr := b.scr
+	scr.keyVerts = append(scr.keyVerts[:0], scr.activeVerts...)
+	sort.Ints(scr.keyVerts)
+	key := compile.SliceKey(b.sig, b.xg.Distance, budget, scr.keyVerts)
 	return b.ctx.Slice(key, func() (compile.SliceSolution, error) {
-		h := b.xg.ActiveSubgraph(active)
+		h := b.xg.ActiveSubgraph(scr.active)
 		coloring, deferred := graph.BoundedColoring(h, budget)
 		k := coloring.NumColors()
 		var freqs []float64
@@ -143,13 +149,9 @@ func (b *builder) solveSlice(intCfg smt.Config, budget int, active []graph.Edge,
 			}
 		}
 		// Occupancy-ordered color -> frequency map (§V-B3).
-		occ := make(map[int]int)
-		for _, col := range coloring {
-			occ[col]++
-		}
-		assign := map[int]float64{}
+		var assign []float64
 		if k > 0 {
-			assign = smt.AssignByOccupancy(occ, freqs)
+			assign = smt.AssignByOccupancy(coloring.ColorCounts(), freqs)
 		}
 		return compile.SliceSolution{
 			Coloring:  coloring,

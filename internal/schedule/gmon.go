@@ -39,7 +39,12 @@ func (Gmon) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, 
 	if err != nil {
 		return nil, err
 	}
+	gc := sys.Device.Coupling
 	pattern := tilingPatterns(sys.Device)
+	patternOf := func(e graph.Edge) int {
+		id, _ := gc.EdgeID(e.U, e.V)
+		return pattern[id]
+	}
 
 	f := circuit.NewFrontier(b.circ)
 	for !f.Done() {
@@ -55,7 +60,7 @@ func (Gmon) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, 
 			if !g.Kind.IsTwoQubit() {
 				continue
 			}
-			p := pattern[graph.NewEdge(g.Qubits[0], g.Qubits[1])]
+			p := patternOf(graph.NewEdge(g.Qubits[0], g.Qubits[1]))
 			byPattern[p] = append(byPattern[p], idx)
 			score := 0
 			for _, i := range byPattern[p] {
@@ -67,17 +72,16 @@ func (Gmon) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, 
 		}
 
 		var events []GateEvent
-		sliceFreqs := make(map[int]float64)
 		for _, idx := range ready {
 			g := b.circ.Gates[idx]
 			if g.Kind.IsTwoQubit() {
 				e := graph.NewEdge(g.Qubits[0], g.Qubits[1])
-				if pattern[e] != bestPattern {
+				if patternOf(e) != bestPattern {
 					continue // wait for this pattern's turn
 				}
 				omega := freqOf(e)
-				sliceFreqs[g.Qubits[0]] = omega
-				sliceFreqs[g.Qubits[1]] = omega
+				b.setFreq(g.Qubits[0], omega)
+				b.setFreq(g.Qubits[1], omega)
 				events = append(events, GateEvent{
 					Gate: g, Duration: b.gateDuration(g, omega), Freq: omega, Color: 0,
 				})
@@ -92,41 +96,37 @@ func (Gmon) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, 
 		if bestPattern >= 0 && len(byPattern[bestPattern]) > 0 {
 			colors = 1
 		}
-		b.emitSlice(events, sliceFreqs, colors, 0)
+		b.emitSlice(events, colors, 0)
 	}
 	return b.finish(), nil
 }
 
-// tilingPatterns partitions the device couplers into matchings. On a grid
-// this is the Sycamore ABCD pattern (horizontal/vertical alternating by
+// tilingPatterns partitions the device couplers into matchings, returning
+// the pattern of each coupler indexed by its dense edge id. On a grid this
+// is the Sycamore ABCD pattern (horizontal/vertical alternating by
 // parity); on arbitrary topologies it falls back to a greedy matching
 // decomposition (proper edge coloring via the line graph).
-func tilingPatterns(dev *topology.Device) map[graph.Edge]int {
-	out := make(map[graph.Edge]int, dev.Coupling.NumEdges())
+func tilingPatterns(dev *topology.Device) []int {
+	out := make([]int, dev.Coupling.NumEdges())
 	if dev.IsGrid() {
-		for _, e := range dev.Edges() {
+		for id, e := range dev.Edges() {
 			cu, cv := dev.Coords[e.U], dev.Coords[e.V]
 			if cu.Row == cv.Row { // horizontal coupler
-				out[e] = minInt(cu.Col, cv.Col) % 2
+				out[id] = min(cu.Col, cv.Col) % 2
 			} else { // vertical coupler
-				out[e] = 2 + minInt(cu.Row, cv.Row)%2
+				out[id] = 2 + min(cu.Row, cv.Row)%2
 			}
 		}
 		return out
 	}
-	lg, couplers := graph.LineGraph(dev.Coupling)
+	lg, _ := graph.LineGraph(dev.Coupling)
 	coloring := graph.WelshPowell(lg)
 	for v, col := range coloring {
-		out[couplers[v]] = col
+		if col >= 0 {
+			out[v] = int(col)
+		}
 	}
 	return out
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Registry returns the five strategies of Table I in presentation order.

@@ -10,6 +10,7 @@ package schedule
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"fastsc/internal/circuit"
 	"fastsc/internal/compile"
@@ -37,9 +38,9 @@ type Slice struct {
 	Start    float64 // ns
 	Duration float64 // ns, including the flux-retune overhead
 	Gates    []GateEvent
-	// Freqs maps every qubit to its frequency (GHz) during this slice;
-	// idle qubits sit at their parking frequency.
-	Freqs map[int]float64
+	// Freqs holds every qubit's frequency (GHz) during this slice, indexed
+	// by qubit id; idle qubits sit at their parking frequency.
+	Freqs []float64
 	// ActiveCouplers lists the couplers executing two-qubit gates.
 	ActiveCouplers []graph.Edge
 	// Colors is the number of interaction colors used by this slice.
@@ -66,8 +67,8 @@ type Schedule struct {
 	Residual float64
 	// MaxColorsUsed is the largest per-slice color count.
 	MaxColorsUsed int
-	// ParkingFreqs maps qubit -> idle frequency.
-	ParkingFreqs map[int]float64
+	// ParkingFreqs holds each qubit's idle frequency, indexed by qubit id.
+	ParkingFreqs []float64
 }
 
 // Depth returns the number of slices.
@@ -120,6 +121,71 @@ type Compiler interface {
 	Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error)
 }
 
+// sliceScratch holds the per-slice working buffers a builder reuses across
+// every slice of a compilation (and, through a sync.Pool, across
+// compilations): the per-qubit frequency staging area, the active-coupler
+// set, and the selection lists of the queueing scheduler. Only the
+// structures a Slice retains (Gates, Freqs, ActiveCouplers) are freshly
+// allocated per slice.
+type sliceScratch struct {
+	freqs   []float64 // qubit -> staged interaction frequency
+	freqSet []bool    // whether freqs[q] was staged this slice
+	staged  []int32   // qubits staged this slice, for O(staged) reset
+
+	active      []graph.Edge // couplers selected so far this slice
+	activeVerts []int        // their crosstalk-graph vertices, same order
+	keyVerts    []int        // sorted copy of activeVerts for the cache key
+	selected    []int32      // gate indices admitted this slice
+	selVerts    []int32      // per-selected coupler vertex (-1 for 1q gates)
+
+	colorSeen []bool  // palette colors observed this slice (Baseline S)
+	colorList []int32 // observed palette colors, for O(used) reset
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(sliceScratch) }}
+
+// acquireScratch returns a scratch sized for nQubits qubits, reusing pooled
+// buffers when they are large enough.
+func acquireScratch(nQubits int) *sliceScratch {
+	s := scratchPool.Get().(*sliceScratch)
+	if cap(s.freqs) < nQubits {
+		s.freqs = make([]float64, nQubits)
+		s.freqSet = make([]bool, nQubits)
+	}
+	s.freqs = s.freqs[:nQubits]
+	s.freqSet = s.freqSet[:nQubits]
+	for q := range s.freqSet {
+		s.freqSet[q] = false
+	}
+	s.resetSlice()
+	return s
+}
+
+// resetSlice clears the per-slice state in O(touched).
+func (s *sliceScratch) resetSlice() {
+	for _, q := range s.staged {
+		s.freqSet[q] = false
+	}
+	s.staged = s.staged[:0]
+	s.active = s.active[:0]
+	s.activeVerts = s.activeVerts[:0]
+	s.selected = s.selected[:0]
+	s.selVerts = s.selVerts[:0]
+	for _, c := range s.colorList {
+		s.colorSeen[c] = false
+	}
+	s.colorList = s.colorList[:0]
+}
+
+// ensureColors sizes the palette-color scratch for colors 0..k-1.
+func (s *sliceScratch) ensureColors(k int) {
+	if len(s.colorSeen) < k {
+		s.colorSeen = make([]bool, k)
+	}
+}
+
+func (s *sliceScratch) release() { scratchPool.Put(s) }
+
 // builder carries the state shared by every strategy: the decomposed
 // circuit, the frequency partition, parking frequencies, and the crosstalk
 // graph.
@@ -132,7 +198,8 @@ type builder struct {
 	circ  *circuit.Circuit // decomposed, native
 	crit  []int
 	xg    *xtalk.Graph
-	park  map[int]float64 // qubit -> parking frequency (shared read-only)
+	park  []float64 // qubit -> parking frequency (shared read-only)
+	scr   *sliceScratch
 	sched *Schedule
 	now   float64
 }
@@ -163,7 +230,7 @@ func newBuilder(ctx *compile.Context, name string, c *circuit.Circuit, sys *phys
 		dec = wide
 	}
 	sig := compile.SystemSignature(sys)
-	park, err := ctx.Parking(sig, func() (map[int]float64, error) {
+	park, err := ctx.Parking(sig, func() ([]float64, error) {
 		return parkingFrequencies(ctx, sys, part)
 	})
 	if err != nil {
@@ -179,6 +246,7 @@ func newBuilder(ctx *compile.Context, name string, c *circuit.Circuit, sys *phys
 		crit: dec.Criticality(),
 		xg:   ctx.Xtalk(sys.Device, opts.XtalkDistance),
 		park: park,
+		scr:  acquireScratch(sys.Device.Qubits),
 		sched: &Schedule{
 			System:       sys,
 			Strategy:     name,
@@ -188,6 +256,16 @@ func newBuilder(ctx *compile.Context, name string, c *circuit.Circuit, sys *phys
 		},
 	}
 	return b, nil
+}
+
+// setFreq stages qubit q's interaction frequency for the slice being built.
+func (b *builder) setFreq(q int, f float64) {
+	s := b.scr
+	if !s.freqSet[q] {
+		s.freqSet[q] = true
+		s.staged = append(s.staged, int32(q))
+	}
+	s.freqs[q] = f
 }
 
 // parkingStagger is the half-width (GHz) of the deterministic within-class
@@ -205,7 +283,7 @@ const (
 // devices), maps colors to well-separated base frequencies in the parking
 // band (§IV-C1), and staggers qubits within each class. Sideband separation
 // between classes is enforced by the solver.
-func parkingFrequencies(ctx *compile.Context, sys *phys.System, part smt.Partition) (map[int]float64, error) {
+func parkingFrequencies(ctx *compile.Context, sys *phys.System, part smt.Partition) ([]float64, error) {
 	gc := sys.Device.Coupling
 	col, ok := graph.TwoColor(gc)
 	if !ok {
@@ -214,10 +292,7 @@ func parkingFrequencies(ctx *compile.Context, sys *phys.System, part smt.Partiti
 	k := col.NumColors()
 	if k == 0 { // single-qubit device with no couplers
 		k = 1
-		col = graph.Coloring{}
-		for q := 0; q < sys.Device.Qubits; q++ {
-			col[q] = 0
-		}
+		col = make(graph.Coloring, sys.Device.Qubits) // all color 0
 	}
 	// Reserve the stagger margin at both band edges so offsets stay inside
 	// the parking region.
@@ -228,9 +303,9 @@ func parkingFrequencies(ctx *compile.Context, sys *phys.System, part smt.Partiti
 	if err != nil {
 		return nil, fmt.Errorf("schedule: parking assignment: %w", err)
 	}
-	park := make(map[int]float64, sys.Device.Qubits)
+	park := make([]float64, sys.Device.Qubits)
 	for q := 0; q < sys.Device.Qubits; q++ {
-		base := freqs[col[q]%len(freqs)]
+		base := freqs[int(col[q])%len(freqs)]
 		park[q] = base + staggerOffset(sys, q)
 	}
 	return park, nil
@@ -275,23 +350,34 @@ func (b *builder) gateDuration(g circuit.Gate, freq float64) float64 {
 	panic(fmt.Sprintf("schedule: non-native two-qubit gate %v reached the scheduler", g.Kind))
 }
 
-// emitSlice appends a slice holding the given events. freqs must already
-// contain the interaction frequencies of active qubits; parked qubits are
-// filled in here.
-func (b *builder) emitSlice(events []GateEvent, freqs map[int]float64, colors int, delta float64) {
+// emitSlice appends a slice holding the given events, consuming the staged
+// per-qubit frequencies (setFreq) of the builder's scratch; parked qubits
+// are filled in here. The scratch slice state is reset afterwards.
+func (b *builder) emitSlice(events []GateEvent, colors int, delta float64) {
 	if len(events) == 0 {
+		b.scr.resetSlice()
 		return
 	}
-	full := make(map[int]float64, b.sys.Device.Qubits)
-	for q := 0; q < b.sys.Device.Qubits; q++ {
-		if f, ok := freqs[q]; ok {
-			full[q] = f
+	s := b.scr
+	full := make([]float64, b.sys.Device.Qubits)
+	for q := range full {
+		if s.freqSet[q] {
+			full[q] = s.freqs[q]
 		} else {
 			full[q] = b.park[q]
 		}
 	}
 	dur := 0.0
 	var active []graph.Edge
+	n2q := 0
+	for _, ev := range events {
+		if ev.Gate.Kind.IsTwoQubit() {
+			n2q++
+		}
+	}
+	if n2q > 0 {
+		active = make([]graph.Edge, 0, n2q)
+	}
 	for _, ev := range events {
 		if ev.Duration > dur {
 			dur = ev.Duration
@@ -318,10 +404,13 @@ func (b *builder) emitSlice(events []GateEvent, freqs map[int]float64, colors in
 		b.sched.MaxColorsUsed = colors
 	}
 	b.now += dur
+	s.resetSlice()
 }
 
 func (b *builder) finish() *Schedule {
 	b.sched.TotalTime = b.now
+	b.scr.release()
+	b.scr = nil
 	return b.sched
 }
 
@@ -347,12 +436,15 @@ func sortByCriticality(ready []int, crit []int) {
 func (s *Schedule) Verify() error {
 	count := 0
 	now := 0.0
+	used := make([]bool, s.System.Device.Qubits)
 	for i, sl := range s.Slices {
 		if math.Abs(sl.Start-now) > 1e-6 {
 			return fmt.Errorf("schedule: slice %d starts at %v, want %v", i, sl.Start, now)
 		}
 		now += sl.Duration
-		used := make(map[int]bool)
+		for q := range used {
+			used[q] = false
+		}
 		for _, ev := range sl.Gates {
 			count++
 			for _, q := range ev.Gate.Qubits {

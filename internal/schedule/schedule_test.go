@@ -333,7 +333,11 @@ func TestGmonTilingOnePatternPerSlice(t *testing.T) {
 	for si, sl := range s.Slices {
 		seen := make(map[int]bool)
 		for _, e := range sl.ActiveCouplers {
-			seen[patterns[e]] = true
+			id, ok := sys.Device.Coupling.EdgeID(e.U, e.V)
+			if !ok {
+				t.Fatalf("slice %d: active coupler %v is not a device edge", si, e)
+			}
+			seen[patterns[id]] = true
 		}
 		if len(seen) > 1 {
 			t.Fatalf("gmon slice %d mixes tiling patterns: %v", si, seen)
@@ -349,8 +353,8 @@ func TestTilingPatternsAreMatchings(t *testing.T) {
 	} {
 		patterns := tilingPatterns(dev)
 		byClass := make(map[int][]graph.Edge)
-		for e, p := range patterns {
-			byClass[p] = append(byClass[p], e)
+		for id, e := range dev.Edges() {
+			byClass[patterns[id]] = append(byClass[patterns[id]], e)
 		}
 		for p, edges := range byClass {
 			used := make(map[int]bool)

@@ -65,16 +65,16 @@ func Feasible(k int, cfg Config, delta float64) ([]float64, bool) {
 			v = xs[i-1] + delta
 		}
 		// Bump v past any sideband-forbidden zone of earlier placements.
-		// Each bump strictly increases v, so the scan terminates.
-		for bumped := true; bumped; {
-			bumped = false
-			for _, xj := range xs {
-				lo := xj + absAlpha - delta
-				hi := xj + absAlpha + delta
-				if v > lo && v < hi {
-					v = hi
-					bumped = true
-				}
+		// The zones (x_j+|α|−δ, x_j+|α|+δ) are sorted (xs is ascending), and
+		// v only ever increases past a zone's upper edge, so one ascending
+		// scan reaches the fixpoint the repeated rescan used to: after
+		// bumping to zone j's end, every earlier zone's end lies at or
+		// below it, so no earlier zone can contain v again.
+		for _, xj := range xs {
+			lo := xj + absAlpha - delta
+			hi := xj + absAlpha + delta
+			if v > lo && v < hi {
+				v = hi
 			}
 		}
 		if v > cfg.Hi+1e-12 {
@@ -154,12 +154,13 @@ func Verify(xs []float64, cfg Config, delta float64) error {
 // ordering (§V-B3): colors used by more gates receive higher frequencies,
 // because higher interaction frequency means stronger coupling and faster
 // gates (t_gate ~ 1/ω). freqs must be ascending (as returned by Solve);
-// occupancy maps color -> use count. Ties break toward the smaller color id
-// for determinism.
-func AssignByOccupancy(occupancy map[int]int, freqs []float64) map[int]float64 {
-	colors := make([]int, 0, len(occupancy))
-	for c := range occupancy {
-		colors = append(colors, c)
+// occupancy[c] is the use count of color c (as graph.Coloring.ColorCounts
+// produces). The result is dense: out[c] is color c's frequency. Ties break
+// toward the smaller color id for determinism.
+func AssignByOccupancy(occupancy []int, freqs []float64) []float64 {
+	colors := make([]int, len(occupancy))
+	for c := range colors {
+		colors[c] = c
 	}
 	sort.Slice(colors, func(i, j int) bool {
 		if occupancy[colors[i]] != occupancy[colors[j]] {
@@ -170,7 +171,7 @@ func AssignByOccupancy(occupancy map[int]int, freqs []float64) map[int]float64 {
 	if len(colors) > len(freqs) {
 		panic(fmt.Sprintf("smt: %d colors but only %d frequencies", len(colors), len(freqs)))
 	}
-	out := make(map[int]float64, len(colors))
+	out := make([]float64, len(colors))
 	for rank, c := range colors {
 		// Highest frequency to the most-used color.
 		out[c] = freqs[len(freqs)-1-rank]

@@ -50,6 +50,68 @@ func TestFeasibleInfeasibleWhenCrowded(t *testing.T) {
 	}
 }
 
+// referenceFeasible is the original bump loop (repeated full rescans until
+// fixpoint); Feasible's single ascending pass must be bit-identical to it.
+func referenceFeasible(k int, cfg Config, delta float64) ([]float64, bool) {
+	if k <= 0 {
+		return nil, true
+	}
+	if delta <= 0 || cfg.Hi < cfg.Lo {
+		return nil, false
+	}
+	absAlpha := math.Abs(cfg.Alpha)
+	xs := make([]float64, 0, k)
+	v := cfg.Lo
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			v = xs[i-1] + delta
+		}
+		for bumped := true; bumped; {
+			bumped = false
+			for _, xj := range xs {
+				lo := xj + absAlpha - delta
+				hi := xj + absAlpha + delta
+				if v > lo && v < hi {
+					v = hi
+					bumped = true
+				}
+			}
+		}
+		if v > cfg.Hi+1e-12 {
+			return nil, false
+		}
+		xs = append(xs, v)
+	}
+	return xs, true
+}
+
+// TestFeasibleMatchesReferenceBumpLoop pins the single-pass sideband bump
+// to the original repeated-rescan implementation, bit for bit, across a
+// randomized parameter sweep.
+func TestFeasibleMatchesReferenceBumpLoop(t *testing.T) {
+	prop := func(kRaw, alphaRaw, deltaRaw, spanRaw uint8) bool {
+		k := int(kRaw%12) + 1
+		alpha := -0.05 - float64(alphaRaw%40)/100 // [-0.45, -0.05]
+		delta := 0.005 + float64(deltaRaw%30)/200 // [0.005, 0.15]
+		span := 0.2 + float64(spanRaw%20)/10      // [0.2, 2.1]
+		c := Config{Lo: 5.9, Hi: 5.9 + span, Alpha: alpha}
+		got, okGot := Feasible(k, c, delta)
+		want, okWant := referenceFeasible(k, c, delta)
+		if okGot != okWant || len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSolveMaximizesDelta(t *testing.T) {
 	c := cfg()
 	for k := 2; k <= 6; k++ {
@@ -142,7 +204,7 @@ func TestVerifyCatchesViolations(t *testing.T) {
 }
 
 func TestAssignByOccupancy(t *testing.T) {
-	occ := map[int]int{0: 5, 1: 2, 2: 9}
+	occ := []int{5, 2, 9}
 	freqs := []float64{6.2, 6.5, 6.8}
 	m := AssignByOccupancy(occ, freqs)
 	// Color 2 (9 uses) gets the highest frequency, then 0, then 1.
@@ -152,7 +214,7 @@ func TestAssignByOccupancy(t *testing.T) {
 }
 
 func TestAssignByOccupancyTieBreak(t *testing.T) {
-	occ := map[int]int{0: 3, 1: 3}
+	occ := []int{3, 3}
 	m := AssignByOccupancy(occ, []float64{6.2, 6.8})
 	if m[0] != 6.8 || m[1] != 6.2 {
 		t.Fatalf("tie should favor smaller color id: %v", m)
@@ -165,7 +227,7 @@ func TestAssignByOccupancyPanicsOnShortFreqs(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	AssignByOccupancy(map[int]int{0: 1, 1: 1}, []float64{6.2})
+	AssignByOccupancy([]int{1, 1}, []float64{6.2})
 }
 
 func TestPartitionFor(t *testing.T) {

@@ -4,10 +4,19 @@
 // either share a qubit or are connected by a path of length at most d. Two
 // simultaneous two-qubit gates whose couplers are adjacent in G_x must be
 // separated in frequency (different colors) or in time (different slices).
+//
+// Construction is distance-bounded: instead of the naive O(c²) all-pairs
+// coupler loop over a full vertex-distance matrix, Build runs one bounded
+// BFS (depth d) from each coupler's two endpoints and connects it to every
+// coupler with an endpoint inside that ball — O(c · reach(d)) work, where
+// reach(d) is constant on bounded-degree devices. Coupler ids are the
+// device connectivity graph's dense edge ids (Edges() order), so the
+// edge→vertex lookup is a binary search over a neighbor slice, not a map.
 package xtalk
 
 import (
 	"fmt"
+	"slices"
 
 	"fastsc/internal/graph"
 	"fastsc/internal/topology"
@@ -19,12 +28,14 @@ type Graph struct {
 	G *graph.Graph
 	// Couplers maps vertex id -> connectivity-graph edge, sorted by (U,V).
 	Couplers []graph.Edge
-	// Index is the inverse of Couplers.
-	Index map[graph.Edge]int
 	// Distance is the crosstalk distance d used to build the graph
 	// (d = 1 reproduces the paper's standard construction; §IV-C3
 	// generalizes to larger d).
 	Distance int
+	// gc is the device connectivity graph; its dense EdgeID ordering is
+	// exactly the Couplers ordering, which is what makes VertexOf a
+	// map-free lookup.
+	gc *graph.Graph
 }
 
 // Build constructs the distance-d crosstalk graph of dev. d must be >= 1.
@@ -33,43 +44,101 @@ func Build(dev *topology.Device, d int) *Graph {
 		panic(fmt.Sprintf("xtalk: crosstalk distance must be >= 1, got %d", d))
 	}
 	gc := dev.Coupling
-	lg, couplers := graph.LineGraph(gc)
-	idx := make(map[graph.Edge]int, len(couplers))
-	for i, e := range couplers {
-		idx[e] = i
-	}
-	// Vertex distances once, then edge distance = min over endpoint pairs.
-	dist := gc.AllPairsDistances()
-	for i := 0; i < len(couplers); i++ {
-		for j := i + 1; j < len(couplers); j++ {
-			if lg.HasEdge(i, j) {
-				continue // already adjacent (shared vertex)
-			}
-			if edgeDist(dist, couplers[i], couplers[j]) <= d {
-				lg.AddEdge(i, j)
-			}
-		}
-	}
-	return &Graph{G: lg, Couplers: couplers, Index: idx, Distance: d}
-}
+	couplers := gc.Edges()
+	nc := len(couplers)
+	nq := gc.Cap()
 
-func edgeDist(dist map[int]map[int]int, e, f graph.Edge) int {
-	best := graph.Unreachable
-	for _, a := range [2]int{e.U, e.V} {
-		for _, b := range [2]int{f.U, f.V} {
-			if d := dist[a][b]; d != graph.Unreachable && (best == graph.Unreachable || d < best) {
-				best = d
+	// Incidence CSR: coupler ids attached to each qubit.
+	incOff := make([]int32, nq+1)
+	for _, e := range couplers {
+		incOff[e.U+1]++
+		incOff[e.V+1]++
+	}
+	for q := 0; q < nq; q++ {
+		incOff[q+1] += incOff[q]
+	}
+	inc := make([]int32, 2*nc)
+	fill := make([]int32, nq)
+	for i, e := range couplers {
+		inc[incOff[e.U]+fill[e.U]] = int32(i)
+		fill[e.U]++
+		inc[incOff[e.V]+fill[e.V]] = int32(i)
+		fill[e.V]++
+	}
+
+	// Scratch reused across couplers: two bounded-BFS distance fields
+	// (reset via touched lists), a seen stamp per candidate coupler, and
+	// the per-coupler neighbor list.
+	distA := make([]int32, nq)
+	distB := make([]int32, nq)
+	for q := range distA {
+		distA[q] = graph.Unreachable
+		distB[q] = graph.Unreachable
+	}
+	var queue, touchedA, touchedB []int32
+	seen := make([]int32, nc)
+	for i := range seen {
+		seen[i] = -1
+	}
+	var nbrs []int32
+
+	const far = int32(1 << 30) // strictly above any admissible bound
+	distAt := func(dist []int32, q int) int32 {
+		if d := dist[q]; d >= 0 {
+			return d
+		}
+		return far
+	}
+
+	g := graph.NewDense(nc)
+	for i := 0; i < nc; i++ {
+		e := couplers[i]
+		queue, touchedA = gc.BoundedBFS(e.U, d, distA, queue, touchedA[:0])
+		queue, touchedB = gc.BoundedBFS(e.V, d, distB, queue, touchedB[:0])
+
+		nbrs = nbrs[:0]
+		for _, touched := range [2][]int32{touchedA, touchedB} {
+			for _, w := range touched {
+				for _, j := range inc[incOff[w]:incOff[w+1]] {
+					if int(j) <= i || seen[j] == int32(i) {
+						continue
+					}
+					seen[j] = int32(i)
+					f := couplers[j]
+					dij := min(
+						min(distAt(distA, f.U), distAt(distA, f.V)),
+						min(distAt(distB, f.U), distAt(distB, f.V)),
+					)
+					if int(dij) <= d {
+						nbrs = append(nbrs, j)
+					}
+				}
 			}
 		}
+		slices.Sort(nbrs)
+		for _, j := range nbrs {
+			g.AddEdge(i, int(j)) // ascending i then j: O(1) appends
+		}
+
+		for _, w := range touchedA {
+			distA[w] = graph.Unreachable
+		}
+		for _, w := range touchedB {
+			distB[w] = graph.Unreachable
+		}
 	}
-	return best
+	return &Graph{G: g, Couplers: couplers, Distance: d, gc: gc}
 }
 
 // VertexOf returns the crosstalk-graph vertex for the coupler between
-// qubits a and b, and whether that coupler exists.
+// qubits a and b, and whether that coupler exists. Coupler ids equal the
+// connectivity graph's dense edge ids, so this is a binary search, not a
+// map probe.
 func (x *Graph) VertexOf(a, b int) (int, bool) {
-	v, ok := x.Index[graph.NewEdge(a, b)]
-	return v, ok
+	if a == b {
+		return 0, false
+	}
+	return x.gc.EdgeID(a, b)
 }
 
 // ActiveSubgraph returns the subgraph of the crosstalk graph induced by the
@@ -77,9 +146,9 @@ func (x *Graph) VertexOf(a, b int) (int, bool) {
 // the graph H of §V-B2 whose coloring yields this slice's interaction
 // frequencies. Unknown couplers are ignored.
 func (x *Graph) ActiveSubgraph(active []graph.Edge) *graph.Graph {
-	var verts []int
+	verts := make([]int, 0, len(active))
 	for _, e := range active {
-		if v, ok := x.Index[e]; ok {
+		if v, ok := x.gc.EdgeID(e.U, e.V); ok {
 			verts = append(verts, v)
 		}
 	}
@@ -94,9 +163,9 @@ func (x *Graph) NeighborsOf(a, b int) []graph.Edge {
 	if !ok {
 		return nil
 	}
-	nbrs := x.G.Neighbors(v)
-	out := make([]graph.Edge, len(nbrs))
-	for i, n := range nbrs {
+	adj := x.G.Adj(v)
+	out := make([]graph.Edge, len(adj))
+	for i, n := range adj {
 		out[i] = x.Couplers[n]
 	}
 	return out
@@ -112,11 +181,17 @@ func (x *Graph) ConflictDegree(a, b int, active []graph.Edge) int {
 	}
 	n := 0
 	for _, e := range active {
-		if w, ok := x.Index[e]; ok && x.G.HasEdge(v, w) {
+		if w, ok := x.gc.EdgeID(e.U, e.V); ok && x.G.HasEdge(v, w) {
 			n++
 		}
 	}
 	return n
+}
+
+// ApproxSize reports the approximate in-memory footprint in bytes; the
+// compile cache's size-aware eviction weighs crosstalk graphs by it.
+func (x *Graph) ApproxSize() int {
+	return x.G.ApproxSize() + 16*len(x.Couplers) + 48
 }
 
 // Spectators returns the qubits that neighbor (in the connectivity graph)
@@ -124,24 +199,24 @@ func (x *Graph) ConflictDegree(a, b int, active []graph.Edge) int {
 // gate on (a,b), spectators must idle off-resonance from the interaction
 // frequency.
 func Spectators(dev *topology.Device, a, b int) []int {
-	seen := map[int]bool{a: true, b: true}
 	var out []int
 	for _, q := range [2]int{a, b} {
-		for _, n := range dev.NeighborsSorted(q) {
-			if !seen[n] {
-				seen[n] = true
-				out = append(out, n)
+		for _, n := range dev.Coupling.Adj(q) {
+			if int(n) == a || int(n) == b || containsInt(out, int(n)) {
+				continue
 			}
+			out = append(out, int(n))
 		}
 	}
-	sortInts(out)
+	slices.Sort(out)
 	return out
 }
 
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
 		}
 	}
+	return false
 }

@@ -1,0 +1,33 @@
+package xtalk
+
+import (
+	"fmt"
+	"testing"
+
+	"fastsc/internal/topology"
+)
+
+// BenchmarkXtalkBuild measures the crosstalk-graph construction across the
+// device sizes and crosstalk distances the experiments sweep. The
+// distance-bounded BFS build is O(couplers · reach(d)) instead of the old
+// O(couplers²) all-pairs probe, so the gap widens with device size.
+func BenchmarkXtalkBuild(b *testing.B) {
+	for _, side := range []int{5, 9, 16} {
+		dev := topology.Grid(side, side)
+		for _, d := range []int{1, 2, 3} {
+			b.Run(fmt.Sprintf("grid-%dx%d/d%d", side, side, d), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					Build(dev, d)
+				}
+			})
+		}
+	}
+	ex := topology.Express2D(9, 9, 3)
+	b.Run("2EX-3-9x9/d2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Build(ex, 2)
+		}
+	})
+}
