@@ -5,7 +5,14 @@ GO ?= go
 
 # The committed machine-readable benchmark record for this PR generation
 # (bench-json writes it; bench-regress compares a fresh run against it).
-BENCH_JSON ?= BENCH_3.json
+BENCH_JSON ?= BENCH_4.json
+
+# The benchmarks the regression guard watches: the batch-compilation cold
+# path plus the flat-core hot spots it is built on (crosstalk construction,
+# circuit analysis, frontier drain). Keep the pattern and the package list
+# in lockstep with .github/workflows/ci.yml's bench-regression job.
+BENCH_GUARD_PATTERN = BenchmarkBatchCompile|BenchmarkXtalkBuild|BenchmarkCircuitAnalysis|BenchmarkFrontier
+BENCH_GUARD_PKGS = ./internal/bench/ ./internal/xtalk/ ./internal/circuit/
 
 .PHONY: all build test lint bench bench-json bench-regress warm-cache-check
 
@@ -30,23 +37,29 @@ bench:
 # bench-json runs the full benchmark suite and writes both the raw text
 # (bench-results.txt) and the machine-readable $(BENCH_JSON) map of
 # benchmark -> {ns/op, B/op, allocs/op, custom metrics}. CI uploads both
-# as artifacts so the perf trajectory is tracked across PRs. The two steps
-# are separate commands (not a pipeline) so a failing benchmark run fails
-# the target instead of being masked by the parser's exit status.
+# as artifacts so the perf trajectory is tracked across PRs. -count=3 lets
+# cmd/benchjson min-fold the samples (the committed record is the
+# least-noise estimate, not one lucky or unlucky draw). The two steps are
+# separate commands (not a pipeline) so a failing benchmark run fails the
+# target instead of being masked by the parser's exit status.
 bench-json:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./... > bench-results.txt
+	$(GO) test -bench=. -benchmem -benchtime=1x -count=3 -run='^$$' ./... > bench-results.txt
 	$(GO) run ./cmd/benchjson < bench-results.txt > $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
 
-# bench-regress re-runs the batch-compilation benchmark and fails when its
-# cold path regressed >20% in ns/op against the committed $(BENCH_JSON).
-# (CI's regression job benches the base commit on the same runner instead,
-# which removes machine-to-machine noise; this target is the local check.)
+# bench-regress re-runs the guarded benchmarks (batch compilation, xtalk
+# build, circuit analysis, frontier drain) and fails when any regressed
+# >30% in ns/op against the committed $(BENCH_JSON). The local threshold
+# is looser than CI's 20%: the committed record min-folds samples, so the
+# microsecond-scale benchmarks sit at their observed floor and an honest
+# re-run can land 20–25% above it on a loaded machine. CI's regression job
+# benches base and head on the same runner with the same methodology,
+# which removes that bias; this target is only the local smoke check.
 bench-regress:
-	$(GO) test -bench='BenchmarkBatchCompile' -benchmem -benchtime=2x -count=3 -run='^$$' ./internal/bench/ > /tmp/bench-head.txt
+	$(GO) test -bench='$(BENCH_GUARD_PATTERN)' -benchmem -benchtime=10x -count=6 -run='^$$' $(BENCH_GUARD_PKGS) > /tmp/bench-head.txt
 	$(GO) run ./cmd/benchjson < /tmp/bench-head.txt > /tmp/bench-head.json
 	$(GO) run ./cmd/benchcmp -baseline $(BENCH_JSON) -new /tmp/bench-head.json \
-		-pattern 'BenchmarkBatchCompile' -max-regress 20 -require-overlap
+		-pattern '$(BENCH_GUARD_PATTERN)' -max-regress 30 -require-overlap
 
 # Mirrors the CI warm-cache job: a second Fig 9 sweep against the same
 # cache snapshot must report a total hit rate above 95%.

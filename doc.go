@@ -57,4 +57,35 @@
 // all-pairs O(couplers²) probe — and internal/schedule compiles slices
 // against reusable sync.Pool scratch buffers, so the cold (cache-miss)
 // path allocates only what the finished Schedule retains.
+//
+// # Dense device model
+//
+// phys.System stores its per-coupler bare couplings as a flat []float64
+// indexed by the dense coupler id of Device.Coupling.EdgeID (the coupler's
+// position in Device.Edges()), not as an edge-keyed map. System.G0(a, b)
+// resolves the id by binary search over a neighbor slice and panics on
+// uncoupled pairs (an uncoupled pair reaching a coupling lookup is a
+// compiler bug); System.G0ByID serves hot loops that already hold a
+// coupler id — noise channels iterating Device.Edges(), crosstalk weights,
+// static palettes — with a direct index. The compile hot path performs
+// zero map probes per gate. compile.SystemSignature hashes the dense slice
+// in coupler-id order, which preserves the signatures the old map-based
+// iteration produced.
+//
+// # Analyzed-circuit IR
+//
+// circuit.Analyze computes the analyzed-circuit IR once per circuit: CSR
+// per-qubit gate streams (one flat []int32 plus offsets instead of a
+// ragged [][]int), the ASAP layers and depth in the same flat layer-offset
+// form, per-gate criticality, and a content signature (Circuit.Signature)
+// over qubit count and every gate's kind/operands/angle. An Analysis is
+// immutable after construction and shared read-only; the compile cache's
+// circ region memoizes one per signature, so every strategy of a batch
+// sweep consumes the same analysis instead of re-deriving the dependency
+// structure per compile (the circ region, like xtalk, is process-local and
+// never persisted — an analysis rebuilds in microseconds). The queueing
+// frontier (circuit.Frontier) is a cheap resettable view over the shared
+// CSR: its cursor state comes from a sync.Pool and Ready() fills a
+// reusable buffer with no map and no per-call allocation — the returned
+// slice is valid until the next Ready call.
 package fastsc

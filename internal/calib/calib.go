@@ -145,12 +145,15 @@ func commonProbe(a, b phys.Transmon) (float64, error) {
 
 // Apply returns a copy of the system with measured parameters substituted:
 // coupler strengths from the chevron fits and qubit maxima from the flux
-// scans. The compiler can then be driven entirely by characterization data.
+// scans. Measured couplings land in the system's dense per-coupler slice at
+// their device edge ids; couplers the calibration did not measure keep
+// their nominal value. The compiler can then be driven entirely by
+// characterization data.
 func (c *Calibration) Apply(sys *phys.System) *phys.System {
 	out := &phys.System{
 		Device:   sys.Device,
 		Qubits:   make([]phys.Transmon, len(sys.Qubits)),
-		Coupling: make(map[graph.Edge]float64, len(sys.Coupling)),
+		Coupling: append([]float64(nil), sys.Coupling...),
 		Params:   sys.Params,
 	}
 	copy(out.Qubits, sys.Qubits)
@@ -158,7 +161,9 @@ func (c *Calibration) Apply(sys *phys.System) *phys.System {
 		out.Qubits[q].OmegaMax = c.OmegaMax[q]
 	}
 	for e, g := range c.Coupling {
-		out.Coupling[e] = g
+		if id, ok := sys.Device.Coupling.EdgeID(e.U, e.V); ok {
+			out.Coupling[id] = g
+		}
 	}
 	return out
 }
@@ -169,7 +174,11 @@ func (c *Calibration) Apply(sys *phys.System) *phys.System {
 func (c *Calibration) MaxCouplingError(sys *phys.System) float64 {
 	worst := 0.0
 	for e, g := range c.Coupling {
-		nominal := sys.Coupling[e]
+		id, ok := sys.Device.Coupling.EdgeID(e.U, e.V)
+		if !ok {
+			continue
+		}
+		nominal := sys.G0ByID(int32(id))
 		if nominal == 0 {
 			continue
 		}

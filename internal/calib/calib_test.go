@@ -18,7 +18,7 @@ func TestMeasureCouplingRecoversG0(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", e, err)
 		}
-		nominal := sys.Coupling[e]
+		nominal := sys.G0(e.U, e.V)
 		if rel := math.Abs(g-nominal) / nominal; rel > 0.05 {
 			t.Fatalf("coupler %v: measured %.5f vs nominal %.5f (%.1f%% off)",
 				e, g, nominal, rel*100)
@@ -86,11 +86,12 @@ func TestApplyDoesNotMutateOriginal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := sys.Coupling[graph.NewEdge(0, 1)]
+	before := sys.G0(0, 1)
 	m := cal.Apply(sys)
-	m.Coupling[graph.NewEdge(0, 1)] = 99
+	id01, _ := sys.Device.Coupling.EdgeID(0, 1)
+	m.Coupling[id01] = 99
 	m.Qubits[0].OmegaMax = 1
-	if sys.Coupling[graph.NewEdge(0, 1)] != before {
+	if sys.G0(0, 1) != before {
 		t.Fatal("Apply shares coupling storage with the original")
 	}
 	if sys.Qubits[0].OmegaMax == 1 {
@@ -103,7 +104,8 @@ func TestMeasureCouplingDetectsWeakCoupler(t *testing.T) {
 	// silently mis-fit.
 	sys := phys.NewSystem(topology.Grid(2, 2), phys.DefaultParams(), 42)
 	e := graph.NewEdge(0, 1)
-	sys.Coupling[e] = 1e-5 // 10 kHz: first transfer at 25 µs >> MaxHold
+	id, _ := sys.Device.Coupling.EdgeID(0, 1)
+	sys.Coupling[id] = 1e-5 // 10 kHz: first transfer at 25 µs >> MaxHold
 	if _, err := MeasureCoupling(sys, e, DefaultOptions()); err == nil {
 		t.Fatal("immeasurably weak coupling should error")
 	}

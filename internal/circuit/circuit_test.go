@@ -195,7 +195,8 @@ func TestFrontierGreedyEqualsASAP(t *testing.T) {
 			if len(ready) == 0 {
 				return false // deadlock
 			}
-			layers = append(layers, ready)
+			// Ready's slice is the frontier's reusable buffer; copy to keep.
+			layers = append(layers, append([]int(nil), ready...))
 			for _, idx := range ready {
 				f.Issue(idx)
 			}

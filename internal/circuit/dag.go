@@ -1,10 +1,17 @@
 package circuit
 
+import "sync"
+
 // Dependency analysis. Two gates depend on each other when they share a
 // qubit; the earlier one (program order) must complete first. This induces
 // the layered view of a circuit ("circuit slicing", §V-B2) and the
 // critical-path criticality used by the noise-aware queueing scheduler
 // (§V-B6).
+//
+// The methods on Circuit below are the straightforward reference
+// implementations. Hot paths use Analyze, which computes the same
+// structures once, flat, and shares them (equivalence is pinned by
+// property test in analysis_test.go).
 
 // ASAPLayers partitions gate indices into as-soon-as-possible layers: a gate
 // is placed one layer after the latest layer among the gates it depends on.
@@ -67,60 +74,97 @@ func (c *Circuit) Criticality() []int {
 // any point, Ready() lists the gates whose per-qubit predecessors have all
 // been issued; the scheduler issues a subset and the rest remain ready in
 // later rounds.
+//
+// A Frontier is a cheap resettable view over an Analysis: the per-qubit
+// gate streams live in the shared immutable Analysis, and only the cursor
+// state (next position per qubit, issued flags, the reusable Ready buffer)
+// belongs to the Frontier. That state comes from a sync.Pool, so acquiring
+// a frontier per compilation costs no steady-state allocations; call
+// Release when done to return it.
 type Frontier struct {
-	c *Circuit
-	// nextIdx[q] is the position in perQubit[q] of the next unissued gate.
-	perQubit [][]int
-	nextIdx  []int
-	issued   []bool
-	remain   int
+	a      *Analysis
+	next   []int32 // per qubit: position in its QubitStream
+	issued []bool
+	ready  []int // reusable Ready result buffer
+	remain int
 }
 
-// NewFrontier builds the per-qubit dependency streams for c.
-func NewFrontier(c *Circuit) *Frontier {
-	f := &Frontier{
-		c:        c,
-		perQubit: make([][]int, c.NumQubits),
-		nextIdx:  make([]int, c.NumQubits),
-		issued:   make([]bool, len(c.Gates)),
-		remain:   len(c.Gates),
+var frontierPool = sync.Pool{New: func() any { return new(Frontier) }}
+
+// NewFrontier builds (analyzes c and) returns a frontier at the start of c.
+// Prefer Analysis.NewFrontier when an analysis is already at hand.
+func NewFrontier(c *Circuit) *Frontier { return Analyze(c).NewFrontier() }
+
+// NewFrontier returns a frontier over a's circuit with every gate unissued,
+// drawing its cursor state from a pool. Multiple frontiers over one shared
+// Analysis are independent.
+func (a *Analysis) NewFrontier() *Frontier {
+	f := frontierPool.Get().(*Frontier)
+	f.a = a
+	f.next = resizeZero(f.next, a.NumQubits)
+	f.issued = resizeZero(f.issued, a.NumGates)
+	if f.ready == nil {
+		f.ready = make([]int, 0, 16)
 	}
-	for i, g := range c.Gates {
-		for _, q := range g.Qubits {
-			f.perQubit[q] = append(f.perQubit[q], i)
-		}
-	}
+	f.remain = a.NumGates
 	return f
 }
 
+// Reset rewinds the frontier to the start of the circuit, reusing its
+// buffers (no allocation).
+func (f *Frontier) Reset() {
+	for i := range f.next {
+		f.next[i] = 0
+	}
+	for i := range f.issued {
+		f.issued[i] = false
+	}
+	f.remain = f.a.NumGates
+}
+
+// Release returns the frontier's cursor state to the pool. The frontier
+// must not be used afterwards.
+func (f *Frontier) Release() {
+	f.a = nil
+	frontierPool.Put(f)
+}
+
 // Ready returns the indices of gates whose dependencies are satisfied, in
-// ascending program order.
+// ascending program order. The returned slice is the frontier's reusable
+// buffer: it is valid (and may be reordered in place by the caller) until
+// the next Ready call. Ready performs no allocation beyond growing that
+// buffer to the widest frontier seen.
 func (f *Frontier) Ready() []int {
-	var ready []int
-	seen := make(map[int]bool)
-	for q := 0; q < f.c.NumQubits; q++ {
-		if f.nextIdx[q] >= len(f.perQubit[q]) {
+	ready := f.ready[:0]
+	a := f.a
+	for q := 0; q < a.NumQubits; q++ {
+		s := a.stream[a.streamOff[q]:a.streamOff[q+1]]
+		pos := f.next[q]
+		if int(pos) >= len(s) {
 			continue
 		}
-		idx := f.perQubit[q][f.nextIdx[q]]
-		if seen[idx] {
-			continue
-		}
-		seen[idx] = true
-		// A two-qubit gate is ready only if it is the head on both qubits.
-		g := f.c.Gates[idx]
-		ok := true
-		for _, qq := range g.Qubits {
-			if f.nextIdx[qq] >= len(f.perQubit[qq]) || f.perQubit[qq][f.nextIdx[qq]] != idx {
-				ok = false
-				break
+		idx := s[pos]
+		q0, q1 := a.gq[idx][0], a.gq[idx][1]
+		if q1 >= 0 {
+			// Two-qubit gate: it heads two streams, so emit it only from
+			// its smaller operand (dedup without a map), and only when it
+			// is also the head on the larger one.
+			lo, hi := q0, q1
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if int32(q) != lo {
+				continue
+			}
+			hs := a.stream[a.streamOff[hi]:a.streamOff[hi+1]]
+			if int(f.next[hi]) >= len(hs) || hs[f.next[hi]] != idx {
+				continue
 			}
 		}
-		if ok {
-			ready = append(ready, idx)
-		}
+		ready = append(ready, int(idx))
 	}
 	sortInts(ready)
+	f.ready = ready
 	return ready
 }
 
@@ -129,14 +173,20 @@ func (f *Frontier) Issue(idx int) {
 	if f.issued[idx] {
 		panic("circuit: gate issued twice")
 	}
-	g := f.c.Gates[idx]
-	for _, q := range g.Qubits {
-		if f.nextIdx[q] >= len(f.perQubit[q]) || f.perQubit[q][f.nextIdx[q]] != idx {
+	a := f.a
+	for _, q := range a.gq[idx] {
+		if q < 0 {
+			continue
+		}
+		s := a.stream[a.streamOff[q]:a.streamOff[q+1]]
+		if int(f.next[q]) >= len(s) || s[f.next[q]] != int32(idx) {
 			panic("circuit: issuing gate with unmet dependencies")
 		}
 	}
-	for _, q := range g.Qubits {
-		f.nextIdx[q]++
+	for _, q := range a.gq[idx] {
+		if q >= 0 {
+			f.next[q]++
+		}
 	}
 	f.issued[idx] = true
 	f.remain--
@@ -147,6 +197,17 @@ func (f *Frontier) Done() bool { return f.remain == 0 }
 
 // Remaining returns the number of unissued gates.
 func (f *Frontier) Remaining() int { return f.remain }
+
+// resizeZero returns a zeroed slice of length n, reusing s's storage when
+// it is large enough.
+func resizeZero[T int32 | bool](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
 
 func sortInts(xs []int) {
 	// insertion sort; frontiers are small.

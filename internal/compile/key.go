@@ -30,6 +30,13 @@ const (
 	// RegionParking holds parking-frequency assignments keyed by system
 	// signature.
 	RegionParking = "park"
+	// RegionCircuit holds analyzed-circuit IRs (circuit.Analysis: CSR
+	// per-qubit gate streams, flat ASAP layers, criticality) keyed by the
+	// circuit content signature, so every strategy in a batch shares one
+	// analysis per circuit. Like RegionXtalk it is process-local (not
+	// persisted): an analysis rebuilds in microseconds and holds
+	// pointer-heavy flat tables that would bloat snapshots.
+	RegionCircuit = "circ"
 )
 
 // KeyVersion is the version of the cache-key scheme, folded into SliceKey
@@ -41,7 +48,10 @@ const (
 // collision would silently serve the wrong frequency assignment) and
 // omitted device coordinates from DeviceSignature (the parking stagger
 // reads them). v2 encodes the exact vertex set and hashes coordinates.
-const KeyVersion = 2
+// v3 accompanies the dense phys.System rewrite: SystemSignature reads the
+// per-coupler slice (same values, Edges() order) and the circ region was
+// added, keyed by the circuit content signature.
+const KeyVersion = 3
 
 type hasher struct{ h uint64 }
 
@@ -95,10 +105,12 @@ func DeviceSignature(dev *topology.Device) string {
 // the device signature plus every transmon's fabrication draw and every
 // coupler's bare coupling — everything the scheduler's frequency math
 // depends on. (phys.System.Params is deliberately not hashed: every Params
-// field the compilers read is copied into the Transmon draws and the
-// Coupling map by phys.NewSystem; see the key-drift guard test.) Systems
+// field the compilers read is copied into the Transmon draws and the dense
+// Coupling slice by phys.NewSystem; see the key-drift guard test.) Systems
 // sampled with the same (device, params, seed) hash identically across
-// allocations.
+// allocations. The dense Coupling slice is indexed by coupler id, i.e.
+// Edges() order, so hashing it in index order preserves the signature the
+// old map-based iteration produced.
 func SystemSignature(sys *phys.System) string {
 	h := newHasher()
 	h.str(DeviceSignature(sys.Device))
@@ -109,8 +121,8 @@ func SystemSignature(sys *phys.System) string {
 		h.f64(t.T1)
 		h.f64(t.T2)
 	}
-	for _, e := range sys.Device.Edges() {
-		h.f64(sys.Coupling[e])
+	for _, g := range sys.Coupling {
+		h.f64(g)
 	}
 	return fmt.Sprintf("%016x", h.h)
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"fastsc/internal/circuit"
 	"fastsc/internal/phys"
 	"fastsc/internal/smt"
 	"fastsc/internal/topology"
@@ -116,16 +117,56 @@ func TestKeySchemaDrift(t *testing.T) {
 	assertExactFields(t, reflect.TypeOf(topology.Coord{}), "DeviceSignature",
 		"Row", "Col")
 
-	// SystemSignature folds Device, Qubits (every Transmon field) and
-	// Coupling. Params is excluded on purpose: phys.NewSystem copies every
+	// SystemSignature folds Device, Qubits (every Transmon field) and the
+	// dense Coupling slice (hashed in coupler-id order, which is Edges()
+	// order). Params is excluded on purpose: phys.NewSystem copies every
 	// Params field the compilers read into the Transmon draws (OmegaMax,
-	// EC, Asymmetry, T1, T2) and the Coupling map (G0); OmegaSigma only
-	// shapes the sampling. If System or Transmon gains a field, fold it in
-	// or extend this justification.
+	// EC, Asymmetry, T1, T2) and the dense Coupling slice (G0); OmegaSigma
+	// only shapes the sampling. If System or Transmon gains a field, fold
+	// it in or extend this justification.
 	assertExactFields(t, reflect.TypeOf(phys.System{}), "SystemSignature",
 		"Device", "Qubits", "Coupling", "Params")
 	assertExactFields(t, reflect.TypeOf(phys.Transmon{}), "SystemSignature",
 		"OmegaMax", "EC", "Asymmetry", "T1", "T2")
+
+	// The circ region is keyed by circuit.Signature, which folds NumQubits
+	// and every Gate field (Kind, Qubits, Theta).
+	assertExactFields(t, reflect.TypeOf(circuit.Circuit{}), "circuit.Signature",
+		"NumQubits", "Gates")
+	assertExactFields(t, reflect.TypeOf(circuit.Gate{}), "circuit.Signature",
+		"Kind", "Qubits", "Theta")
+}
+
+// TestAnalysisMemoSharesAcrossAllocations checks the circ region's
+// contract: content-identical circuits (distinct allocations, as produced
+// by per-strategy decomposition) share one Analysis, while circuits that
+// differ in any content component do not.
+func TestAnalysisMemoSharesAcrossAllocations(t *testing.T) {
+	build := func() *circuit.Circuit {
+		c := circuit.New(4)
+		c.H(0).CZ(0, 1).CZ(2, 3).RZ(3, 0.7)
+		return c
+	}
+	ctx := NewContext(1)
+	a1 := ctx.Analysis(build())
+	a2 := ctx.Analysis(build())
+	if a1 != a2 {
+		t.Fatal("content-identical circuits must share one cached Analysis")
+	}
+	other := circuit.New(4)
+	other.H(0).CZ(0, 1).CZ(2, 3).RZ(3, 0.8)
+	if ctx.Analysis(other) == a1 {
+		t.Fatal("distinct circuits must not share an Analysis")
+	}
+	st := ctx.Stats()[RegionCircuit]
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("circ region stats = %+v, want 1 hit / 2 misses", st)
+	}
+	// A nil context analyzes directly (no cache probe, no key built).
+	var nilCtx *Context
+	if nilCtx.Analysis(build()) == nil {
+		t.Fatal("nil-context Analysis must still analyze")
+	}
 }
 
 // TestDeviceSignatureCoversCoords is the regression test for the v1

@@ -1,6 +1,9 @@
 package compile
 
 import (
+	"fmt"
+
+	"fastsc/internal/circuit"
 	"fastsc/internal/graph"
 	"fastsc/internal/smt"
 	"fastsc/internal/topology"
@@ -49,6 +52,32 @@ func (c *Context) Xtalk(dev *topology.Device, distance int) *xtalk.Graph {
 		return xtalk.Build(dev, distance), nil
 	})
 	return v.(*xtalk.Graph)
+}
+
+// Analysis is a memoizing circuit.Analyze: the analyzed-circuit IR (CSR
+// per-qubit gate streams, flat ASAP layers, criticality, content
+// signature) is computed once per circuit content signature and shared
+// read-only by every strategy compiling that circuit — in a Fig 9–13
+// sweep, the 5–7 strategies of a batch all consume the same analysis
+// instead of re-deriving the dependency structure per compile. Without a
+// cache the analysis is computed directly (the gate list is still hashed
+// once — Analysis.Sig is part of the IR — but no key is built).
+func (c *Context) Analysis(circ *circuit.Circuit) *circuit.Analysis {
+	cache := c.cache()
+	if cache == nil {
+		return circuit.Analyze(circ)
+	}
+	// The key is the 128-bit content signature plus the exact qubit and
+	// gate counts — the cheap dimensions are encoded exactly (the same
+	// discipline as SliceKey), so a hypothetical digest collision between
+	// differently-shaped circuits can never alias. The signature computed
+	// here is reused on the miss path, so a miss hashes the gate list once.
+	sig := circ.Signature()
+	key := fmt.Sprintf("%d|%d|%s", circ.NumQubits, len(circ.Gates), sig)
+	v, _ := cache.Do(RegionCircuit, key, func() (any, error) {
+		return circuit.AnalyzeWithSignature(circ, sig), nil
+	})
+	return v.(*circuit.Analysis)
 }
 
 // SliceSolution is a cached per-slice solver outcome: the coloring of the

@@ -18,8 +18,10 @@ import (
 // History: v3 switched the cached value shapes to the flat-core
 // representation (parking assignments and color→frequency maps became
 // dense slices, colorings became []int32), so v2 snapshots no longer
-// decode.
-const SnapshotVersion = 3
+// decode. v4 accompanies the dense phys.System / analyzed-circuit IR
+// rewrite (KeyVersion 3): slice keys carry the new key version, so v3
+// snapshots would never hit anyway and are rejected wholesale.
+const SnapshotVersion = 4
 
 // snapshotMagic guards against feeding an arbitrary gob stream (or a
 // truncated file) to Load.
@@ -29,9 +31,10 @@ const snapshotMagic = "fastsc-cache-snapshot"
 // process-independent. SMT solves, static palettes, parking assignments
 // and slice solutions are pure functions of content-hashed inputs (system
 // signatures, exact vertex sets), so an entry written by one process is
-// valid in every other. RegionXtalk is excluded: crosstalk graphs hold
-// pointer-heavy adjacency structures that rebuild in milliseconds and
-// would dominate the snapshot size.
+// valid in every other. RegionXtalk and RegionCircuit are excluded:
+// crosstalk graphs and circuit analyses hold pointer-heavy flat tables
+// that rebuild in milliseconds (or microseconds) and would dominate the
+// snapshot size.
 var PersistRegions = []string{RegionSMT, RegionStatic, RegionParking, RegionSlice}
 
 // RegisterSnapshotType registers a concrete type stored in the

@@ -38,7 +38,7 @@ func TestAmbientChannelArithmetic(t *testing.T) {
 	// Two idle qubits on one coupler, 0.5 GHz apart, 30 ns: the ambient
 	// error must equal the direct transfer plus weighted sidebands.
 	sys := lineSystem(2)
-	g0 := sys.Coupling[sys.Device.Edges()[0]]
+	g0 := sys.G0ByID(0) // coupler 0 = Edges()[0], via the dense accessor
 	ec := sys.Transmon(0).EC
 	fu, fv := 5.2, 5.7
 	tau := 30.0
@@ -70,7 +70,7 @@ func TestSpectatorChannelArithmetic(t *testing.T) {
 	// Chain 0-1-2: gate on (0,1) at 6.5 GHz, qubit 2 parked at 5.3:
 	// exactly one spectator channel through coupler (1,2).
 	sys := lineSystem(3)
-	g0 := sys.Coupling[sys.Device.Edges()[1]]
+	g0 := sys.G0ByID(1) // coupler 1 = Edges()[1]
 	ec := sys.Transmon(1).EC
 	fInt, fSpec := 6.5, 5.3
 	tau := 40.0
@@ -121,7 +121,7 @@ func TestGateGateChannelDistanceOne(t *testing.T) {
 	opt.DisableAmbient = true
 
 	rep := Evaluate(s, opt)
-	g0 := sys.Coupling[edge(0, 1)]
+	g0 := sys.G0(0, 1)
 	ec := sys.Transmon(0).EC
 	wantGate := phys.TransitionProbability(g0, f1-f2, tau) +
 		phys.TransitionProbability(math.Sqrt2*g0, (f1-f2)-ec, tau) +
@@ -156,7 +156,7 @@ func TestGateGateChannelDistanceTwoScaled(t *testing.T) {
 	// Spectators also fire here (qubits 2, 5); isolate the gate-gate part.
 	rep := Evaluate(s, opt)
 
-	g0 := sys.Coupling[edge(0, 1)] * opt.NextNeighborFactor
+	g0 := sys.G0(0, 1) * opt.NextNeighborFactor
 	ec := sys.Transmon(0).EC
 	want := phys.TransitionProbability(g0, 0, tau) +
 		2*phys.TransitionProbability(math.Sqrt2*g0, ec, tau)
@@ -186,7 +186,7 @@ func TestGmonScalesChannels(t *testing.T) {
 	opt.Gate1Error, opt.Gate2Error = 0, 0
 	rep := Evaluate(s, opt)
 
-	g0 := 0.5 * sys.Coupling[edge(0, 1)]
+	g0 := 0.5 * sys.G0(0, 1)
 	ec := sys.Transmon(0).EC
 	want := phys.TransitionProbability(g0, fu-fv, tau)
 	want += opt.SidebandWeight * (phys.TransitionProbability(math.Sqrt2*g0, (fu-ec)-fv, tau) +

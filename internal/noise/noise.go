@@ -183,7 +183,9 @@ func (ev *evaluator) pairCoupling(e1, e2 graph.Edge) float64 {
 		return 0
 	}
 	s := ev.s
-	g0 := (s.System.Coupling[e1] + s.System.Coupling[e2]) / 2
+	// v1/v2 are the couplers' dense edge ids, so the coupling reads are
+	// direct indexes — no map probe, no second edge-id search.
+	g0 := (s.System.G0ByID(int32(v1)) + s.System.G0ByID(int32(v2))) / 2
 	switch {
 	case ev.x1.G.HasEdge(v1, v2):
 		// Distance 1: a single off-path coupler connects the pairs.
@@ -252,7 +254,7 @@ func (ev *evaluator) spectatorChannels(sl *schedule.Slice, active map[graph.Edge
 					continue
 				}
 				cpl := graph.NewEdge(q, spec)
-				g0 := s.System.Coupling[cpl]
+				g0 := s.System.G0(q, spec)
 				if s.Gmon && !active[cpl] {
 					g0 *= s.Residual
 				}
@@ -281,11 +283,11 @@ func (ev *evaluator) ambientChannels(sl *schedule.Slice, active map[graph.Edge]b
 		busy[e.U] = true
 		busy[e.V] = true
 	}
-	for _, e := range s.System.Device.Edges() {
+	for id, e := range s.System.Device.Edges() {
 		if busy[e.U] || busy[e.V] {
 			continue // spectator/gate channels cover these
 		}
-		g0 := s.System.Coupling[e]
+		g0 := s.System.G0ByID(int32(id))
 		if s.Gmon {
 			g0 *= s.Residual
 		}

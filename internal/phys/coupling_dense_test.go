@@ -1,0 +1,90 @@
+package phys
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastsc/internal/graph"
+	"fastsc/internal/topology"
+)
+
+// Property tests pinning the dense per-coupler Coupling slice (indexed by
+// Device.Coupling.EdgeID) to the semantics of the old map[graph.Edge]
+// representation on randomized devices: G0 agrees with an independently
+// built edge->value map on every coupled pair, G0ByID agrees with it
+// through the Edges() ordering, and uncoupled pairs panic.
+
+// randomDevice builds a connected random device over n qubits: a spanning
+// path plus random extra edges.
+func randomDevice(rng *rand.Rand, n int) *topology.Device {
+	var edges []graph.Edge
+	for q := 0; q+1 < n; q++ {
+		edges = append(edges, graph.NewEdge(q, q+1))
+	}
+	extra := rng.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			edges = append(edges, graph.NewEdge(a, b))
+		}
+	}
+	return topology.FromEdges("random", n, edges)
+}
+
+func TestDenseCouplingMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(14)
+		dev := randomDevice(rng, n)
+		p := DefaultParams()
+		sys := NewSystem(dev, p, rng.Int63())
+
+		// Perturb the couplings (as a calibration would) so the test does
+		// not trivially pass on the uniform default, mirroring the write
+		// into a reference map keyed the old way.
+		ref := make(map[graph.Edge]float64)
+		for id, e := range dev.Edges() {
+			g := p.G0 * (0.5 + rng.Float64())
+			sys.Coupling[id] = g
+			ref[e] = g
+		}
+
+		if len(sys.Coupling) != dev.Coupling.NumEdges() {
+			t.Fatalf("dense coupling has %d entries, device has %d couplers",
+				len(sys.Coupling), dev.Coupling.NumEdges())
+		}
+		// G0ByID must follow the Edges() ordering exactly.
+		for id, e := range dev.Edges() {
+			if got := sys.G0ByID(int32(id)); got != ref[e] {
+				t.Fatalf("G0ByID(%d) = %v, reference map has %v for %v", id, got, ref[e], e)
+			}
+		}
+		// G0 must agree with the map on every pair, in both argument
+		// orders, and panic exactly when the map has no entry.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				want, coupled := ref[graph.NewEdge(a, b)]
+				if coupled {
+					if got := sys.G0(a, b); got != want {
+						t.Fatalf("G0(%d,%d) = %v, reference map has %v", a, b, got, want)
+					}
+				} else {
+					mustPanicG0(t, sys, a, b)
+				}
+			}
+		}
+	}
+}
+
+func mustPanicG0(t *testing.T, sys *System, a, b int) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("G0(%d,%d) on uncoupled pair did not panic", a, b)
+		}
+	}()
+	sys.G0(a, b)
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"fastsc/internal/graph"
 	"fastsc/internal/topology"
 )
 
@@ -12,9 +11,14 @@ import (
 // qubit (with fabrication spread applied) and one bare coupling strength per
 // coupler. It is the hardware description consumed by the compiler.
 type System struct {
-	Device   *topology.Device
-	Qubits   []Transmon             // indexed by qubit id
-	Coupling map[graph.Edge]float64 // bare g₀ per coupler, GHz
+	Device *topology.Device
+	Qubits []Transmon // indexed by qubit id
+	// Coupling holds the bare g₀ per coupler in GHz, indexed by the dense
+	// coupler id of Device.Coupling.EdgeID — i.e. the coupler's position in
+	// Device.Edges(). The flat layout makes G0 a binary-search edge-id
+	// lookup and G0ByID a direct index, with zero map probes on the
+	// compile hot path.
+	Coupling []float64
 	Params   Params
 }
 
@@ -34,9 +38,9 @@ func NewSystem(dev *topology.Device, p Params, seed int64) *System {
 			T2:        p.T2,
 		}
 	}
-	coupling := make(map[graph.Edge]float64, dev.Coupling.NumEdges())
-	for _, e := range dev.Edges() {
-		coupling[e] = p.G0
+	coupling := make([]float64, dev.Coupling.NumEdges())
+	for i := range coupling {
+		coupling[i] = p.G0
 	}
 	return &System{Device: dev, Qubits: qubits, Coupling: coupling, Params: p}
 }
@@ -51,16 +55,26 @@ func DefaultSystem(dev *topology.Device) *System {
 	return NewSystem(dev, DefaultParams(), seed)
 }
 
-// G0 returns the bare coupling of the coupler between qubits a and b.
-// It panics if the qubits are not coupled — callers must only ask about
-// physical couplers.
+// G0 returns the bare coupling of the coupler between qubits a and b,
+// resolved through the device's dense edge index (a binary search over the
+// smaller endpoint's neighbor slice — no map probe). It panics if the
+// qubits are not coupled: callers must only ask about physical couplers,
+// and an uncoupled pair reaching this lookup is a compiler bug, not a
+// recoverable condition.
 func (s *System) G0(a, b int) float64 {
-	g, ok := s.Coupling[graph.NewEdge(a, b)]
+	id, ok := s.Device.Coupling.EdgeID(a, b)
 	if !ok {
 		panic(fmt.Sprintf("phys: qubits %d and %d are not coupled", a, b))
 	}
-	return g
+	return s.Coupling[id]
 }
+
+// G0ByID returns the bare coupling of the coupler with the given dense id
+// (its position in Device.Edges()). Hot loops that already hold a coupler
+// id — static palettes, crosstalk weights, noise channels iterating
+// Device.Edges() — use this to skip even the edge-id binary search. It
+// panics (slice bounds) on ids outside [0, NumEdges).
+func (s *System) G0ByID(id int32) float64 { return s.Coupling[id] }
 
 // Transmon returns the transmon parameters of qubit q.
 func (s *System) Transmon(q int) Transmon { return s.Qubits[q] }

@@ -44,7 +44,7 @@ func (Naive) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System,
 		return intLo + frac*(intHi-intLo)
 	}
 
-	f := circuit.NewFrontier(b.circ)
+	f := b.front
 	for !f.Done() {
 		ready := f.Ready() // issue everything: pure ASAP
 		var events []GateEvent
@@ -94,7 +94,7 @@ func (Uniform) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.Syste
 	omega := (b.part.IntLo + b.part.IntHi) / 2
 
 	scr := b.scr
-	f := circuit.NewFrontier(b.circ)
+	f := b.front
 	for !f.Done() {
 		ready := f.Ready()
 		sortByCriticality(ready, b.crit)
@@ -244,13 +244,14 @@ func (Static) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System
 	}
 	st, err := buildStaticTable(b, sys)
 	if err != nil {
+		b.abort()
 		return nil, err
 	}
 	b.xg = st.xg
 
 	scr := b.scr
 	scr.ensureColors(len(st.pal.Assign))
-	f := circuit.NewFrontier(b.circ)
+	f := b.front
 	for !f.Done() {
 		ready := f.Ready()
 		var events []GateEvent

@@ -58,7 +58,7 @@ func compileColorDynamic(ctx *compile.Context, name string, gmon bool, c *circui
 	}
 
 	scr := b.scr
-	f := circuit.NewFrontier(b.circ)
+	f := b.front
 	for !f.Done() {
 		ready := f.Ready()
 		sortByCriticality(ready, b.crit)
@@ -90,6 +90,7 @@ func compileColorDynamic(ctx *compile.Context, name string, gmon bool, c *circui
 		// active subgraph, so it is memoized across slices and jobs.
 		sol, err := b.solveSlice(intCfg, budget)
 		if err != nil {
+			b.abort()
 			return nil, err
 		}
 

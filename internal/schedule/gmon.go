@@ -37,6 +37,7 @@ func (Gmon) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, 
 	// stay spectrally spread even when couplers leak (Fig 12).
 	freqOf, err := staticPalette(b, sys)
 	if err != nil {
+		b.abort()
 		return nil, err
 	}
 	gc := sys.Device.Coupling
@@ -46,14 +47,17 @@ func (Gmon) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, 
 		return pattern[id]
 	}
 
-	f := circuit.NewFrontier(b.circ)
+	f := b.front
 	for !f.Done() {
 		ready := f.Ready()
 		sortByCriticality(ready, b.crit)
 
 		// Bucket ready two-qubit gates by tiling pattern; activate the
-		// pattern carrying the most critical work this slice.
-		byPattern := make(map[int][]int)
+		// pattern carrying the most critical work this slice. Scores are
+		// running totals, updated as each gate lands in its bucket (the
+		// most-critical pattern at any prefix matches a full re-sum, so
+		// the selection is unchanged).
+		byPattern := make(map[int]int) // pattern -> summed criticality
 		bestPattern, bestScore := -1, -1
 		for _, idx := range ready {
 			g := b.circ.Gates[idx]
@@ -61,13 +65,9 @@ func (Gmon) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, 
 				continue
 			}
 			p := patternOf(graph.NewEdge(g.Qubits[0], g.Qubits[1]))
-			byPattern[p] = append(byPattern[p], idx)
-			score := 0
-			for _, i := range byPattern[p] {
-				score += b.crit[i]
-			}
-			if score > bestScore {
-				bestScore, bestPattern = score, p
+			byPattern[p] += int(b.crit[idx])
+			if byPattern[p] > bestScore {
+				bestScore, bestPattern = byPattern[p], p
 			}
 		}
 
@@ -93,7 +93,7 @@ func (Gmon) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.System, 
 			f.Issue(idx)
 		}
 		colors := 0
-		if bestPattern >= 0 && len(byPattern[bestPattern]) > 0 {
+		if bestPattern >= 0 && byPattern[bestPattern] > 0 {
 			colors = 1
 		}
 		b.emitSlice(events, colors, 0)

@@ -187,16 +187,22 @@ func (s *sliceScratch) ensureColors(k int) {
 func (s *sliceScratch) release() { scratchPool.Put(s) }
 
 // builder carries the state shared by every strategy: the decomposed
-// circuit, the frequency partition, parking frequencies, and the crosstalk
-// graph.
+// circuit with its shared dependency analysis, the frequency partition,
+// parking frequencies, and the crosstalk graph.
 type builder struct {
-	ctx   *compile.Context
-	sys   *phys.System
-	sig   string // content signature of sys, the cache-key prefix
-	opts  Options
-	part  smt.Partition
-	circ  *circuit.Circuit // decomposed, native
-	crit  []int
+	ctx  *compile.Context
+	sys  *phys.System
+	sig  string // content signature of sys, the cache-key prefix
+	opts Options
+	part smt.Partition
+	circ *circuit.Circuit // decomposed, native
+	// ana is the analyzed-circuit IR, shared read-only across every
+	// strategy compiling the same circuit (memoized in the ctx's circ
+	// region by content signature); front is this compilation's private
+	// cursor view over it.
+	ana   *circuit.Analysis
+	front *circuit.Frontier
+	crit  []int32 // ana's per-gate criticality (shared read-only)
 	xg    *xtalk.Graph
 	park  []float64 // qubit -> parking frequency (shared read-only)
 	scr   *sliceScratch
@@ -236,17 +242,20 @@ func newBuilder(ctx *compile.Context, name string, c *circuit.Circuit, sys *phys
 	if err != nil {
 		return nil, err
 	}
+	ana := ctx.Analysis(dec)
 	b := &builder{
-		ctx:  ctx,
-		sys:  sys,
-		sig:  sig,
-		opts: opts,
-		part: part,
-		circ: dec,
-		crit: dec.Criticality(),
-		xg:   ctx.Xtalk(sys.Device, opts.XtalkDistance),
-		park: park,
-		scr:  acquireScratch(sys.Device.Qubits),
+		ctx:   ctx,
+		sys:   sys,
+		sig:   sig,
+		opts:  opts,
+		part:  part,
+		circ:  dec,
+		ana:   ana,
+		front: ana.NewFrontier(),
+		crit:  ana.Criticality(),
+		xg:    ctx.Xtalk(sys.Device, opts.XtalkDistance),
+		park:  park,
+		scr:   acquireScratch(sys.Device.Qubits),
 		sched: &Schedule{
 			System:       sys,
 			Strategy:     name,
@@ -409,14 +418,25 @@ func (b *builder) emitSlice(events []GateEvent, colors int, delta float64) {
 
 func (b *builder) finish() *Schedule {
 	b.sched.TotalTime = b.now
+	b.releasePooled()
+	return b.sched
+}
+
+// abort returns the builder's pooled resources on an error path (finish
+// does the same for successful compiles); the builder must not be used
+// afterwards.
+func (b *builder) abort() { b.releasePooled() }
+
+func (b *builder) releasePooled() {
 	b.scr.release()
 	b.scr = nil
-	return b.sched
+	b.front.Release()
+	b.front = nil
 }
 
 // sortByCriticality orders ready gate indices by descending criticality
 // (Algorithm 1 line 11), breaking ties by program order.
-func sortByCriticality(ready []int, crit []int) {
+func sortByCriticality(ready []int, crit []int32) {
 	for i := 1; i < len(ready); i++ {
 		for j := i; j > 0; j-- {
 			a, b := ready[j-1], ready[j]

@@ -434,7 +434,7 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestSortByCriticality(t *testing.T) {
-	crit := []int{5, 1, 9, 3}
+	crit := []int32{5, 1, 9, 3}
 	ready := []int{0, 1, 2, 3}
 	sortByCriticality(ready, crit)
 	want := []int{2, 0, 3, 1}

@@ -117,11 +117,11 @@ func applyCrosstalkKicks(st *State, s *schedule.Schedule, sl *schedule.Slice, op
 	for _, e := range sl.ActiveCouplers {
 		active[e] = true
 	}
-	for _, e := range s.System.Device.Edges() {
+	for id, e := range s.System.Device.Edges() {
 		if active[e] {
 			continue
 		}
-		g0 := s.System.Coupling[e]
+		g0 := s.System.G0ByID(int32(id))
 		if s.Gmon {
 			g0 *= s.Residual
 		}
