@@ -5,13 +5,14 @@ GO ?= go
 
 # The committed machine-readable benchmark record for this PR generation
 # (bench-json writes it; bench-regress compares a fresh run against it).
-BENCH_JSON ?= BENCH_4.json
+BENCH_JSON ?= BENCH_5.json
 
 # The benchmarks the regression guard watches: the batch-compilation cold
 # path plus the flat-core hot spots it is built on (crosstalk construction,
-# circuit analysis, frontier drain). Keep the pattern and the package list
-# in lockstep with .github/workflows/ci.yml's bench-regression job.
-BENCH_GUARD_PATTERN = BenchmarkBatchCompile|BenchmarkXtalkBuild|BenchmarkCircuitAnalysis|BenchmarkFrontier
+# circuit analysis, frontier drain, layout/routing). Keep the pattern and
+# the package list in lockstep with .github/workflows/ci.yml's
+# bench-regression job.
+BENCH_GUARD_PATTERN = BenchmarkBatchCompile|BenchmarkXtalkBuild|BenchmarkCircuitAnalysis|BenchmarkFrontier|BenchmarkRoute
 BENCH_GUARD_PKGS = ./internal/bench/ ./internal/xtalk/ ./internal/circuit/
 
 .PHONY: all build test lint bench bench-json bench-regress warm-cache-check

@@ -9,17 +9,24 @@
 //	experiments -cache-file sweep.snap fig9   # second run starts warm
 //
 // Available ids: table1, table2, fig2, fig4, fig6, fig7, fig9, fig10,
-// fig11, fig12, fig13, fig14, fig15, ext-gmon, validation.
+// fig11, fig12, fig13, fig14, fig15, ext-gmon, ext-routers, validation.
+//
+// The layout/routing stage is configurable: -router selects the SWAP
+// insertion algorithm (greedy | lookahead) and -placement overrides every
+// benchmark's natural initial layout (identity | snake | degree).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
 
 	"fastsc/internal/compile"
+	"fastsc/internal/core"
 	"fastsc/internal/expt"
+	"fastsc/internal/mapping"
 )
 
 type runner struct {
@@ -32,9 +39,25 @@ func main() {
 		workers    = flag.Int("workers", 0, "batch-engine worker pool size (0 = GOMAXPROCS)")
 		cacheSize  = flag.Int("cache-size", 0, "solver cache capacity in entries (0 = default)")
 		cacheStats = flag.Bool("cache-stats", false, "print cache hit/miss counters after the run")
-		cacheFile  = flag.String("cache-file", "", "cache snapshot path: loaded before the run (cold start if missing/stale) and saved after it, so repeated sweeps skip recurring solver work")
+		cacheFile  = flag.String("cache-file", "", "cache snapshot path: loaded before the run (cold start if missing/stale) and saved after it, so repeated sweeps skip recurring solver work; a .gz suffix writes it compressed")
+		router     = flag.String("router", "", "routing algorithm for every job: greedy (default) | lookahead")
+		placement  = flag.String("placement", "", "override every benchmark's initial placement: identity | snake | degree (default: per-benchmark)")
 	)
 	flag.Parse()
+
+	if _, err := mapping.NewRouter(mapping.RouterConfig{Algorithm: *router}); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	if *placement != "" && !slices.Contains(mapping.PlacementNames(), *placement) {
+		fmt.Fprintf(os.Stderr, "experiments: unknown placement %q (want one of %v)\n",
+			*placement, mapping.PlacementNames())
+		os.Exit(2)
+	}
+	expt.Routing = expt.RoutingOptions{
+		Router:    mapping.RouterConfig{Algorithm: *router},
+		Placement: core.Placement(*placement),
+	}
 
 	// One shared context for the whole run: every experiment's jobs reuse
 	// the same SMT solutions, crosstalk graphs and slice colorings.
@@ -114,6 +137,14 @@ func main() {
 		{"fig15", func(*compile.Context) error { show(expt.Fig15Chevrons()); return nil }},
 		{"ext-gmon", func(ctx *compile.Context) error {
 			r, err := expt.ExtGmonDynamic(ctx)
+			if err != nil {
+				return err
+			}
+			show(r.Table)
+			return nil
+		}},
+		{"ext-routers", func(ctx *compile.Context) error {
+			r, err := expt.ExtRouterComparison(ctx)
 			if err != nil {
 				return err
 			}

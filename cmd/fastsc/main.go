@@ -15,12 +15,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"text/tabwriter"
 
 	"fastsc/internal/bench"
 	"fastsc/internal/circuit"
 	"fastsc/internal/compile"
 	"fastsc/internal/core"
+	"fastsc/internal/mapping"
 	"fastsc/internal/phys"
 	"fastsc/internal/qasm"
 	"fastsc/internal/schedule"
@@ -42,10 +44,19 @@ func main() {
 		residual  = flag.Float64("residual", 0, "gmon residual coupling factor r")
 		dist      = flag.Int("distance", 0, "crosstalk distance d (0 = default 2)")
 		workers   = flag.Int("workers", 0, "batch-engine worker pool size for -compare (0 = GOMAXPROCS)")
-		cacheFile = flag.String("cache-file", "", "cache snapshot path: loaded before compiling (cold start if missing/stale) and saved afterwards")
+		cacheFile = flag.String("cache-file", "", "cache snapshot path: loaded before compiling (cold start if missing/stale) and saved afterwards; a .gz suffix writes it compressed")
+		router    = flag.String("router", "", "routing algorithm: greedy (default) | lookahead")
+		place     = flag.String("placement", "", "initial placement: identity | snake | degree (default: benchmark's natural choice)")
 		verbose   = flag.Bool("verbose", false, "print every slice with its frequencies")
 	)
 	flag.Parse()
+
+	if _, err := mapping.NewRouter(mapping.RouterConfig{Algorithm: *router}); err != nil {
+		fatal(err)
+	}
+	if *place != "" && !slices.Contains(mapping.PlacementNames(), *place) {
+		fatal(fmt.Errorf("unknown placement %q (want one of %v)", *place, mapping.PlacementNames()))
+	}
 
 	dev, err := buildDevice(*topo, *n)
 	if err != nil {
@@ -74,8 +85,12 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *place != "" {
+		placement = core.Placement(*place)
+	}
 	cfg := core.Config{
 		Placement: placement,
+		Router:    mapping.RouterConfig{Algorithm: *router},
 		Schedule: schedule.Options{
 			MaxColors:     *maxColors,
 			Residual:      *residual,
@@ -152,7 +167,7 @@ func buildCircuit(name string, n, cycles int, dev *topology.Device, seed int64) 
 		}
 		return bench.XEB(dev, cycles, seed), core.PlaceIdentity, nil
 	}
-	return nil, 0, fmt.Errorf("unknown benchmark %q", name)
+	return nil, core.PlaceIdentity, fmt.Errorf("unknown benchmark %q", name)
 }
 
 func runComparison(ctx *compile.Context, circ *circuit.Circuit, sys *phys.System, cfg core.Config) {
@@ -175,12 +190,14 @@ func runComparison(ctx *compile.Context, circ *circuit.Circuit, sys *phys.System
 func printResult(strategy string, dev *topology.Device, circ *circuit.Circuit, res *core.Result, verbose bool) {
 	fmt.Printf("device:        %s (%d qubits, %d couplers)\n",
 		dev.Name, dev.Qubits, dev.Coupling.NumEdges())
+	// Depth via the flat analyzed-circuit IR, not the reference ASAPLayers.
 	fmt.Printf("circuit:       %d gates (%d two-qubit), depth %d\n",
-		circ.NumGates(), circ.TwoQubitGateCount(), circ.Depth())
+		circ.NumGates(), circ.TwoQubitGateCount(), circuit.Analyze(circ).Depth())
 	fmt.Printf("strategy:      %s\n", strategy)
 	fmt.Printf("routing swaps: %d\n", res.SwapCount)
-	fmt.Printf("schedule:      %d slices, %.0f ns, max %d colors\n",
-		res.Schedule.Depth(), res.Schedule.TotalTime, res.Schedule.MaxColorsUsed)
+	fmt.Printf("schedule:      %d slices, %.0f ns, max %d colors (compiled asap depth %d)\n",
+		res.Schedule.Depth(), res.Schedule.TotalTime, res.Schedule.MaxColorsUsed,
+		res.Schedule.CompiledDepth)
 	fmt.Printf("compile time:  %s\n", res.CompileTime)
 	r := res.Report
 	fmt.Printf("success:       %.4g\n", r.Success)

@@ -72,6 +72,29 @@
 // in coupler-id order, which preserves the signatures the old map-based
 // iteration produced.
 //
+// # Layout and routing
+//
+// internal/mapping is the pluggable layout/routing subsystem. A
+// mapping.Router translates a logical circuit onto a device's physical
+// qubits through SWAP insertion: GreedyRouter (the default) walks each
+// uncoupled gate's operands together along the lexicographically smallest
+// shortest path — resolved against the device graph's cached, lazily
+// built DistanceMatrix (graph.Graph.Distances) instead of a per-gate BFS
+// — and LookaheadRouter runs a SABRE-style swap search scoring candidate
+// SWAPs over the blocked dependency frontier plus a decaying extended
+// window of upcoming gates (window and decay configurable), which roughly
+// halves the SWAP count on random-interaction workloads like QAOA.
+// Initial placements are pluggable too: identity, snake (boustrophedon
+// chains) and degree (high-interaction logical qubits, per the Analysis
+// interaction counts, seated on high-degree physical qubits). Both
+// routers are deterministic, so routed results are shareable: the compile
+// cache's route region memoizes one immutable mapping.Result per
+// (circuit signature, device signature, placement, router config) —
+// process-local like circ, size-aware via ApproxSize — and
+// core.CompileCtx routes through it, so the 5–7 strategies of a batch
+// route each circuit once. Both CLIs expose -router and -placement; the
+// ext-routers experiment tabulates the greedy/lookahead comparison.
+//
 // # Analyzed-circuit IR
 //
 // circuit.Analyze computes the analyzed-circuit IR once per circuit: CSR

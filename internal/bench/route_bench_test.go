@@ -1,0 +1,67 @@
+package bench_test
+
+import (
+	"testing"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/expt"
+	"fastsc/internal/mapping"
+	"fastsc/internal/topology"
+)
+
+// routeWorkload is one Fig 9 circuit with its device and natural placement,
+// prebuilt so the benchmark times routing alone.
+type routeWorkload struct {
+	circ    *circuit.Circuit
+	dev     *topology.Device
+	initial *mapping.Mapping
+}
+
+func routeWorkloads(b *testing.B) []routeWorkload {
+	b.Helper()
+	var out []routeWorkload
+	for _, bm := range expt.Suite() {
+		dev := topology.SquareGrid(bm.Qubits)
+		circ := bm.Circuit(dev)
+		initial, err := mapping.InitialMapping(string(bm.Placement), circ, nil, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, routeWorkload{circ: circ, dev: dev, initial: initial})
+	}
+	return out
+}
+
+// BenchmarkRoute times the layout/routing stage over the full Fig 9
+// workload set for each router — the work the compile cache's route region
+// memoizes away for all but the first strategy of a batch. The greedy
+// variant is the hot path of every default compile; the lookahead variant
+// bounds the cost of the swap search. Distance matrices are warmed first
+// (they are cached per device), so the numbers isolate routing itself.
+func BenchmarkRoute(b *testing.B) {
+	work := routeWorkloads(b)
+	for _, w := range work {
+		w.dev.Coupling.Distances()
+	}
+	routers := map[string]mapping.Router{
+		"greedy":    &mapping.GreedyRouter{},
+		"lookahead": &mapping.LookaheadRouter{},
+	}
+	for _, name := range []string{"greedy", "lookahead"} {
+		r := routers[name]
+		b.Run(name, func(b *testing.B) {
+			swaps := 0
+			for i := 0; i < b.N; i++ {
+				swaps = 0
+				for _, w := range work {
+					res, err := r.Route(w.circ, nil, w.dev, w.initial)
+					if err != nil {
+						b.Fatal(err)
+					}
+					swaps += res.SwapCount
+				}
+			}
+			b.ReportMetric(float64(swaps), "swaps")
+		})
+	}
+}

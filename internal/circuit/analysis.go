@@ -45,6 +45,10 @@ type Analysis struct {
 	// gates. The frontier's head checks read these instead of chasing the
 	// Gate.Qubits slices.
 	gq [][2]int32
+
+	// inter[q] counts the two-qubit gates touching qubit q — the
+	// interaction degree the degree-matching placement reads.
+	inter []int32
 }
 
 // Analyze computes the full dependency analysis of c. The result is
@@ -66,6 +70,7 @@ func AnalyzeWithSignature(c *Circuit, sig string) *Analysis {
 		stream:    make([]int32, 0),
 		crit:      make([]int32, n),
 		gq:        make([][2]int32, n),
+		inter:     make([]int32, c.NumQubits),
 	}
 
 	// Operand table + stream counting pass.
@@ -75,6 +80,8 @@ func AnalyzeWithSignature(c *Circuit, sig string) *Analysis {
 		a.gq[i][1] = -1
 		if len(g.Qubits) == 2 {
 			a.gq[i][1] = int32(g.Qubits[1])
+			a.inter[g.Qubits[0]]++
+			a.inter[g.Qubits[1]]++
 		}
 		for _, q := range g.Qubits {
 			a.streamOff[q+1]++
@@ -183,10 +190,23 @@ func (a *Analysis) QubitStream(q int) []int32 {
 // Criticality returns the per-gate criticality, shared read-only.
 func (a *Analysis) Criticality() []int32 { return a.crit }
 
+// Operands returns gate i's operand qubits; q1 is -1 for single-qubit
+// gates. Routers walk the gate list through this flat table instead of
+// chasing the Gate.Qubits slices.
+func (a *Analysis) Operands(i int) (q0, q1 int) {
+	return int(a.gq[i][0]), int(a.gq[i][1])
+}
+
+// InteractionCounts returns, per qubit, the number of two-qubit gates
+// touching it — the circuit's interaction degree. The degree-matching
+// placement seats high-interaction logical qubits on high-degree physical
+// qubits using it. Shared read-only.
+func (a *Analysis) InteractionCounts() []int32 { return a.inter }
+
 // ApproxSize reports the approximate in-memory footprint in bytes; the
 // compile cache's size-aware eviction weighs analyses by it.
 func (a *Analysis) ApproxSize() int {
-	return 4*(len(a.streamOff)+len(a.stream)+len(a.layerOff)+len(a.layer)+len(a.crit)) +
+	return 4*(len(a.streamOff)+len(a.stream)+len(a.layerOff)+len(a.layer)+len(a.crit)+len(a.inter)) +
 		8*len(a.gq) + len(a.Sig) + 96
 }
 

@@ -263,3 +263,41 @@ func TestAnalysisSignatureContent(t *testing.T) {
 		}
 	}
 }
+
+// TestAnalysisInteractionCounts pins the exported interaction counts to a
+// direct count over the gate list, and Operands to the Gate operand
+// slices, on randomized circuits.
+func TestAnalysisInteractionCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 50; iter++ {
+		c := randomCircuit(rng, 2+rng.Intn(6), rng.Intn(40))
+		a := Analyze(c)
+		want := make([]int32, c.NumQubits)
+		for i, g := range c.Gates {
+			if len(g.Qubits) == 2 {
+				want[g.Qubits[0]]++
+				want[g.Qubits[1]]++
+			}
+			q0, q1 := a.Operands(i)
+			if q0 != g.Qubits[0] {
+				t.Fatalf("Operands(%d) first = %d, want %d", i, q0, g.Qubits[0])
+			}
+			if len(g.Qubits) == 2 {
+				if q1 != g.Qubits[1] {
+					t.Fatalf("Operands(%d) second = %d, want %d", i, q1, g.Qubits[1])
+				}
+			} else if q1 != -1 {
+				t.Fatalf("Operands(%d) second = %d for a 1q gate, want -1", i, q1)
+			}
+		}
+		got := a.InteractionCounts()
+		if len(got) != len(want) {
+			t.Fatalf("InteractionCounts length %d, want %d", len(got), len(want))
+		}
+		for q := range want {
+			if got[q] != want[q] {
+				t.Fatalf("qubit %d interaction count %d, want %d", q, got[q], want[q])
+			}
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 
+	"fastsc/internal/circuit"
+	"fastsc/internal/mapping"
 	"fastsc/internal/phys"
 	"fastsc/internal/smt"
 	"fastsc/internal/topology"
@@ -37,6 +39,13 @@ const (
 	// persisted): an analysis rebuilds in microseconds and holds
 	// pointer-heavy flat tables that would bloat snapshots.
 	RegionCircuit = "circ"
+	// RegionRoute holds routed circuits (mapping.Result) keyed by
+	// (circuit signature, device signature, placement, router config), so
+	// the 5–7 strategies of a batch route each circuit once instead of
+	// once per strategy. Process-local like RegionCircuit: a Result holds
+	// a pointer-heavy circuit that re-routes in microseconds and would
+	// bloat snapshots.
+	RegionRoute = "route"
 )
 
 // KeyVersion is the version of the cache-key scheme, folded into SliceKey
@@ -50,8 +59,11 @@ const (
 // reads them). v2 encodes the exact vertex set and hashes coordinates.
 // v3 accompanies the dense phys.System rewrite: SystemSignature reads the
 // per-coupler slice (same values, Edges() order) and the circ region was
-// added, keyed by the circuit content signature.
-const KeyVersion = 3
+// added, keyed by the circuit content signature. v4 accompanies the
+// layout/routing subsystem: the route region was added, keyed by
+// (circuit signature, device signature, mapping.Options), and RouteKey
+// normalizes the options (WithDefaults) before encoding.
+const KeyVersion = 4
 
 type hasher struct{ h uint64 }
 
@@ -140,6 +152,24 @@ func SMTKey(k int, cfg smt.Config) string {
 // XtalkKey is the cache key of a crosstalk-graph construction.
 func XtalkKey(dev *topology.Device, distance int) string {
 	return fmt.Sprintf("%s|%d", DeviceSignature(dev), distance)
+}
+
+// RouteKey is the cache key of one layout/routing invocation: the key
+// version, the circuit identity (exact qubit and gate counts plus the
+// content signature — the same discipline as the circ region, so a
+// hypothetical digest collision between differently-shaped circuits can
+// never alias), the device signature, and the normalized mapping options
+// (placement, router algorithm, lookahead window and decay). Placement
+// and algorithm names are fixed identifiers without '|', the signatures
+// are fixed-width hex and the numerics are exact encodings, so distinct
+// configurations can never collide. The reflection guard in key_test.go
+// pins mapping.Options and mapping.RouterConfig to this key.
+func RouteKey(circ *circuit.Circuit, devSig string, opts mapping.Options) string {
+	opts = opts.WithDefaults()
+	return fmt.Sprintf("v%d|%d|%d|%s|%s|%s|%s|%d|%x",
+		KeyVersion, circ.NumQubits, len(circ.Gates), circ.Signature(), devSig,
+		opts.Placement, opts.Router.Algorithm, opts.Router.Window,
+		math.Float64bits(opts.Router.Decay))
 }
 
 // SliceKey returns the canonical cache key of one slice-solve: the key

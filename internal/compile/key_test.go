@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"fastsc/internal/circuit"
+	"fastsc/internal/mapping"
 	"fastsc/internal/phys"
 	"fastsc/internal/smt"
 	"fastsc/internal/topology"
@@ -135,6 +136,65 @@ func TestKeySchemaDrift(t *testing.T) {
 		"NumQubits", "Gates")
 	assertExactFields(t, reflect.TypeOf(circuit.Gate{}), "circuit.Signature",
 		"Kind", "Qubits", "Theta")
+
+	// The route region is keyed by RouteKey, which folds the circuit and
+	// device signatures plus every mapping.Options field: the placement
+	// name and the full router config (algorithm, lookahead window and
+	// decay).
+	assertExactFields(t, reflect.TypeOf(mapping.Options{}), "RouteKey",
+		"Placement", "Router")
+	assertExactFields(t, reflect.TypeOf(mapping.RouterConfig{}), "RouteKey",
+		"Algorithm", "Window", "Decay")
+}
+
+// TestRouteKeyDistinguishesConfigs checks RouteKey injectivity across the
+// configuration dimensions and its normalization: configurations that
+// WithDefaults maps to the same effective pipeline share a key, every
+// other pair differs, and the key carries the key-scheme version plus the
+// exact circuit dimensions (the circ-region discipline: a digest
+// collision between differently-shaped circuits can never alias).
+func TestRouteKeyDistinguishesConfigs(t *testing.T) {
+	circ := circuit.New(4)
+	circ.H(0).CZ(0, 1).CZ(2, 3)
+	seen := map[string]string{}
+	record := func(label string, o mapping.Options) {
+		k := RouteKey(circ, "dsig", o)
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("configs %q and %q share route key %q", prev, label, k)
+		}
+		seen[k] = label
+	}
+	record("default", mapping.Options{})
+	record("snake", mapping.Options{Placement: mapping.PlaceSnake})
+	record("degree", mapping.Options{Placement: mapping.PlaceDegree})
+	record("lookahead", mapping.Options{Router: mapping.RouterConfig{Algorithm: mapping.RouterLookahead}})
+	record("lookahead-w4", mapping.Options{Router: mapping.RouterConfig{Algorithm: mapping.RouterLookahead, Window: 4}})
+	record("lookahead-d.25", mapping.Options{Router: mapping.RouterConfig{Algorithm: mapping.RouterLookahead, Decay: 0.25}})
+
+	// Normalization: the zero value, the explicit defaults, and a greedy
+	// config with stale lookahead tuning all name the same pipeline.
+	def := RouteKey(circ, "dsig", mapping.Options{})
+	for label, o := range map[string]mapping.Options{
+		"explicit":     {Placement: mapping.PlaceIdentity, Router: mapping.RouterConfig{Algorithm: mapping.RouterGreedy}},
+		"stale-tuning": {Router: mapping.RouterConfig{Algorithm: mapping.RouterGreedy, Window: 9, Decay: 0.9}},
+	} {
+		if k := RouteKey(circ, "dsig", o); k != def {
+			t.Fatalf("%s config key %q != default key %q", label, k, def)
+		}
+	}
+	if want := fmt.Sprintf("v%d|", KeyVersion); !strings.HasPrefix(def, want) {
+		t.Fatalf("route key %q does not carry version prefix %q", def, want)
+	}
+	// Distinct circuits and devices must never alias, and the key encodes
+	// the exact qubit and gate counts ahead of the digest.
+	other := circuit.New(4)
+	other.H(0).CZ(0, 1).CZ(2, 3).H(3)
+	if RouteKey(other, "dsig", mapping.Options{}) == def || RouteKey(circ, "dsig2", mapping.Options{}) == def {
+		t.Fatal("route key ignores the circuit or device identity")
+	}
+	if want := fmt.Sprintf("v%d|%d|%d|", KeyVersion, circ.NumQubits, len(circ.Gates)); !strings.HasPrefix(def, want) {
+		t.Fatalf("route key %q does not encode the exact circuit dimensions %q", def, want)
+	}
 }
 
 // TestAnalysisMemoSharesAcrossAllocations checks the circ region's
@@ -166,6 +226,62 @@ func TestAnalysisMemoSharesAcrossAllocations(t *testing.T) {
 	var nilCtx *Context
 	if nilCtx.Analysis(build()) == nil {
 		t.Fatal("nil-context Analysis must still analyze")
+	}
+}
+
+// TestRouteMemoShares checks the route region's contract: content-
+// identical circuits on the same device and options share one routed
+// Result across allocations; a different placement, router, circuit or
+// device resolves to a different entry; and a nil context still routes.
+func TestRouteMemoShares(t *testing.T) {
+	build := func() *circuit.Circuit {
+		c := circuit.New(9)
+		c.H(0).CNOT(0, 8).CZ(3, 5)
+		return c
+	}
+	dev := topology.SquareGrid(9)
+	ctx := NewContext(1)
+	r1, err := ctx.Route(build(), dev, mapping.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ctx.Route(build(), dev, mapping.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("content-identical route requests must share one cached Result")
+	}
+	if r1.SwapCount == 0 {
+		t.Fatal("corner-to-corner CNOT should have inserted swaps")
+	}
+	r3, err := ctx.Route(build(), dev, mapping.Options{Placement: mapping.PlaceSnake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Fatal("different placements must not share a route entry")
+	}
+	r4, err := ctx.Route(build(), dev, mapping.Options{Router: mapping.RouterConfig{Algorithm: mapping.RouterLookahead}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 == r1 {
+		t.Fatal("different routers must not share a route entry")
+	}
+	st := ctx.Stats()[RegionRoute]
+	if st.Hits != 1 || st.Misses != 3 {
+		t.Fatalf("route region stats = %+v, want 1 hit / 3 misses", st)
+	}
+	var nilCtx *Context
+	if r, err := nilCtx.Route(build(), dev, mapping.Options{}); err != nil || r == nil {
+		t.Fatalf("nil-context Route must still route: %v", err)
+	}
+	// An unroutable request must error and never cache.
+	wide := circuit.New(16)
+	wide.H(0)
+	if _, err := ctx.Route(wide, topology.SquareGrid(9), mapping.Options{}); err == nil {
+		t.Fatal("oversized circuit must fail to route")
 	}
 }
 

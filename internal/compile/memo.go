@@ -5,6 +5,7 @@ import (
 
 	"fastsc/internal/circuit"
 	"fastsc/internal/graph"
+	"fastsc/internal/mapping"
 	"fastsc/internal/smt"
 	"fastsc/internal/topology"
 	"fastsc/internal/xtalk"
@@ -78,6 +79,39 @@ func (c *Context) Analysis(circ *circuit.Circuit) *circuit.Analysis {
 		return circuit.AnalyzeWithSignature(circ, sig), nil
 	})
 	return v.(*circuit.Analysis)
+}
+
+// Route is the memoizing layout/routing stage: the routed circuit of
+// (circuit, device, mapping options) is computed once per process and
+// shared read-only by every strategy compiling that circuit — a 5-strategy
+// batch routes each (circuit, placement, router) exactly once instead of
+// five times. Routing is deterministic, so sharing cannot change output.
+// The route region is process-local like circ (never persisted) and
+// size-aware through mapping.Result.ApproxSize. Routers that read the
+// dependency analysis (lookahead, degree placement) draw it from the circ
+// region, so route and schedule share one Analysis per circuit signature.
+func (c *Context) Route(circ *circuit.Circuit, dev *topology.Device, opts mapping.Options) (*mapping.Result, error) {
+	opts = opts.WithDefaults()
+	cache := c.cache()
+	if cache == nil {
+		var ana *circuit.Analysis
+		if opts.NeedsAnalysis() {
+			ana = c.Analysis(circ)
+		}
+		return mapping.Plan(circ, ana, dev, opts)
+	}
+	key := RouteKey(circ, DeviceSignature(dev), opts)
+	v, err := cache.Do(RegionRoute, key, func() (any, error) {
+		var ana *circuit.Analysis
+		if opts.NeedsAnalysis() {
+			ana = c.Analysis(circ)
+		}
+		return mapping.Plan(circ, ana, dev, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*mapping.Result), nil
 }
 
 // SliceSolution is a cached per-slice solver outcome: the coloring of the

@@ -2,10 +2,13 @@ package compile
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"fastsc/internal/smt"
 )
@@ -31,11 +34,16 @@ const snapshotMagic = "fastsc-cache-snapshot"
 // process-independent. SMT solves, static palettes, parking assignments
 // and slice solutions are pure functions of content-hashed inputs (system
 // signatures, exact vertex sets), so an entry written by one process is
-// valid in every other. RegionXtalk and RegionCircuit are excluded:
-// crosstalk graphs and circuit analyses hold pointer-heavy flat tables
-// that rebuild in milliseconds (or microseconds) and would dominate the
-// snapshot size.
+// valid in every other. RegionXtalk, RegionCircuit and RegionRoute are
+// excluded: crosstalk graphs, circuit analyses and routed circuits hold
+// pointer-heavy structures that rebuild in milliseconds (or microseconds)
+// and would dominate the snapshot size.
 var PersistRegions = []string{RegionSMT, RegionStatic, RegionParking, RegionSlice}
+
+// gzipSuffix marks snapshot paths Save writes gzip-compressed. Load does
+// not consult the name: it sniffs the gzip magic bytes, so compressed and
+// plain snapshots are interchangeable on the read side.
+const gzipSuffix = ".gz"
 
 // RegisterSnapshotType registers a concrete type stored in the
 // opaque-valued static region with the snapshot codec, so Save can encode
@@ -106,11 +114,13 @@ func fromPersistedSMT(p persistedSMT) smtResult {
 }
 
 // Save writes a versioned snapshot of the process-independent cache
-// regions (PersistRegions) to path, atomically (temp file + rename).
-// Static-region entries whose values cannot be gob-encoded — an
-// unregistered provider type — are skipped silently: a snapshot is a
-// best-effort warm start, never a source of truth. Save on a nil cache is
-// a no-op.
+// regions (PersistRegions) to path, atomically (temp file + rename). A
+// path ending in ".gz" is written gzip-compressed (gob streams of
+// repetitive float tables compress several-fold); Load auto-detects the
+// compression regardless of name. Static-region entries whose values
+// cannot be gob-encoded — an unregistered provider type — are skipped
+// silently: a snapshot is a best-effort warm start, never a source of
+// truth. Save on a nil cache is a no-op.
 func (c *Cache) Save(path string) error {
 	if c == nil {
 		return nil
@@ -140,8 +150,21 @@ func (c *Cache) Save(path string) error {
 		snap.Static = append(snap.Static, diskEntry{Key: k, Blob: blob.Bytes()})
 	}
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+	var enc *gob.Encoder
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, gzipSuffix) {
+		gz = gzip.NewWriter(&buf)
+		enc = gob.NewEncoder(gz)
+	} else {
+		enc = gob.NewEncoder(&buf)
+	}
+	if err := enc.Encode(snap); err != nil {
 		return fmt.Errorf("compile: encode cache snapshot: %w", err)
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return fmt.Errorf("compile: encode cache snapshot: %w", err)
+		}
 	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
@@ -155,7 +178,9 @@ func (c *Cache) Save(path string) error {
 }
 
 // Load restores a snapshot written by Save into the cache and returns the
-// number of entries restored. Degradation is deliberate and silent: a
+// number of entries restored. Compressed snapshots are detected by their
+// gzip magic bytes, not their name, so a ".gz" snapshot renamed plain (or
+// vice versa) still loads. Degradation is deliberate and silent: a
 // missing file, a corrupt or truncated snapshot, a version or key-version
 // mismatch, or an undecodable static entry all leave the cache cold (or
 // partially warm) and return nil — a compilation must never fail because
@@ -172,8 +197,17 @@ func (c *Cache) Load(path string) (int, error) {
 		}
 		return 0, fmt.Errorf("compile: read cache snapshot: %w", err)
 	}
+	var src io.Reader = bytes.NewReader(data)
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b { // gzip magic
+		gz, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return 0, nil // corrupt: cold start
+		}
+		defer gz.Close()
+		src = gz
+	}
 	var snap diskSnapshot
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(src).Decode(&snap); err != nil {
 		return 0, nil // corrupt: cold start
 	}
 	if snap.Magic != snapshotMagic || snap.Version != SnapshotVersion || snap.KeyVersion != KeyVersion {

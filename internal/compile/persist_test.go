@@ -92,6 +92,75 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotGzipRoundTrip checks the compressed snapshot path: a ".gz"
+// path writes a genuinely gzip-compressed stream, Load restores it by
+// sniffing the magic bytes (not the name), and a truncated compressed
+// snapshot degrades to a cold cache like any other corruption.
+func TestSnapshotGzipRoundTrip(t *testing.T) {
+	c := NewCache(0)
+	c.Put(RegionSMT, "ok", smtResult{xs: []float64{6.1, 6.4}, delta: 0.25})
+	c.Put(RegionParking, "sys1", []float64{5.1, 5.2})
+	c.Put(RegionSlice, "v2|sig|2|2|1,1", SliceSolution{
+		Coloring:  graph.Coloring{0, 1},
+		NumColors: 2,
+		Assign:    []float64{6.2, 6.6},
+		Delta:     0.3,
+	})
+
+	dir := t.TempDir()
+	gzPath := filepath.Join(dir, "cache.snap.gz")
+	plainPath := filepath.Join(dir, "cache.snap")
+	if err := c.Save(gzPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(plainPath); err != nil {
+		t.Fatal(err)
+	}
+	gzData, err := os.ReadFile(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gzData) < 2 || gzData[0] != 0x1f || gzData[1] != 0x8b {
+		t.Fatal("gz snapshot does not start with the gzip magic")
+	}
+	plainData, err := os.ReadFile(plainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gzData) >= len(plainData) {
+		t.Fatalf("compressed snapshot (%d B) not smaller than plain (%d B)", len(gzData), len(plainData))
+	}
+
+	warm := NewCache(0)
+	if n, err := warm.Load(gzPath); err != nil || n != 3 {
+		t.Fatalf("compressed load: n=%d err=%v, want 3 entries", n, err)
+	}
+	if v, ok := warm.Get(RegionParking, "sys1"); !ok || !reflect.DeepEqual(v, []float64{5.1, 5.2}) {
+		t.Fatalf("parking entry corrupted after compressed round trip: %v (%v)", v, ok)
+	}
+
+	// Auto-detection is content-based: the compressed stream loads from a
+	// name without the suffix too.
+	renamed := filepath.Join(dir, "renamed.snap")
+	if err := os.Rename(gzPath, renamed); err != nil {
+		t.Fatal(err)
+	}
+	warm2 := NewCache(0)
+	if n, err := warm2.Load(renamed); err != nil || n != 3 {
+		t.Fatalf("renamed compressed load: n=%d err=%v, want 3 entries", n, err)
+	}
+
+	// Truncation corrupts the gzip stream: cold start, no error.
+	trunc := filepath.Join(dir, "trunc.snap.gz")
+	if err := os.WriteFile(trunc, gzData[:len(gzData)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewCache(0)
+	if n, err := cold.Load(trunc); n != 0 || err != nil || cold.Len() != 0 {
+		t.Fatalf("truncated compressed snapshot: n=%d err=%v len=%d, want cold start", n, err, cold.Len())
+	}
+}
+
 func TestSnapshotLoadMissingFileIsCold(t *testing.T) {
 	c := NewCache(0)
 	n, err := c.Load(filepath.Join(t.TempDir(), "nope.snap"))

@@ -38,16 +38,22 @@ func Strategies() []string {
 	return []string{BaselineN, BaselineG, BaselineU, BaselineS, ColorDynamic}
 }
 
-// Placement selects the initial logical-to-physical embedding.
-type Placement int
+// Placement names the initial logical-to-physical embedding strategy; the
+// names are mapping's placement identifiers and the zero value means
+// PlaceIdentity.
+type Placement string
 
 const (
 	// PlaceIdentity maps logical qubit i to physical qubit i.
-	PlaceIdentity Placement = iota
+	PlaceIdentity Placement = mapping.PlaceIdentity
 	// PlaceSnake lays logical qubits along the device's boustrophedon
 	// order, the natural embedding for chain-structured circuits (ISING,
 	// QGAN).
-	PlaceSnake
+	PlaceSnake Placement = mapping.PlaceSnake
+	// PlaceDegree seats high-interaction logical qubits on high-degree
+	// physical qubits (greedy degree matching over the circuit's
+	// interaction counts).
+	PlaceDegree Placement = mapping.PlaceDegree
 )
 
 // Config tunes a compilation run. The zero value uses the paper's defaults.
@@ -60,6 +66,14 @@ type Config struct {
 	Noise *noise.Options
 	// Placement selects the initial embedding (default PlaceIdentity).
 	Placement Placement
+	// Router selects and tunes the routing algorithm; the zero value is
+	// the greedy shortest-path SWAP inserter (mapping.RouterGreedy).
+	Router mapping.RouterConfig
+}
+
+// routing assembles the mapping options of a run.
+func (c Config) routing() mapping.Options {
+	return mapping.Options{Placement: string(c.Placement), Router: c.Router}
 }
 
 // Result bundles everything a compilation produces.
@@ -91,11 +105,10 @@ func CompileCtx(ctx *compile.Context, circ *circuit.Circuit, sys *phys.System, s
 	}
 
 	start := time.Now()
-	var initial *mapping.Mapping
-	if cfg.Placement == PlaceSnake {
-		initial = mapping.FromOrder(circ.NumQubits, mapping.SnakeOrder(sys.Device), sys.Device.Qubits)
-	}
-	routed, err := mapping.Route(circ, sys.Device, initial)
+	// Layout + routing run through the compile cache's route region: the
+	// 5–7 strategies of a batch share one routed circuit per (circuit,
+	// placement, router) instead of re-routing per strategy.
+	routed, err := ctx.Route(circ, sys.Device, cfg.routing())
 	if err != nil {
 		return nil, err
 	}

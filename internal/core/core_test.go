@@ -5,6 +5,8 @@ import (
 
 	"fastsc/internal/bench"
 	"fastsc/internal/circuit"
+	"fastsc/internal/compile"
+	"fastsc/internal/mapping"
 	"fastsc/internal/noise"
 	"fastsc/internal/phys"
 	"fastsc/internal/schedule"
@@ -136,5 +138,97 @@ func TestStrategiesList(t *testing.T) {
 		if schedule.ByName(s) == nil {
 			t.Fatalf("strategy %q not registered in schedule package", s)
 		}
+	}
+}
+
+// TestBatchRoutesOncePerCircuit is the route-region acceptance check: a
+// 5-strategy batch over one circuit routes it exactly once (1 miss, 4
+// hits — an 80% hit rate), and the cached route produces schedules
+// identical to an uncached compile.
+func TestBatchRoutesOncePerCircuit(t *testing.T) {
+	sys := sys9()
+	c := bench.QAOA(9, 3)
+	// One worker makes the hit/miss accounting deterministic (with a
+	// parallel pool the single-flight layer still computes once, but
+	// concurrent callers each record a miss).
+	ctx := compile.NewContext(1)
+	results, err := CompileAllCtx(ctx, c, sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ctx.Stats()[compile.RegionRoute]
+	if st.Misses != 1 || st.Hits != 4 {
+		t.Fatalf("route region stats %+v, want exactly 1 miss / 4 hits (80%% hit rate)", st)
+	}
+	if rate := st.HitRate(); rate < 0.8 {
+		t.Fatalf("route hit rate %.2f, want >= 0.80", rate)
+	}
+	// Shared routing must not change output: compare against uncached
+	// per-strategy compiles.
+	for _, s := range Strategies() {
+		plain, err := Compile(c, sys, s, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := results[s]
+		if got.SwapCount != plain.SwapCount {
+			t.Fatalf("%s: swap count %d != uncached %d", s, got.SwapCount, plain.SwapCount)
+		}
+		if got.Schedule.Depth() != plain.Schedule.Depth() ||
+			got.Schedule.TotalTime != plain.Schedule.TotalTime ||
+			got.Schedule.CompiledDepth != plain.Schedule.CompiledDepth {
+			t.Fatalf("%s: cached-route schedule diverges from uncached", s)
+		}
+		for i := range got.Schedule.Slices {
+			a, b := got.Schedule.Slices[i], plain.Schedule.Slices[i]
+			if len(a.Gates) != len(b.Gates) || a.Duration != b.Duration {
+				t.Fatalf("%s: slice %d differs between cached and uncached routing", s, i)
+			}
+		}
+	}
+}
+
+// TestConfigRouterSelectsLookahead checks the Config.Router surface: the
+// lookahead router compiles end to end and reduces the QAOA swap count
+// relative to the default greedy router.
+func TestConfigRouterSelectsLookahead(t *testing.T) {
+	sys := sys9()
+	c := bench.QAOA(9, 7)
+	greedy, err := Compile(c, sys, ColorDynamic, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	look, err := Compile(c, sys, ColorDynamic, Config{
+		Router: mapping.RouterConfig{Algorithm: mapping.RouterLookahead},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := look.Schedule.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if look.SwapCount > greedy.SwapCount {
+		t.Fatalf("lookahead swaps %d > greedy %d on QAOA", look.SwapCount, greedy.SwapCount)
+	}
+	if _, err := Compile(c, sys, ColorDynamic, Config{
+		Router: mapping.RouterConfig{Algorithm: "bogus"},
+	}); err == nil {
+		t.Fatal("unknown router must fail compilation")
+	}
+}
+
+// TestDegreePlacementConfig drives the new placement through core.Config.
+func TestDegreePlacementConfig(t *testing.T) {
+	sys := sys9()
+	c := bench.BV(9, 3)
+	res, err := Compile(c, sys, ColorDynamic, Config{Placement: PlaceDegree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(c, sys, ColorDynamic, Config{Placement: "spiral"}); err == nil {
+		t.Fatal("unknown placement must fail compilation")
 	}
 }

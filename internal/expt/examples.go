@@ -27,7 +27,7 @@ func Fig6Toy() (*Table, error) {
 		Columns: []string{"strategy", "slice", "gates", "interaction freqs (GHz)", "min sep (GHz)"},
 	}
 	for _, strat := range []string{core.BaselineN, core.ColorDynamic} {
-		res, err := core.Compile(c, sys, strat, core.Config{})
+		res, err := core.Compile(c, sys, strat, routingConfig(core.PlaceIdentity))
 		if err != nil {
 			return nil, err
 		}
@@ -79,7 +79,7 @@ func Fig6Toy() (*Table, error) {
 func Fig14ExampleFrequencies() (*Table, error) {
 	sys := GridSystem(16)
 	circ := bench.XEB(sys.Device, 1, benchSeed)
-	res, err := core.Compile(circ, sys, core.ColorDynamic, core.Config{})
+	res, err := core.Compile(circ, sys, core.ColorDynamic, routingConfig(core.PlaceIdentity))
 	if err != nil {
 		return nil, err
 	}

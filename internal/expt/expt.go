@@ -10,6 +10,7 @@ import (
 
 	"fastsc/internal/circuit"
 	"fastsc/internal/core"
+	"fastsc/internal/mapping"
 	"fastsc/internal/phys"
 	"fastsc/internal/topology"
 )
@@ -77,6 +78,36 @@ func GridSystem(n int) *phys.System {
 func SystemFor(dev *topology.Device) *phys.System {
 	return phys.NewSystem(dev, phys.DefaultParams(), DeviceSeed)
 }
+
+// RoutingOptions is the layout/routing configuration applied to every
+// experiment job (cmd/experiments' -router/-placement flags set Routing).
+// The zero value reproduces the paper: the greedy shortest-path router and
+// each benchmark's natural placement.
+type RoutingOptions struct {
+	// Router selects and tunes the routing algorithm for every job.
+	Router mapping.RouterConfig
+	// Placement, when non-empty, overrides every benchmark's natural
+	// placement (identity for most, snake for the chain workloads).
+	Placement core.Placement
+}
+
+// Routing is the process-wide routing configuration the experiment
+// builders fold into every job via jobConfig.
+var Routing RoutingOptions
+
+// routingConfig returns a core.Config carrying the current Routing
+// configuration over a benchmark's natural placement.
+func routingConfig(natural core.Placement) core.Config {
+	cfg := core.Config{Placement: natural, Router: Routing.Router}
+	if Routing.Placement != "" {
+		cfg.Placement = Routing.Placement
+	}
+	return cfg
+}
+
+// jobConfig returns the core.Config of one benchmark job under the current
+// Routing configuration.
+func jobConfig(b Benchmark) core.Config { return routingConfig(b.Placement) }
 
 // Benchmark describes one evaluation workload (a Table II entry instance).
 type Benchmark struct {

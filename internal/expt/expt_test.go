@@ -306,3 +306,38 @@ func sscan(s string, v *float64) (int, error) {
 func fmtSscan(s string, v *float64) (int, error) {
 	return fmt.Sscan(s, v)
 }
+
+func TestExtRouterComparisonClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("router-comparison sweep in -short mode")
+	}
+	r, err := ExtRouterComparison(exptCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != len(extRouterSuite()) {
+		t.Fatalf("rows = %d, want %d", len(r.Table.Rows), len(extRouterSuite()))
+	}
+	// The lookahead router must never insert more SWAPs than greedy on
+	// this suite, and must strictly win on the random-MAX-CUT QAOA
+	// workloads that stress routing (the acceptance claim).
+	strictQAOAWin := false
+	for name, sw := range r.Swaps {
+		g, l := sw["greedy"], sw["lookahead"]
+		if l > g {
+			t.Fatalf("%s: lookahead swaps %d > greedy %d", name, l, g)
+		}
+		if strings.HasPrefix(name, "qaoa") && g > 2 && l < g {
+			strictQAOAWin = true
+		}
+	}
+	if !strictQAOAWin {
+		t.Fatal("lookahead should strictly reduce SwapCount on a QAOA workload")
+	}
+	// Fewer swaps must show up as shallower or equal ColorDynamic
+	// schedules on the big QAOA instance.
+	if r.Depth["qaoa(16)"]["lookahead"] > r.Depth["qaoa(16)"]["greedy"] {
+		t.Fatalf("qaoa(16): lookahead depth %d > greedy %d",
+			r.Depth["qaoa(16)"]["lookahead"], r.Depth["qaoa(16)"]["greedy"])
+	}
+}

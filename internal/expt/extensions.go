@@ -33,15 +33,14 @@ func ExtGmonDynamic(ctx *compile.Context) (*ExtGmonResult, error) {
 		circ := b.Circuit(sys.Device)
 		for _, s := range strategies {
 			for _, r := range residuals {
+				cfg := jobConfig(b)
+				cfg.Schedule = schedule.Options{Residual: r}
 				jobs = append(jobs, core.BatchJob{
 					Key:      fmt.Sprintf("%s/%s/r=%.1f", b.Name, s, r),
 					Circuit:  circ,
 					System:   sys,
 					Strategy: s,
-					Config: core.Config{
-						Placement: b.Placement,
-						Schedule:  schedule.Options{Residual: r},
-					},
+					Config:   cfg,
 				})
 			}
 		}

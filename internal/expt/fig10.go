@@ -37,7 +37,7 @@ func Fig10DepthDecoherence(ctx *compile.Context) (*Fig10Result, error) {
 				Circuit:  circ,
 				System:   sys,
 				Strategy: s,
-				Config:   core.Config{Placement: b.Placement},
+				Config:   jobConfig(b),
 			})
 		}
 	}

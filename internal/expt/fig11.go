@@ -45,15 +45,14 @@ func Fig11ColorSweep(ctx *compile.Context) (*Fig11Result, error) {
 		sys := GridSystem(b.Qubits)
 		circ := b.Circuit(sys.Device)
 		for _, k := range fig11MaxColors {
+			cfg := jobConfig(b)
+			cfg.Schedule = schedule.Options{MaxColors: k}
 			jobs = append(jobs, core.BatchJob{
 				Key:      fmt.Sprintf("%s/k=%d", b.Name, k),
 				Circuit:  circ,
 				System:   sys,
 				Strategy: core.ColorDynamic,
-				Config: core.Config{
-					Placement: b.Placement,
-					Schedule:  schedule.Options{MaxColors: k},
-				},
+				Config:   cfg,
 			})
 		}
 	}

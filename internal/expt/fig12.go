@@ -38,15 +38,14 @@ func Fig12ResidualCoupling(ctx *compile.Context) (*Fig12Result, error) {
 		sys := GridSystem(b.Qubits)
 		circ := b.Circuit(sys.Device)
 		for _, r := range residuals {
+			cfg := jobConfig(b)
+			cfg.Schedule = schedule.Options{Residual: r}
 			jobs = append(jobs, core.BatchJob{
 				Key:      fmt.Sprintf("%s/r=%.1f", b.Name, r),
 				Circuit:  circ,
 				System:   sys,
 				Strategy: core.BaselineG,
-				Config: core.Config{
-					Placement: b.Placement,
-					Schedule:  schedule.Options{Residual: r},
-				},
+				Config:   cfg,
 			})
 		}
 	}

@@ -77,7 +77,7 @@ func Fig13Connectivity(ctx *compile.Context) (*Fig13Result, error) {
 					Circuit:  circ,
 					System:   sys,
 					Strategy: s,
-					Config:   core.Config{Placement: b.Placement},
+					Config:   jobConfig(b),
 				})
 			}
 		}

@@ -41,7 +41,7 @@ func Fig9SuccessRates(ctx *compile.Context) (*Fig9Result, error) {
 				Circuit:  circ,
 				System:   sys,
 				Strategy: s,
-				Config:   core.Config{Placement: b.Placement},
+				Config:   jobConfig(b),
 			})
 		}
 	}

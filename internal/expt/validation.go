@@ -48,15 +48,14 @@ func ValidationHeuristic(ctx *compile.Context, shots int) (*ValidationResult, er
 		sys := GridSystem(b.Qubits)
 		circ := b.Circuit(sys.Device)
 		for _, strat := range strategies {
+			cfg := jobConfig(b)
+			cfg.Noise = &nopt
 			jobs = append(jobs, core.BatchJob{
 				Key:      b.Name + "/" + strat,
 				Circuit:  circ,
 				System:   sys,
 				Strategy: strat,
-				Config: core.Config{
-					Placement: b.Placement,
-					Noise:     &nopt,
-				},
+				Config:   cfg,
 			})
 		}
 	}

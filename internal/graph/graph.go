@@ -78,6 +78,11 @@ type Graph struct {
 	// any mutation clears it. atomic so concurrent readers of an immutable
 	// graph can build it on demand without a lock.
 	edgeIDs atomic.Pointer[edgeIndex]
+
+	// dists caches the all-pairs distance matrix built lazily by Distances;
+	// like edgeIDs it is cleared by any mutation and safe to build
+	// concurrently on an immutable graph.
+	dists atomic.Pointer[DistanceMatrix]
 }
 
 // New returns an empty graph.
@@ -133,7 +138,7 @@ func (g *Graph) AddNode(v int) {
 	if !g.present[v] {
 		g.present[v] = true
 		g.n++
-		g.edgeIDs.Store(nil)
+		g.invalidate()
 	}
 }
 
@@ -152,7 +157,14 @@ func (g *Graph) AddEdge(a, b int) {
 	}
 	insertSorted(&g.adj[b], int32(a))
 	g.m++
+	g.invalidate()
+}
+
+// invalidate clears every lazily built derived index (edge ids, distance
+// matrix) after a mutation.
+func (g *Graph) invalidate() {
 	g.edgeIDs.Store(nil)
+	g.dists.Store(nil)
 }
 
 // insertSorted inserts x into the sorted slice *s, reporting whether it was
@@ -196,7 +208,7 @@ func (g *Graph) RemoveEdge(a, b int) {
 	removeSorted(&g.adj[a], int32(b))
 	removeSorted(&g.adj[b], int32(a))
 	g.m--
-	g.edgeIDs.Store(nil)
+	g.invalidate()
 }
 
 func removeSorted(s *[]int32, x int32) {

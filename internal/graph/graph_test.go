@@ -530,3 +530,40 @@ func TestEdgeDistancePropertyRandom(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDistancesMemoized checks the lazily built distance matrix: repeated
+// calls on an immutable graph share one allocation, any mutation
+// invalidates it, and the cached values match a fresh AllPairsDistances.
+func TestDistancesMemoized(t *testing.T) {
+	g := gnp(12, 0.3, rand.New(rand.NewSource(3)))
+	d1 := g.Distances()
+	if d2 := g.Distances(); d2 != d1 {
+		t.Fatal("Distances must return the cached matrix on an immutable graph")
+	}
+	fresh := g.AllPairsDistances()
+	for u := 0; u < g.Cap(); u++ {
+		for v := 0; v < g.Cap(); v++ {
+			if d1.At(u, v) != fresh.At(u, v) {
+				t.Fatalf("cached distance (%d,%d)=%d, fresh %d", u, v, d1.At(u, v), fresh.At(u, v))
+			}
+		}
+	}
+	// Mutation invalidates: a new edge can only shrink distances, and the
+	// rebuilt matrix must see it.
+	g.AddEdge(0, g.Cap()-1)
+	d3 := g.Distances()
+	if d3 == d1 {
+		t.Fatal("mutation must invalidate the cached distance matrix")
+	}
+	if d3.At(0, g.Cap()-1) != 1 {
+		t.Fatalf("rebuilt matrix misses the new edge: distance %d", d3.At(0, g.Cap()-1))
+	}
+	if d1.Stride() != g.Cap() || d3.Stride() != g.Cap() {
+		t.Fatalf("stride %d/%d, want %d", d1.Stride(), d3.Stride(), g.Cap())
+	}
+	// Vertex insertion invalidates too (the matrix span must grow).
+	g.AddNode(g.Cap() + 3)
+	if d4 := g.Distances(); d4 == d3 || d4.Stride() != g.Cap() {
+		t.Fatal("AddNode must invalidate the cached distance matrix")
+	}
+}

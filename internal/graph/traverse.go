@@ -178,6 +178,24 @@ func (m *DistanceMatrix) At(u, v int) int {
 	return int(m.d[u*m.stride+v])
 }
 
+// Stride returns the matrix dimension (the Cap() of the graph it was built
+// from).
+func (m *DistanceMatrix) Stride() int { return m.stride }
+
+// Distances returns the graph's all-pairs distance matrix, built lazily on
+// first use and cached until the next mutation — the same discipline as
+// EdgeID. On an immutable (fully built) graph it is safe to call
+// concurrently, and repeated callers (the routing hot path resolves every
+// SWAP against it) share one allocation instead of re-running n BFS sweeps.
+func (g *Graph) Distances() *DistanceMatrix {
+	if d := g.dists.Load(); d != nil {
+		return d
+	}
+	d := g.AllPairsDistances()
+	g.dists.Store(d)
+	return d
+}
+
 // AllPairsDistances computes BFS distances from every vertex into one flat
 // Cap()×Cap() matrix, reusing a single queue across sources. Rows of absent
 // vertices are all Unreachable.

@@ -1,9 +1,53 @@
-// Package mapping places logical circuits onto physical devices and routes
-// two-qubit gates through SWAP insertion. Qubit mapping is not the paper's
-// contribution (it cites [34], [39]), but every benchmark needs it: QAOA's
-// random MAX-CUT edges and BV's star-shaped CNOTs rarely land on couplers.
-// The router is the standard greedy shortest-path SWAP inserter used by
-// baseline compilers.
+// Package mapping is the layout/routing subsystem: it places logical
+// circuits onto physical devices (pluggable Placement strategies) and routes
+// two-qubit gates through SWAP insertion (pluggable Router implementations).
+// Qubit mapping is not the paper's contribution (it cites [34], [39]), but
+// every benchmark needs it: QAOA's random MAX-CUT edges and BV's star-shaped
+// CNOTs rarely land on couplers — and crosstalk-aware related work (CAMEL,
+// Murali et al.) shows the mapping choice shifts which crosstalk pairs the
+// scheduler must later serialize, so the stage is configurable end to end.
+//
+// # Routers
+//
+// A Router turns a logical circuit plus an initial Mapping into a Result: a
+// physical circuit in which every two-qubit gate acts on a coupler, the
+// final mapping, and per-gate provenance (Inserted). Two implementations
+// ship:
+//
+//   - GreedyRouter — the classic greedy shortest-path SWAP inserter used by
+//     baseline compilers: each uncoupled gate walks its operands together
+//     along a shortest coupling path. It is the default and is pinned
+//     gate-for-gate to the historical mapping.Route output: paths are the
+//     lexicographically smallest shortest paths (exactly what BFS with
+//     ascending neighbor exploration produced), resolved against the
+//     device's cached graph.DistanceMatrix instead of a per-gate BFS
+//     allocation.
+//   - LookaheadRouter — a SABRE-style swap search: when the dependency
+//     frontier is blocked, candidate SWAPs adjacent to the blocked gates
+//     are scored by the summed post-swap distance of the frontier plus a
+//     geometrically decaying term over an extended window of upcoming
+//     two-qubit gates (window size and decay configurable). It typically
+//     inserts substantially fewer SWAPs than the greedy router on
+//     irregular interaction graphs (QAOA), at slightly higher routing
+//     cost.
+//
+// # Placements
+//
+// Placement strategies compute the initial logical→physical embedding:
+// identity (logical i on physical i), snake (boustrophedon order, the
+// natural chain embedding), and degree (greedy degree-matching: logical
+// qubits ranked by their circuit.Analysis interaction counts are seated on
+// physical qubits ranked by coupling degree).
+//
+// # Determinism and sharing
+//
+// Every router and placement is deterministic: identical inputs produce
+// identical Results gate for gate (candidate enumerations iterate sorted
+// structures, ties break toward smaller ids). A Result is immutable after
+// its router returns — the compile cache's route region shares one Result
+// across every strategy of a batch job, so callers must never modify the
+// routed circuit, the mappings, or the Inserted slice. On the no-SWAP fast
+// path Final aliases the initial mapping rather than cloning it.
 package mapping
 
 import (
@@ -109,12 +153,15 @@ func SnakeOrder(dev *topology.Device) []int {
 	return qs
 }
 
-// Result is a routed circuit over physical qubits.
+// Result is a routed circuit over physical qubits. A Result is immutable
+// once returned: the compile cache shares it read-only across jobs.
 type Result struct {
 	// Routed acts on the device's physical qubits; every two-qubit gate
 	// touches a coupler.
 	Routed *circuit.Circuit
-	// Final is the logical-to-physical mapping after execution.
+	// Final is the logical-to-physical mapping after execution. When no
+	// SWAPs were inserted it may alias the initial mapping the router was
+	// given (the no-SWAP fast path skips the defensive clone).
 	Final *Mapping
 	// Inserted flags, per gate of Routed, whether the gate is a routing
 	// SWAP added by the router (true) or a translated program gate.
@@ -123,49 +170,44 @@ type Result struct {
 	SwapCount int
 }
 
+// ApproxSize reports the Result's approximate in-memory footprint in bytes;
+// the compile cache's size-aware eviction weighs route entries by it.
+func (r *Result) ApproxSize() int {
+	size := 128 + len(r.Inserted)
+	if r.Routed != nil {
+		// One Gate struct (~48 B) plus its operand slice (~16-32 B) per gate.
+		size += 72 * len(r.Routed.Gates)
+	}
+	if r.Final != nil {
+		size += 8 * (len(r.Final.LogToPhys) + len(r.Final.PhysToLog))
+	}
+	return size
+}
+
 // Route translates c onto dev starting from the given initial mapping
-// (Identity when nil). Two-qubit gates between uncoupled physical qubits
-// trigger SWAP insertion along a shortest coupling path. The returned
-// circuit has dev.Qubits qubits.
+// (Identity when nil), inserting SWAPs along greedy shortest coupling
+// paths. It is the historical entry point, equivalent to
+// (&GreedyRouter{}).Route(c, nil, dev, initial); configurable callers
+// should go through Plan.
 func Route(c *circuit.Circuit, dev *topology.Device, initial *Mapping) (*Result, error) {
-	if c.NumQubits > dev.Qubits {
-		return nil, fmt.Errorf("mapping: circuit needs %d qubits, device %q has %d",
-			c.NumQubits, dev.Name, dev.Qubits)
+	return (&GreedyRouter{}).Route(c, nil, dev, initial)
+}
+
+// Plan is the full layout/routing pipeline: it computes the initial
+// placement named by opts, then routes c with the configured router. ana
+// may be nil; strategies that need the dependency analysis (the lookahead
+// router, the degree placement) analyze c themselves when it is missing.
+// Batch callers should pass the memoized analysis (compile.Context.Route
+// does) so every strategy shares one.
+func Plan(c *circuit.Circuit, ana *circuit.Analysis, dev *topology.Device, opts Options) (*Result, error) {
+	opts = opts.WithDefaults()
+	router, err := NewRouter(opts.Router)
+	if err != nil {
+		return nil, err
 	}
-	m := initial
-	if m == nil {
-		m = Identity(c.NumQubits, dev.Qubits)
-	} else {
-		m = m.Clone()
+	initial, err := InitialMapping(opts.Placement, c, ana, dev)
+	if err != nil {
+		return nil, err
 	}
-	out := circuit.New(dev.Qubits)
-	var inserted []bool
-	swaps := 0
-	for _, g := range c.Gates {
-		if g.Arity() == 1 {
-			out.Add(circuit.Gate{Kind: g.Kind, Qubits: []int{m.LogToPhys[g.Qubits[0]]}, Theta: g.Theta})
-			inserted = append(inserted, false)
-			continue
-		}
-		pa, pb := m.LogToPhys[g.Qubits[0]], m.LogToPhys[g.Qubits[1]]
-		if !dev.Coupling.HasEdge(pa, pb) {
-			path := dev.Coupling.ShortestPath(pa, pb)
-			if path == nil {
-				return nil, fmt.Errorf("mapping: no path between physical qubits %d and %d on %q",
-					pa, pb, dev.Name)
-			}
-			// Walk pa toward pb, stopping one hop short.
-			for i := 0; i+2 < len(path); i++ {
-				out.SWAP(path[i], path[i+1])
-				inserted = append(inserted, true)
-				m.SwapPhys(path[i], path[i+1])
-				swaps++
-			}
-			pa = m.LogToPhys[g.Qubits[0]]
-			pb = m.LogToPhys[g.Qubits[1]]
-		}
-		out.Add(circuit.Gate{Kind: g.Kind, Qubits: []int{pa, pb}, Theta: g.Theta})
-		inserted = append(inserted, false)
-	}
-	return &Result{Routed: out, Final: m, Inserted: inserted, SwapCount: swaps}, nil
+	return router.Route(c, ana, dev, initial)
 }

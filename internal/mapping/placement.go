@@ -1,0 +1,78 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/topology"
+)
+
+// Placement strategy names accepted by Options.Placement.
+const (
+	// PlaceIdentity maps logical qubit i to physical qubit i (the default;
+	// the empty string selects it too).
+	PlaceIdentity = "identity"
+	// PlaceSnake lays logical qubits along the device's boustrophedon
+	// order, the natural embedding for chain-structured circuits (ISING,
+	// QGAN).
+	PlaceSnake = "snake"
+	// PlaceDegree seats high-interaction logical qubits on high-degree
+	// physical qubits: logical qubits ranked by their two-qubit-gate counts
+	// (circuit.Analysis.InteractionCounts) are greedily matched to physical
+	// qubits ranked by coupling degree. It helps star-shaped interaction
+	// patterns (BV's ancilla, dense QAOA vertices) start near the device
+	// center instead of a corner.
+	PlaceDegree = "degree"
+)
+
+// PlacementNames lists the selectable placement strategies.
+func PlacementNames() []string { return []string{PlaceIdentity, PlaceSnake, PlaceDegree} }
+
+// InitialMapping computes the initial logical→physical embedding of c on
+// dev under the named strategy ("" means PlaceIdentity). ana may be nil;
+// the degree strategy analyzes c itself when it is missing. The identity
+// strategy returns a nil mapping (routers treat nil as identity without
+// allocating).
+func InitialMapping(name string, c *circuit.Circuit, ana *circuit.Analysis, dev *topology.Device) (*Mapping, error) {
+	if c.NumQubits > dev.Qubits {
+		return nil, fmt.Errorf("mapping: circuit needs %d qubits, device %q has %d",
+			c.NumQubits, dev.Name, dev.Qubits)
+	}
+	switch name {
+	case "", PlaceIdentity:
+		return nil, nil
+	case PlaceSnake:
+		return FromOrder(c.NumQubits, SnakeOrder(dev), dev.Qubits), nil
+	case PlaceDegree:
+		if ana == nil {
+			ana = circuit.Analyze(c)
+		}
+		return degreeMapping(c, ana, dev), nil
+	}
+	return nil, fmt.Errorf("mapping: unknown placement %q (want one of %v)", name, PlacementNames())
+}
+
+// degreeMapping greedily matches interaction rank to degree rank: the
+// logical qubit with the most two-qubit gates lands on the physical qubit
+// with the most couplers, and so on. Ties break toward smaller ids on both
+// sides, so the embedding is deterministic.
+func degreeMapping(c *circuit.Circuit, ana *circuit.Analysis, dev *topology.Device) *Mapping {
+	inter := ana.InteractionCounts()
+	logical := make([]int, c.NumQubits)
+	for i := range logical {
+		logical[i] = i
+	}
+	sort.SliceStable(logical, func(i, j int) bool {
+		return inter[logical[i]] > inter[logical[j]]
+	})
+	physical := dev.QubitsSorted()
+	sort.SliceStable(physical, func(i, j int) bool {
+		return dev.Degree(physical[i]) > dev.Degree(physical[j])
+	})
+	order := make([]int, c.NumQubits)
+	for rank, lq := range logical {
+		order[lq] = physical[rank]
+	}
+	return FromOrder(c.NumQubits, order, dev.Qubits)
+}

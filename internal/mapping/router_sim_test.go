@@ -1,0 +1,126 @@
+package mapping_test
+
+// The state-vector equivalence check lives in an external test package:
+// internal/sim transitively imports internal/mapping (sim → schedule →
+// compile → mapping), so an in-package test would form an import cycle.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/mapping"
+	"fastsc/internal/sim"
+	"fastsc/internal/topology"
+)
+
+// simRandomCircuit mirrors the in-package randomCircuit generator.
+func simRandomCircuit(rng *rand.Rand, n int) *circuit.Circuit {
+	c := circuit.New(n)
+	gates := 1 + rng.Intn(24)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.RZ(rng.Intn(n), rng.Float64())
+		default:
+			a, b := rng.Intn(n), rng.Intn(n)
+			for b == a {
+				b = rng.Intn(n)
+			}
+			if rng.Intn(2) == 0 {
+				c.CNOT(a, b)
+			} else {
+				c.CZ(a, b)
+			}
+		}
+	}
+	return c
+}
+
+// TestRoutedUnitaryEquivalence verifies the strongest validity property by
+// direct state-vector simulation: running the routed circuit (SWAPs
+// included) and permuting the result through Final yields the same state
+// as the logical circuit, for both routers on small devices, with and
+// without a non-identity initial placement.
+func TestRoutedUnitaryEquivalence(t *testing.T) {
+	devs := []*topology.Device{
+		topology.Grid(2, 2),
+		topology.Linear(5),
+		topology.Ring(6),
+		topology.Express1D(6, 2),
+	}
+	routers := []mapping.Router{
+		&mapping.GreedyRouter{},
+		&mapping.LookaheadRouter{Window: 6, Decay: 0.5},
+	}
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 60; iter++ {
+		dev := devs[iter%len(devs)]
+		n := 2 + rng.Intn(dev.Qubits-1)
+		c := simRandomCircuit(rng, n)
+		var initial *mapping.Mapping
+		if rng.Intn(2) == 1 {
+			initial = mapping.FromOrder(n, rng.Perm(dev.Qubits)[:n], dev.Qubits)
+		}
+		// The logical reference: the circuit relabeled by the initial
+		// placement (identity when nil), widened to the device, then
+		// permuted back so virtual qubit l is logical qubit l.
+		start := initial
+		if start == nil {
+			start = mapping.Identity(n, dev.Qubits)
+		}
+		relab := circuit.New(dev.Qubits)
+		for _, g := range c.Gates {
+			qs := make([]int, len(g.Qubits))
+			for j, q := range g.Qubits {
+				qs[j] = start.LogToPhys[q]
+			}
+			relab.Add(circuit.Gate{Kind: g.Kind, Qubits: qs, Theta: g.Theta})
+		}
+		want := permuteToLogical(sim.RunIdeal(relab), start, n)
+		for _, r := range routers {
+			res, err := r.Route(c, nil, dev, initial)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", r.Name(), dev.Name, err)
+			}
+			got := permuteToLogical(sim.RunIdeal(res.Routed), res.Final, n)
+			if f := got.Fidelity(want); f < 1-1e-9 {
+				t.Fatalf("%s on %s iter %d: routed-state fidelity %v != 1", r.Name(), dev.Name, iter, f)
+			}
+		}
+	}
+}
+
+// permuteToLogical reorders a physical state's qubits so that virtual
+// qubit l is logical qubit l (wire final.LogToPhys[l]); unoccupied wires
+// fill the remaining positions in ascending order (they stay |0⟩).
+func permuteToLogical(st *sim.State, final *mapping.Mapping, nLogical int) *sim.State {
+	n := st.N
+	physFor := make([]int, n)
+	for l := 0; l < nLogical; l++ {
+		physFor[l] = final.LogToPhys[l]
+	}
+	v := nLogical
+	for p := 0; p < n; p++ {
+		if final.PhysToLog[p] == -1 {
+			physFor[v] = p
+			v++
+		}
+	}
+	out := sim.NewState(n)
+	out.Amps[0] = 0
+	for idx, a := range st.Amps {
+		if a == 0 {
+			continue
+		}
+		widx := 0
+		for vq := 0; vq < n; vq++ {
+			bit := (idx >> uint(n-1-physFor[vq])) & 1
+			widx |= bit << uint(n-1-vq)
+		}
+		out.Amps[widx] += a
+	}
+	return out
+}

@@ -1,0 +1,498 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/graph"
+	"fastsc/internal/topology"
+)
+
+// referenceRoute is the historical mapping.Route implementation — a fresh
+// BFS shortest path per uncoupled gate — kept verbatim as the oracle the
+// flat GreedyRouter is pinned against.
+func referenceRoute(c *circuit.Circuit, dev *topology.Device, initial *Mapping) (*Result, error) {
+	m := initial
+	if m == nil {
+		m = Identity(c.NumQubits, dev.Qubits)
+	} else {
+		m = m.Clone()
+	}
+	out := circuit.New(dev.Qubits)
+	var inserted []bool
+	swaps := 0
+	for _, g := range c.Gates {
+		if g.Arity() == 1 {
+			out.Add(circuit.Gate{Kind: g.Kind, Qubits: []int{m.LogToPhys[g.Qubits[0]]}, Theta: g.Theta})
+			inserted = append(inserted, false)
+			continue
+		}
+		pa, pb := m.LogToPhys[g.Qubits[0]], m.LogToPhys[g.Qubits[1]]
+		if !dev.Coupling.HasEdge(pa, pb) {
+			path := dev.Coupling.ShortestPath(pa, pb)
+			if path == nil {
+				return nil, nil
+			}
+			for i := 0; i+2 < len(path); i++ {
+				out.SWAP(path[i], path[i+1])
+				inserted = append(inserted, true)
+				m.SwapPhys(path[i], path[i+1])
+				swaps++
+			}
+			pa = m.LogToPhys[g.Qubits[0]]
+			pb = m.LogToPhys[g.Qubits[1]]
+		}
+		out.Add(circuit.Gate{Kind: g.Kind, Qubits: []int{pa, pb}, Theta: g.Theta})
+		inserted = append(inserted, false)
+	}
+	return &Result{Routed: out, Final: m, Inserted: inserted, SwapCount: swaps}, nil
+}
+
+// routeDevices returns the topology families the property tests sweep.
+func routeDevices() []*topology.Device {
+	return []*topology.Device{
+		topology.Grid(2, 2),
+		topology.Grid(3, 3),
+		topology.Grid(3, 4),
+		topology.Linear(7),
+		topology.Ring(8),
+		topology.Express1D(9, 3),
+		topology.Express2D(3, 3, 2),
+	}
+}
+
+// randomCircuit draws a random logical circuit over n qubits: a mix of
+// single-qubit gates and CNOT/CZ pairs on arbitrary (mostly uncoupled)
+// operand pairs.
+func randomCircuit(rng *rand.Rand, n int) *circuit.Circuit {
+	c := circuit.New(n)
+	gates := 1 + rng.Intn(24)
+	for i := 0; i < gates; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.RZ(rng.Intn(n), rng.Float64())
+		default:
+			a, b := rng.Intn(n), rng.Intn(n)
+			for b == a {
+				b = rng.Intn(n)
+			}
+			if rng.Intn(2) == 0 {
+				c.CNOT(a, b)
+			} else {
+				c.CZ(a, b)
+			}
+		}
+	}
+	return c
+}
+
+// randomInitial draws a random bijective placement, or nil for identity.
+func randomInitial(rng *rand.Rand, n, nPhys int) *Mapping {
+	if rng.Intn(3) == 0 {
+		return nil
+	}
+	order := rng.Perm(nPhys)[:n]
+	return FromOrder(n, order, nPhys)
+}
+
+// TestGreedyRouterPinnedToReference pins the flat distance-matrix greedy
+// router gate-for-gate to the historical BFS implementation on randomized
+// circuits across every topology family: same gates, same operand order,
+// same SWAP positions, same final mapping.
+func TestGreedyRouterPinnedToReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 400; iter++ {
+		dev := routeDevices()[iter%len(routeDevices())]
+		c := randomCircuit(rng, 2+rng.Intn(dev.Qubits-1))
+		initial := randomInitial(rng, c.NumQubits, dev.Qubits)
+		want, err := referenceRoute(c, dev, initial)
+		if err != nil || want == nil {
+			t.Fatalf("reference route failed on %s", dev.Name)
+		}
+		got, err := (&GreedyRouter{}).Route(c, nil, dev, initial)
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name, err)
+		}
+		if got.SwapCount != want.SwapCount {
+			t.Fatalf("%s iter %d: swap count %d != reference %d", dev.Name, iter, got.SwapCount, want.SwapCount)
+		}
+		if len(got.Routed.Gates) != len(want.Routed.Gates) {
+			t.Fatalf("%s iter %d: %d gates != reference %d", dev.Name, iter,
+				len(got.Routed.Gates), len(want.Routed.Gates))
+		}
+		for i, g := range got.Routed.Gates {
+			w := want.Routed.Gates[i]
+			if g.Kind != w.Kind || g.Theta != w.Theta || got.Inserted[i] != want.Inserted[i] {
+				t.Fatalf("%s iter %d gate %d: %v != reference %v", dev.Name, iter, i, g, w)
+			}
+			for j := range g.Qubits {
+				if g.Qubits[j] != w.Qubits[j] {
+					t.Fatalf("%s iter %d gate %d operands: %v != reference %v", dev.Name, iter, i, g, w)
+				}
+			}
+		}
+		for l, p := range got.Final.LogToPhys {
+			if p != want.Final.LogToPhys[l] {
+				t.Fatalf("%s iter %d: final mapping diverges at logical %d", dev.Name, iter, l)
+			}
+		}
+	}
+}
+
+// checkRoutedInvariants asserts the routed-circuit validity contract:
+// every two-qubit gate acts on a coupler, Final is a bijection that equals
+// the initial mapping advanced by exactly the inserted SWAPs, and mapping
+// every translated gate back through the evolving mapping reconstructs the
+// logical gate list.
+func checkRoutedInvariants(t *testing.T, label string, c *circuit.Circuit, dev *topology.Device,
+	initial *Mapping, res *Result) {
+	t.Helper()
+	if len(res.Inserted) != len(res.Routed.Gates) {
+		t.Fatalf("%s: %d inserted flags for %d gates", label, len(res.Inserted), len(res.Routed.Gates))
+	}
+	m := initial
+	if m == nil {
+		m = Identity(c.NumQubits, dev.Qubits)
+	} else {
+		m = m.Clone()
+	}
+	var logical []circuit.Gate
+	swaps := 0
+	for i, g := range res.Routed.Gates {
+		if g.Arity() == 2 && !dev.Coupling.HasEdge(g.Qubits[0], g.Qubits[1]) {
+			t.Fatalf("%s: gate %d %v not on a coupler", label, i, g)
+		}
+		if res.Inserted[i] {
+			if g.Kind != circuit.SWAP {
+				t.Fatalf("%s: inserted gate %d is %v, not SWAP", label, i, g)
+			}
+			m.SwapPhys(g.Qubits[0], g.Qubits[1])
+			swaps++
+			continue
+		}
+		qs := make([]int, len(g.Qubits))
+		for j, p := range g.Qubits {
+			qs[j] = m.PhysToLog[p]
+		}
+		logical = append(logical, circuit.Gate{Kind: g.Kind, Qubits: qs, Theta: g.Theta})
+	}
+	if swaps != res.SwapCount {
+		t.Fatalf("%s: %d inserted SWAPs but SwapCount %d", label, swaps, res.SwapCount)
+	}
+	// Final must equal the initial mapping advanced by the inserted SWAPs,
+	// and must be a bijection.
+	for l, p := range res.Final.LogToPhys {
+		if p != m.LogToPhys[l] {
+			t.Fatalf("%s: Final.LogToPhys[%d]=%d, replay says %d", label, l, p, m.LogToPhys[l])
+		}
+		if p < 0 || p >= dev.Qubits || res.Final.PhysToLog[p] != l {
+			t.Fatalf("%s: Final not a bijection at logical %d", label, l)
+		}
+	}
+	occupied := 0
+	for _, l := range res.Final.PhysToLog {
+		if l != -1 {
+			occupied++
+		}
+	}
+	if occupied != c.NumQubits {
+		t.Fatalf("%s: Final occupies %d physical qubits, want %d", label, occupied, c.NumQubits)
+	}
+	// The translated gates, mapped back, must reproduce the program up to
+	// a dependency-respecting reorder (the lookahead router issues from
+	// the frontier, so independent gates may legally commute past each
+	// other). Equality of every per-qubit gate subsequence pins exactly
+	// that: it forces the order of any two gates sharing a qubit, which
+	// determines the circuit's unitary.
+	if len(logical) != c.NumGates() {
+		t.Fatalf("%s: reconstructed %d gates, want %d", label, len(logical), c.NumGates())
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		want := qubitStream(c.Gates, q)
+		got := qubitStream(logical, q)
+		if len(want) != len(got) {
+			t.Fatalf("%s: qubit %d stream has %d gates, want %d", label, q, len(got), len(want))
+		}
+		for i := range want {
+			a, b := want[i], got[i]
+			if a.Kind != b.Kind || a.Theta != b.Theta || len(a.Qubits) != len(b.Qubits) {
+				t.Fatalf("%s: qubit %d stream gate %d: %v != %v", label, q, i, b, a)
+			}
+			for j := range a.Qubits {
+				if a.Qubits[j] != b.Qubits[j] {
+					t.Fatalf("%s: qubit %d stream gate %d operands: %v != %v", label, q, i, b, a)
+				}
+			}
+		}
+	}
+}
+
+// qubitStream returns the subsequence of gates touching qubit q, in order.
+func qubitStream(gates []circuit.Gate, q int) []circuit.Gate {
+	var out []circuit.Gate
+	for _, g := range gates {
+		for _, gq := range g.Qubits {
+			if gq == q {
+				out = append(out, g)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestRoutedInvariantsAllRouters sweeps randomized circuits × topology
+// families × routers × random placements through the validity invariants.
+func TestRoutedInvariantsAllRouters(t *testing.T) {
+	routers := []Router{
+		&GreedyRouter{},
+		&LookaheadRouter{},
+		&LookaheadRouter{Window: 4, Decay: 0.3},
+	}
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 250; iter++ {
+		dev := routeDevices()[iter%len(routeDevices())]
+		c := randomCircuit(rng, 2+rng.Intn(dev.Qubits-1))
+		initial := randomInitial(rng, c.NumQubits, dev.Qubits)
+		for _, r := range routers {
+			res, err := r.Route(c, nil, dev, initial)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", r.Name(), dev.Name, err)
+			}
+			checkRoutedInvariants(t, r.Name()+"/"+dev.Name, c, dev, initial, res)
+		}
+	}
+}
+
+// TestRoutersDeterministic re-routes the same inputs and demands identical
+// output gate lists — the property the compile cache's route region relies
+// on to share Results across jobs.
+func TestRoutersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dev := topology.Grid(3, 3)
+	c := randomCircuit(rng, 9)
+	for _, r := range []Router{&GreedyRouter{}, &LookaheadRouter{}} {
+		a, err := r.Route(c, nil, dev, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r.Route(c, circuit.Analyze(c), dev, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Routed.Gates) != len(b.Routed.Gates) || a.SwapCount != b.SwapCount {
+			t.Fatalf("%s: nondeterministic shape", r.Name())
+		}
+		for i := range a.Routed.Gates {
+			ga, gb := a.Routed.Gates[i], b.Routed.Gates[i]
+			if ga.Kind != gb.Kind || ga.Qubits[0] != gb.Qubits[0] {
+				t.Fatalf("%s: gate %d differs across runs", r.Name(), i)
+			}
+		}
+	}
+}
+
+// TestPlan exercises the placement × router matrix through the Plan entry
+// point.
+func TestPlan(t *testing.T) {
+	dev := topology.Grid(3, 3)
+	rng := rand.New(rand.NewSource(9))
+	c := randomCircuit(rng, 9)
+	for _, placement := range PlacementNames() {
+		for _, router := range RouterNames() {
+			opts := Options{Placement: placement, Router: RouterConfig{Algorithm: router}}
+			res, err := Plan(c, nil, dev, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", placement, router, err)
+			}
+			initial, err := InitialMapping(placement, c, nil, dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkRoutedInvariants(t, placement+"/"+router, c, dev, initial, res)
+		}
+	}
+	if _, err := Plan(c, nil, dev, Options{Router: RouterConfig{Algorithm: "astar"}}); err == nil {
+		t.Fatal("unknown router should error")
+	}
+	if _, err := Plan(c, nil, dev, Options{Placement: "random"}); err == nil {
+		t.Fatal("unknown placement should error")
+	}
+}
+
+// TestLookaheadBeatsGreedyOnQAOAShape routes a dense random interaction
+// pattern (the QAOA MAX-CUT shape) with both routers: the lookahead search
+// must not insert more SWAPs, and on this fixed seed inserts strictly
+// fewer.
+func TestLookaheadBeatsGreedyOnQAOAShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dev := topology.Grid(4, 4)
+	c := circuit.New(16)
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			if rng.Float64() < 0.5 {
+				c.CZ(i, j)
+			}
+		}
+	}
+	greedy, err := (&GreedyRouter{}).Route(c, nil, dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	look, err := (&LookaheadRouter{}).Route(c, nil, dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if look.SwapCount >= greedy.SwapCount {
+		t.Fatalf("lookahead inserted %d swaps, greedy %d — lookahead should win on QAOA shapes",
+			look.SwapCount, greedy.SwapCount)
+	}
+}
+
+// TestDegreePlacement checks the greedy degree matching: the
+// highest-interaction logical qubit sits on a maximum-degree physical
+// qubit, and the embedding is a valid bijection.
+func TestDegreePlacement(t *testing.T) {
+	dev := topology.Grid(3, 3)
+	c := circuit.New(5)
+	// Star around logical 3: by far the highest interaction count.
+	c.CNOT(3, 0).CNOT(3, 1).CNOT(3, 2).CNOT(3, 4).CNOT(0, 1)
+	m, err := InitialMapping(PlaceDegree, c, nil, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := m.LogToPhys[3]
+	if dev.Degree(center) != dev.Coupling.MaxDegree() {
+		t.Fatalf("hub logical 3 placed on physical %d (degree %d), want a degree-%d qubit",
+			center, dev.Degree(center), dev.Coupling.MaxDegree())
+	}
+	seen := make(map[int]bool)
+	for l, p := range m.LogToPhys {
+		if seen[p] {
+			t.Fatalf("physical %d assigned twice", p)
+		}
+		seen[p] = true
+		if m.PhysToLog[p] != l {
+			t.Fatalf("inverse mapping broken at logical %d", l)
+		}
+	}
+	// Degree placement routes no worse than a corner-heavy identity start
+	// for the star circuit.
+	resID, err := Route(c, dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDeg, err := (&GreedyRouter{}).Route(c, nil, dev, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resDeg.SwapCount > resID.SwapCount {
+		t.Fatalf("degree placement needs %d swaps, identity %d", resDeg.SwapCount, resID.SwapCount)
+	}
+}
+
+// TestRouteNoSwapFastPath pins the bugfix: routing a circuit that needs no
+// SWAPs must not clone the initial mapping (Final aliases it) and must not
+// reallocate the inserted flags per gate.
+func TestRouteNoSwapFastPath(t *testing.T) {
+	dev := topology.Grid(3, 3)
+	c := circuit.New(9)
+	for i := 0; i+1 < 9; i++ {
+		c.CZ(i, i+1)
+	}
+	initial := FromOrder(9, SnakeOrder(dev), 9)
+	res, err := Route(c, dev, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapCount != 0 {
+		t.Fatalf("snake-placed chain should need 0 swaps, got %d", res.SwapCount)
+	}
+	if res.Final != initial {
+		t.Fatal("no-SWAP route must alias the initial mapping, not clone it")
+	}
+	if got, want := cap(res.Inserted), c.NumGates(); got < want {
+		t.Fatalf("inserted flags capacity %d, want preallocation >= %d", got, want)
+	}
+}
+
+// TestRouteAllocsLinear is the alloc-count regression test for the
+// preallocation bugfix (the analogue of TestFrontierReadyZeroAlloc): the
+// per-call allocation count of a no-SWAP route is one fixed-size batch of
+// retained output plus exactly one allocation per translated gate — no
+// clone of the initial mapping, no append-doubling of the inserted flags
+// or the gate list. The per-gate term is the retained operand slice of the
+// output circuit, so allocations minus gates must be a small constant
+// independent of circuit length.
+func TestRouteAllocsLinear(t *testing.T) {
+	dev := topology.Linear(64)
+	initial := Identity(64, 64)
+	measure := func(gates int) float64 {
+		c := circuit.New(64)
+		for i := 0; i < gates; i++ {
+			c.CZ(i%63, i%63+1)
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, err := Route(c, dev, initial); err != nil {
+				t.Fatal(err)
+			}
+		}) - float64(gates)
+	}
+	small, large := measure(8), measure(256)
+	if small != large {
+		t.Fatalf("fixed allocation overhead grew with circuit length: %v vs %v", small, large)
+	}
+	if small > 8 {
+		t.Fatalf("no-SWAP route has %v fixed allocations, want <= 8", small)
+	}
+}
+
+// TestRoutersErrorOnUnroutableGates is the regression test for the
+// lookahead sentinel-swap panic: a blocked gate whose operands are
+// isolated (no couplers) or sit in different components must surface the
+// contractual "no path" error from every router — never a panic.
+func TestRoutersErrorOnUnroutableGates(t *testing.T) {
+	// Qubits 2 and 3 have no couplers at all.
+	isolated := graph.NewDense(4)
+	isolated.AddEdge(0, 1)
+	devIsolated := &topology.Device{Name: "isolated", Qubits: 4, Coupling: isolated,
+		Coords: map[int]topology.Coord{}}
+	// Two disconnected components {0,1} and {2,3}.
+	split := graph.NewDense(4)
+	split.AddEdge(0, 1)
+	split.AddEdge(2, 3)
+	devSplit := &topology.Device{Name: "split", Qubits: 4, Coupling: split,
+		Coords: map[int]topology.Coord{}}
+
+	for _, tc := range []struct {
+		name string
+		dev  *topology.Device
+	}{{"isolated-operands", devIsolated}, {"cross-component", devSplit}} {
+		c := circuit.New(4)
+		c.CNOT(2, 3)
+		if tc.dev == devSplit {
+			c = circuit.New(4)
+			c.CNOT(1, 2)
+		}
+		for _, r := range []Router{&GreedyRouter{}, &LookaheadRouter{}} {
+			_, err := r.Route(c, nil, tc.dev, nil)
+			if err == nil {
+				t.Fatalf("%s/%s: expected a no-path error", r.Name(), tc.name)
+			}
+		}
+	}
+}
+
+// TestRouterConfigNormalizesNaN pins the Decay clamp's NaN handling: a
+// poisoned decay must normalize to the default instead of silently
+// degenerating the scoring heuristic (every NaN comparison is false).
+func TestRouterConfigNormalizesNaN(t *testing.T) {
+	got := RouterConfig{Algorithm: RouterLookahead, Decay: math.NaN()}.withDefaults()
+	if got.Decay != DefaultLookaheadDecay {
+		t.Fatalf("NaN decay normalized to %v, want %v", got.Decay, DefaultLookaheadDecay)
+	}
+}

@@ -60,6 +60,12 @@ type Schedule struct {
 	TotalTime float64
 	// Compiled is the decomposed native circuit that was scheduled.
 	Compiled *circuit.Circuit
+	// CompiledDepth is Compiled's ASAP dependency depth, taken from the
+	// shared circuit.Analysis at build time so reporting never re-derives
+	// it through the reference ASAPLayers implementation. It equals
+	// Compiled.Depth() (pinned by test) and measures program parallelism;
+	// Depth() counts emitted slices, which strategies may stretch.
+	CompiledDepth int
 	// Gmon marks schedules for tunable-coupler hardware: couplers not in
 	// a slice's ActiveCouplers are switched off, retaining only Residual
 	// times the bare coupling.
@@ -257,11 +263,12 @@ func newBuilder(ctx *compile.Context, name string, c *circuit.Circuit, sys *phys
 		park:  park,
 		scr:   acquireScratch(sys.Device.Qubits),
 		sched: &Schedule{
-			System:       sys,
-			Strategy:     name,
-			Compiled:     dec,
-			ParkingFreqs: park,
-			Residual:     opts.Residual,
+			System:        sys,
+			Strategy:      name,
+			Compiled:      dec,
+			CompiledDepth: ana.Depth(),
+			ParkingFreqs:  park,
+			Residual:      opts.Residual,
 		},
 	}
 	return b, nil

@@ -91,6 +91,34 @@ func TestScheduleDeterministic(t *testing.T) {
 	}
 }
 
+// TestCompiledDepthMatchesReference pins Schedule.CompiledDepth — taken
+// from the shared circuit.Analysis at build time — to the reference
+// ASAPLayers depth of the compiled circuit, for every strategy and several
+// circuit shapes.
+func TestCompiledDepthMatchesReference(t *testing.T) {
+	sys := testSystem(9)
+	circs := map[string]*circuit.Circuit{
+		"small": smallCircuit(),
+		"xeb":   bench.XEB(sys.Device, 4, 3),
+		"ising": routedIsing(t, sys, 9, 3),
+	}
+	for name, c := range circs {
+		for _, comp := range Registry() {
+			s, err := comp.Compile(nil, c, sys, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", comp.Name(), name, err)
+			}
+			if want := s.Compiled.Depth(); s.CompiledDepth != want {
+				t.Fatalf("%s/%s: CompiledDepth %d != reference ASAP depth %d",
+					comp.Name(), name, s.CompiledDepth, want)
+			}
+			if s.CompiledDepth <= 0 {
+				t.Fatalf("%s/%s: CompiledDepth %d not positive", comp.Name(), name, s.CompiledDepth)
+			}
+		}
+	}
+}
+
 func TestCompileRejectsOversizedCircuit(t *testing.T) {
 	sys := testSystem(4)
 	c := circuit.New(9)
