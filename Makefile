@@ -5,7 +5,7 @@ GO ?= go
 
 # The committed machine-readable benchmark record for this PR generation
 # (bench-json writes it; bench-regress compares a fresh run against it).
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_6.json
 
 # The benchmarks the regression guard watches: the batch-compilation cold
 # path plus the flat-core hot spots it is built on (crosstalk construction,
@@ -15,7 +15,7 @@ BENCH_JSON ?= BENCH_5.json
 BENCH_GUARD_PATTERN = BenchmarkBatchCompile|BenchmarkXtalkBuild|BenchmarkCircuitAnalysis|BenchmarkFrontier|BenchmarkRoute
 BENCH_GUARD_PKGS = ./internal/bench/ ./internal/xtalk/ ./internal/circuit/
 
-.PHONY: all build test lint bench bench-json bench-regress warm-cache-check
+.PHONY: all build test lint bench bench-json bench-regress warm-cache-check daemon daemon-smoke
 
 all: lint build test
 
@@ -61,6 +61,17 @@ bench-regress:
 	$(GO) run ./cmd/benchjson < /tmp/bench-head.txt > /tmp/bench-head.json
 	$(GO) run ./cmd/benchcmp -baseline $(BENCH_JSON) -new /tmp/bench-head.json \
 		-pattern '$(BENCH_GUARD_PATTERN)' -max-regress 30 -require-overlap
+
+# Run the compile daemon locally (docs/api.md documents the endpoints).
+daemon:
+	$(GO) run ./cmd/fastscd
+
+# Mirrors the CI daemon-smoke job: build fastscd, start it, submit a
+# batch over HTTP, assert valid schedules, a >90% cache hit rate on a
+# repeat submission, nonzero /metrics hit counters, a clean SIGTERM
+# drain that persists a snapshot, and a warm restart from it.
+daemon-smoke:
+	./scripts/daemon-smoke.sh
 
 # Mirrors the CI warm-cache job: a second Fig 9 sweep against the same
 # cache snapshot must report a total hit rate above 95%.

@@ -121,34 +121,7 @@ func main() {
 }
 
 func buildDevice(name string, n int) (*topology.Device, error) {
-	switch {
-	case name == "grid":
-		return topology.SquareGrid(n), nil
-	case name == "linear":
-		return topology.Linear(n), nil
-	case name == "ring":
-		return topology.Ring(n), nil
-	case len(name) > 4 && name[:4] == "1ex-":
-		var k int
-		if _, err := fmt.Sscanf(name[4:], "%d", &k); err != nil {
-			return nil, fmt.Errorf("bad express interval in %q", name)
-		}
-		return topology.Express1D(n, k), nil
-	case len(name) > 4 && name[:4] == "2ex-":
-		var k int
-		if _, err := fmt.Sscanf(name[4:], "%d", &k); err != nil {
-			return nil, fmt.Errorf("bad express interval in %q", name)
-		}
-		side := 1
-		for side*side < n {
-			side++
-		}
-		if side*side != n {
-			return nil, fmt.Errorf("2ex topologies need a square qubit count, got %d", n)
-		}
-		return topology.Express2D(side, side, k), nil
-	}
-	return nil, fmt.Errorf("unknown topology %q", name)
+	return topology.FromSpec(name, n)
 }
 
 func buildCircuit(name string, n, cycles int, dev *topology.Device, seed int64) (*circuit.Circuit, core.Placement, error) {

@@ -1,0 +1,114 @@
+// Command fastscd serves frequency-aware compilation over HTTP: it keeps
+// one process-wide compile cache warm across requests and streams batch
+// results as NDJSON. See docs/api.md for the API and docs/architecture.md
+// for how the daemon sits on top of the compilation stack.
+//
+// Start a daemon, compile against it, then stop it gracefully:
+//
+//	fastscd -addr :8077 -cache-file /var/lib/fastsc/cache.snap.gz &
+//	curl -N -d @batch.json http://localhost:8077/v1/compile
+//	kill -TERM $!   # drains in-flight batches, then saves the snapshot
+//
+// On SIGTERM/SIGINT the daemon stops admitting work (healthz turns 503
+// so load balancers rotate it out), lets every admitted batch finish
+// (bounded by -drain-timeout), and — when a -cache-file is set — saves a
+// cache snapshot that warms the next start. A second signal aborts the
+// drain immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fastsc/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8077", "listen address")
+		workers       = flag.Int("workers", 0, "per-request worker budget (0 = GOMAXPROCS)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "batches compiling at once (0 = default 2)")
+		maxQueue      = flag.Int("max-queue", 0, "batches waiting for a slot before 429 (0 = default 16, -1 = none)")
+		maxJobs       = flag.Int("max-jobs", 0, "jobs per batch (0 = default 256)")
+		cacheFile     = flag.String("cache-file", "", "cache snapshot path: loaded at startup (cold start if missing/stale) and saved after a clean drain; a .gz suffix writes it compressed")
+		cacheCap      = flag.Int("cache-capacity", 0, "compile cache capacity in cost units (0 = default)")
+		drainTimeout  = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight batches")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:       *workers,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		MaxJobs:       *maxJobs,
+		CacheCapacity: *cacheCap,
+	})
+	if *cacheFile != "" {
+		n, err := srv.Cache().Load(*cacheFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fastscd: cache snapshot: %v (starting cold)\n", err)
+		} else {
+			srv.SetRestored(n)
+			fmt.Fprintf(os.Stderr, "fastscd: warm start: %d cache entries restored from %s\n", n, *cacheFile)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "fastscd: listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "fastscd:", err)
+		os.Exit(1)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "fastscd: %v: draining (in-flight batches run to completion; repeat to abort)\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "fastscd: second signal: aborting drain")
+		cancel()
+	}()
+
+	srv.Drain() // refuse new submissions; healthz turns 503 immediately
+	drainErr := srv.Shutdown(ctx)
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "fastscd:", drainErr)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "fastscd: http shutdown:", err)
+	}
+	<-errCh // ListenAndServe has returned http.ErrServerClosed
+
+	if *cacheFile != "" && drainErr == nil {
+		if err := srv.Cache().Save(*cacheFile); err != nil {
+			fmt.Fprintln(os.Stderr, "fastscd: cache snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fastscd: cache snapshot saved to %s\n", *cacheFile)
+	}
+	if drainErr != nil {
+		os.Exit(1)
+	}
+}

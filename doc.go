@@ -6,8 +6,11 @@
 // figure of the paper's evaluation.
 //
 // The library lives under internal/; see internal/core for the compilation
-// entry point, cmd/fastsc for the CLI, cmd/experiments for the paper
-// harness, and bench_test.go for the per-figure benchmarks.
+// entry point, cmd/fastsc for the CLI, cmd/fastscd for the compile daemon,
+// cmd/experiments for the paper harness, and bench_test.go for the
+// per-figure benchmarks. docs/architecture.md maps the layers, the cache
+// regions and their key schemas; docs/api.md documents the daemon's HTTP
+// API.
 //
 // # Batch compilation
 //
@@ -34,6 +37,18 @@
 // snapshot as -cache-file, so repeated sweeps start warm; a missing,
 // corrupt or version-mismatched snapshot silently degrades to a cold
 // cache.
+//
+// # Compilation as a service
+//
+// cmd/fastscd serves the same pipeline as a long-running HTTP daemon
+// (internal/server): batches of QASM or native-format circuits compile
+// against a named device and stream back as NDJSON result lines, with
+// async submit/poll, admission control (bounded queue plus a per-request
+// worker budget instead of one global pool), request-scoped cache
+// accounting in every response, a Prometheus /metrics endpoint over the
+// cache-region counters, and graceful drain on SIGTERM that persists a
+// snapshot to warm the next start. docs/api.md is the wire contract;
+// docs/architecture.md shows where the daemon sits in the layer map.
 //
 // # Flat graph core
 //

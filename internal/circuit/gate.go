@@ -56,6 +56,23 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
+// namedKinds is the reverse of kindNames, built once for KindByName.
+var namedKinds = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// KindByName resolves a lowercase gate mnemonic (the String form, e.g.
+// "cz", "rx") back to its Kind. It is the lookup wire formats use to decode
+// gates by name.
+func KindByName(name string) (Kind, bool) {
+	k, ok := namedKinds[name]
+	return k, ok
+}
+
 // IsTwoQubit reports whether the kind acts on two qubits.
 func (k Kind) IsTwoQubit() bool {
 	switch k {

@@ -57,6 +57,11 @@ type Context struct {
 	// Workers bounds the batch engine's worker pool. <= 0 selects
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// Record, when non-nil, attributes every memoized lookup made through
+	// this Context to a request-scoped Recorder in addition to the cache's
+	// global counters. Use Scoped to derive a per-request Context from a
+	// process-wide one.
+	Record *Recorder
 }
 
 // NewContext returns a Context with the given parallelism budget and a

@@ -1,6 +1,7 @@
 package compile
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -39,6 +40,20 @@ type Outcome struct {
 // is reported as that job's Err rather than tearing down the batch. Safe on
 // a nil receiver.
 func (c *Context) RunBatch(jobs []Job) <-chan Outcome {
+	return c.RunBatchCtx(context.Background(), jobs)
+}
+
+// RunBatchCtx is RunBatch under a cancellation context: when ctx is
+// canceled, jobs already running finish normally (their outcomes are still
+// streamed) and every job not yet started is reported with Err wrapping
+// ctx's error instead of being run. Every submitted job yields exactly one
+// outcome either way, so CollectBatch-style consumers never block. This is
+// the primitive a serving layer builds drain and client-disconnect
+// semantics on.
+func (c *Context) RunBatchCtx(ctx context.Context, jobs []Job) <-chan Outcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make(chan Outcome, len(jobs))
 	workers := c.workers()
 	if workers > len(jobs) {
@@ -55,6 +70,14 @@ func (c *Context) RunBatch(jobs []Job) <-chan Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range feed {
+				if err := ctx.Err(); err != nil {
+					out <- Outcome{
+						Index: i,
+						Key:   jobs[i].Key,
+						Err:   fmt.Errorf("compile: job %q not started: %w", jobs[i].Key, err),
+					}
+					continue
+				}
 				out <- c.runOne(i, jobs[i])
 			}
 		}()

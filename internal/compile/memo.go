@@ -29,12 +29,16 @@ type smtResult struct {
 func (c *Context) SolveSMT(k int, cfg smt.Config) ([]float64, float64, error) {
 	cache := c.cache()
 	if cache == nil {
+		c.record(RegionSMT, false)
 		return smt.Solve(k, cfg)
 	}
+	hit := true
 	v, _ := cache.Do(RegionSMT, SMTKey(k, cfg), func() (any, error) {
+		hit = false
 		xs, delta, err := smt.Solve(k, cfg)
 		return smtResult{xs: xs, delta: delta, err: err}, nil
 	})
+	c.record(RegionSMT, hit)
 	r := v.(smtResult)
 	return r.xs, r.delta, r.err
 }
@@ -47,11 +51,15 @@ func (c *Context) SolveSMT(k int, cfg smt.Config) ([]float64, float64, error) {
 func (c *Context) Xtalk(dev *topology.Device, distance int) *xtalk.Graph {
 	cache := c.cache()
 	if cache == nil {
+		c.record(RegionXtalk, false)
 		return xtalk.Build(dev, distance)
 	}
+	hit := true
 	v, _ := cache.Do(RegionXtalk, XtalkKey(dev, distance), func() (any, error) {
+		hit = false
 		return xtalk.Build(dev, distance), nil
 	})
+	c.record(RegionXtalk, hit)
 	return v.(*xtalk.Graph)
 }
 
@@ -66,6 +74,7 @@ func (c *Context) Xtalk(dev *topology.Device, distance int) *xtalk.Graph {
 func (c *Context) Analysis(circ *circuit.Circuit) *circuit.Analysis {
 	cache := c.cache()
 	if cache == nil {
+		c.record(RegionCircuit, false)
 		return circuit.Analyze(circ)
 	}
 	// The key is the 128-bit content signature plus the exact qubit and
@@ -75,9 +84,12 @@ func (c *Context) Analysis(circ *circuit.Circuit) *circuit.Analysis {
 	// here is reused on the miss path, so a miss hashes the gate list once.
 	sig := circ.Signature()
 	key := fmt.Sprintf("%d|%d|%s", circ.NumQubits, len(circ.Gates), sig)
+	hit := true
 	v, _ := cache.Do(RegionCircuit, key, func() (any, error) {
+		hit = false
 		return circuit.AnalyzeWithSignature(circ, sig), nil
 	})
+	c.record(RegionCircuit, hit)
 	return v.(*circuit.Analysis)
 }
 
@@ -94,6 +106,7 @@ func (c *Context) Route(circ *circuit.Circuit, dev *topology.Device, opts mappin
 	opts = opts.WithDefaults()
 	cache := c.cache()
 	if cache == nil {
+		c.record(RegionRoute, false)
 		var ana *circuit.Analysis
 		if opts.NeedsAnalysis() {
 			ana = c.Analysis(circ)
@@ -101,13 +114,16 @@ func (c *Context) Route(circ *circuit.Circuit, dev *topology.Device, opts mappin
 		return mapping.Plan(circ, ana, dev, opts)
 	}
 	key := RouteKey(circ, DeviceSignature(dev), opts)
+	hit := true
 	v, err := cache.Do(RegionRoute, key, func() (any, error) {
+		hit = false
 		var ana *circuit.Analysis
 		if opts.NeedsAnalysis() {
 			ana = c.Analysis(circ)
 		}
 		return mapping.Plan(circ, ana, dev, opts)
 	})
+	c.record(RegionRoute, hit)
 	if err != nil {
 		return nil, err
 	}
@@ -140,9 +156,15 @@ type SliceSolution struct {
 func (c *Context) Slice(key string, compute func() (SliceSolution, error)) (SliceSolution, error) {
 	cache := c.cache()
 	if cache == nil {
+		c.record(RegionSlice, false)
 		return compute()
 	}
-	v, err := cache.Do(RegionSlice, key, func() (any, error) { return compute() })
+	hit := true
+	v, err := cache.Do(RegionSlice, key, func() (any, error) {
+		hit = false
+		return compute()
+	})
+	c.record(RegionSlice, hit)
 	if err != nil {
 		return SliceSolution{}, err
 	}
@@ -155,9 +177,15 @@ func (c *Context) Slice(key string, compute func() (SliceSolution, error)) (Slic
 func (c *Context) Parking(sysSig string, compute func() ([]float64, error)) ([]float64, error) {
 	cache := c.cache()
 	if cache == nil {
+		c.record(RegionParking, false)
 		return compute()
 	}
-	v, err := cache.Do(RegionParking, sysSig, func() (any, error) { return compute() })
+	hit := true
+	v, err := cache.Do(RegionParking, sysSig, func() (any, error) {
+		hit = false
+		return compute()
+	})
+	c.record(RegionParking, hit)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +199,14 @@ func (c *Context) Parking(sysSig string, compute func() ([]float64, error)) ([]f
 func (c *Context) Static(key string, compute func() (any, error)) (any, error) {
 	cache := c.cache()
 	if cache == nil {
+		c.record(RegionStatic, false)
 		return compute()
 	}
-	return cache.Do(RegionStatic, key, compute)
+	hit := true
+	v, err := cache.Do(RegionStatic, key, func() (any, error) {
+		hit = false
+		return compute()
+	})
+	c.record(RegionStatic, hit)
+	return v, err
 }

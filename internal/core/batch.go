@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fastsc/internal/circuit"
@@ -48,6 +49,16 @@ type BatchResult struct {
 // (compile.Cache.Load / the CLIs' -cache-file flag) removes even the
 // first computation of each recurring entry.
 func BatchCompile(ctx *compile.Context, jobs []BatchJob) <-chan BatchResult {
+	return BatchCompileCtx(context.Background(), ctx, jobs)
+}
+
+// BatchCompileCtx is BatchCompile under a cancellation context: when stdctx
+// is canceled, in-flight compilations run to completion (partial schedules
+// are never streamed) and jobs not yet started are reported with Err
+// wrapping the cancellation cause. The compile server uses this to abort
+// the remainder of a batch when its client disconnects and to drain
+// gracefully on shutdown.
+func BatchCompileCtx(stdctx context.Context, ctx *compile.Context, jobs []BatchJob) <-chan BatchResult {
 	ejobs := make([]compile.Job, len(jobs))
 	for i, j := range jobs {
 		job := j
@@ -61,7 +72,7 @@ func BatchCompile(ctx *compile.Context, jobs []BatchJob) <-chan BatchResult {
 	out := make(chan BatchResult, len(jobs))
 	go func() {
 		defer close(out)
-		for o := range ctx.RunBatch(ejobs) {
+		for o := range ctx.RunBatchCtx(stdctx, ejobs) {
 			br := BatchResult{
 				Index:    o.Index,
 				Key:      o.Key,

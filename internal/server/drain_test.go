@@ -1,0 +1,151 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fastsc/internal/core"
+)
+
+// TestGracefulDrain exercises the drain contract end to end: batches
+// admitted before the drain — one running, one still queued for a compile
+// slot — run to completion, new submissions are rejected with 503,
+// read-only endpoints stay available, and Shutdown returns cleanly once
+// the backlog empties.
+func TestGracefulDrain(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1})
+	gate := make(chan struct{})
+	srv.startGate = func() { <-gate }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	submit := func() SubmitResponse {
+		t.Helper()
+		code, body := postJSON(t, ts, "/v1/batches", testRequest(core.ColorDynamic))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: status %d: %s", code, body)
+		}
+		var ack SubmitResponse
+		if err := json.Unmarshal(body, &ack); err != nil {
+			t.Fatal(err)
+		}
+		return ack
+	}
+	running := submit() // takes the only compile slot, blocks in the gate
+	queued := submit()  // admitted, waiting for the slot
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st BatchStatus
+		getJSON(t, ts, running.URL, &st)
+		if st.Status == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first batch never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	srv.Drain()
+
+	// Health flips to draining immediately.
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("healthz while draining = %d %q", resp.StatusCode, body)
+	}
+
+	// New submissions — streaming and async — are refused with 503.
+	for _, path := range []string{"/v1/batches", "/v1/compile"} {
+		code, body := postJSON(t, ts, path, testRequest(core.ColorDynamic))
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("%s while draining: status %d, want 503 (%s)", path, code, body)
+		}
+	}
+
+	// Read-only endpoints keep serving so clients can collect results.
+	if code := getJSON(t, ts, "/v1/meta", nil); code != http.StatusOK {
+		t.Fatalf("meta while draining: status %d", code)
+	}
+	var st BatchStatus
+	if code := getJSON(t, ts, queued.URL, &st); code != http.StatusOK || st.Status == "done" {
+		t.Fatalf("queued batch poll while draining: %d %+v", code, st)
+	}
+
+	// Shutdown blocks on the backlog...
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	select {
+	case err := <-shutdownErr:
+		t.Fatalf("Shutdown returned %v with batches in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// ...and completes once the gate releases the backlog. The queued
+	// batch passes through the same gate after the running one.
+	close(gate)
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown = %v, want nil after a clean drain", err)
+	}
+
+	for _, ack := range []SubmitResponse{running, queued} {
+		st := pollUntilDone(t, ts, ack.URL)
+		if st.Failed != 0 || st.Completed != st.Jobs {
+			t.Errorf("batch %s after drain: %+v", ack.Batch, st)
+		}
+	}
+}
+
+// TestShutdownTimeout: a Shutdown whose context expires before the
+// backlog empties reports the interruption instead of hanging.
+func TestShutdownTimeout(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1})
+	gate := make(chan struct{})
+	srv.startGate = func() { <-gate }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := postJSON(t, ts, "/v1/batches", testRequest(core.ColorDynamic))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Fatalf("Shutdown = nil, want context error with a blocked batch")
+	}
+	close(gate) // let the blocked batch finish so the test server can close
+	srv.wg.Wait()
+}
+
+// TestDrainIdempotent: draining twice and shutting down an idle server
+// are both no-ops.
+func TestDrainIdempotent(t *testing.T) {
+	srv := New(Config{})
+	srv.Drain()
+	srv.Drain()
+	if !srv.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown idle = %v", err)
+	}
+}

@@ -1,0 +1,324 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastsc/internal/compile"
+	"fastsc/internal/core"
+	"fastsc/internal/phys"
+	"fastsc/internal/topology"
+)
+
+// Config tunes a compile server. The zero value selects sensible defaults
+// for a single-node daemon; see withDefaults.
+type Config struct {
+	// Workers is the per-request worker budget: each admitted batch runs
+	// on its own bounded pool of at most this many workers (instead of the
+	// CLI's one global pool), so a wide batch cannot starve its neighbors.
+	// <= 0 selects GOMAXPROCS.
+	Workers int
+	// MaxConcurrent bounds the number of batches compiling simultaneously;
+	// admitted batches beyond it wait in FIFO order for a slot. <= 0
+	// selects 2.
+	MaxConcurrent int
+	// MaxQueue bounds the batches waiting for a slot; a submission beyond
+	// MaxConcurrent+MaxQueue is rejected with 429. < 0 means no queue
+	// (reject whenever all slots are busy); 0 selects 16.
+	MaxQueue int
+	// MaxJobs bounds the jobs of one batch (400 beyond it). <= 0 selects
+	// 256.
+	MaxJobs int
+	// MaxBodyBytes bounds a request body. <= 0 selects 8 MiB.
+	MaxBodyBytes int64
+	// CacheCapacity is the process-wide compile cache capacity in cost
+	// units (see compile.NewCache). <= 0 selects the default.
+	CacheCapacity int
+	// StoredBatches bounds the finished async batches kept for polling;
+	// the oldest finished batch is evicted beyond it. <= 0 selects 256.
+	StoredBatches int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	switch {
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	case c.MaxQueue == 0:
+		c.MaxQueue = 16
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.StoredBatches <= 0 {
+		c.StoredBatches = 256
+	}
+	return c
+}
+
+// Server is the compilation service: one process-wide compile.Context
+// (sharded single-flight cache) shared by every request, an admission
+// controller in front of it, and the HTTP handlers of docs/api.md on top.
+// Create one with New, mount Handler on an http.Server, and call Shutdown
+// (or Drain) when terminating.
+type Server struct {
+	cfg     Config
+	base    *compile.Context
+	sem     chan struct{}
+	wg      sync.WaitGroup
+	store   *batchStore
+	systems systemCache
+	mux     *http.ServeMux
+	started time.Time
+
+	admitted atomic.Int64 // batches admitted and not yet finished
+	running  atomic.Int64 // batches holding a compile slot
+	draining atomic.Bool
+
+	snapshotRestored atomic.Int64
+	mStreams         atomic.Int64
+	mSubmits         atomic.Int64
+	mPolls           atomic.Int64
+	mBatchesDone     atomic.Int64
+	mJobs            atomic.Int64
+	mJobsFailed      atomic.Int64
+	mRejectQueue     atomic.Int64
+	mRejectDrain     atomic.Int64
+
+	// startGate, when set (tests only), runs after a batch acquires its
+	// compile slot and before any job starts.
+	startGate func()
+}
+
+// New returns a Server with a fresh process-wide cache.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		base:    &compile.Context{Cache: compile.NewCache(cfg.CacheCapacity)},
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		store:   newBatchStore(cfg.StoredBatches),
+		systems: systemCache{m: make(map[sysKey]*phys.System)},
+		started: time.Now(),
+	}
+	s.routes()
+	return s
+}
+
+// Cache exposes the process-wide cache for snapshot warm-start and
+// shutdown persistence (compile.Cache.Load/Save).
+func (s *Server) Cache() *compile.Cache { return s.base.Cache }
+
+// SetRestored records how many snapshot entries warmed the cache at
+// startup, exported as fastscd_snapshot_restored_entries.
+func (s *Server) SetRestored(n int) { s.snapshotRestored.Store(int64(n)) }
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain puts the server into draining mode: every subsequent submission
+// (streaming or async) is rejected with 503, while batches already
+// admitted — including those still waiting for a compile slot — run to
+// completion and read-only endpoints (poll, metrics, meta) stay available.
+// Drain is idempotent.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server and blocks until every admitted batch has
+// finished or ctx expires. On a clean drain it returns nil and the caller
+// can persist the cache snapshot; on timeout it returns ctx's error with
+// batches possibly still running.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted with %d batches in flight: %w", s.admitted.Load(), ctx.Err())
+	}
+}
+
+// admit reserves an admission slot for one batch. On success the caller
+// owns a place in the bounded queue and must call the returned release
+// exactly once after the batch finishes. The draining check runs after the
+// reservation so a concurrent Drain+Shutdown can never miss a batch that
+// passed the check.
+func (s *Server) admit() (release func(), aerr *apiError) {
+	s.wg.Add(1)
+	n := s.admitted.Add(1)
+	release = func() {
+		s.admitted.Add(-1)
+		s.wg.Done()
+	}
+	if s.draining.Load() {
+		release()
+		s.mRejectDrain.Add(1)
+		return nil, &apiError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+	}
+	if n > int64(s.cfg.MaxConcurrent+s.cfg.MaxQueue) {
+		release()
+		s.mRejectQueue.Add(1)
+		return nil, &apiError{status: http.StatusTooManyRequests, msg: fmt.Sprintf(
+			"queue full: %d batches admitted (limit %d running + %d queued)",
+			n-1, s.cfg.MaxConcurrent, s.cfg.MaxQueue)}
+	}
+	return release, nil
+}
+
+// runBatch compiles one admitted batch: it waits for a compile slot, fans
+// the jobs through the engine on a request-scoped Context (shared cache,
+// per-request worker budget and stats Recorder), and emits one ResultLine
+// per job in completion order followed by the DoneLine. ctx aborts jobs
+// not yet started (client disconnect); emit errors likewise abort the
+// remainder. The returned DoneLine is also emitted.
+func (s *Server) runBatch(ctx context.Context, pb *parsedBatch, batchID string, emit func(line any) error, onRunning func()) DoneLine {
+	start := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		// Client gone before a slot freed: report every job unstarted.
+		return s.finishAborted(ctx, pb, batchID, emit, start)
+	}
+	s.running.Add(1)
+	defer func() {
+		s.running.Add(-1)
+		<-s.sem
+	}()
+	if onRunning != nil {
+		onRunning()
+	}
+	if s.startGate != nil {
+		s.startGate()
+	}
+
+	workers := s.cfg.Workers
+	if pb.workers > 0 && pb.workers < workers {
+		workers = pb.workers
+	}
+	cctx := s.base.Scoped(workers)
+
+	failed := 0
+	for r := range core.BatchCompileCtx(ctx, cctx, pb.jobs) {
+		line := toResultLine(r, pb.ids[r.Index], pb.verbose)
+		if r.Err != nil {
+			failed++
+		}
+		if emit != nil {
+			if err := emit(line); err != nil {
+				emit = nil // client gone; drain the channel, drop output
+			}
+		}
+	}
+	s.mJobs.Add(int64(len(pb.jobs)))
+	s.mJobsFailed.Add(int64(failed))
+	s.mBatchesDone.Add(1)
+
+	done := DoneLine{
+		Type:          "done",
+		Batch:         batchID,
+		Jobs:          len(pb.jobs),
+		Failed:        failed,
+		ElapsedMicros: time.Since(start).Microseconds(),
+		Cache:         toCacheReport(cctx.Record),
+	}
+	if emit != nil {
+		_ = emit(done)
+	}
+	return done
+}
+
+// finishAborted reports a batch whose client disconnected before it got a
+// compile slot: every job is an error line, nothing is computed.
+func (s *Server) finishAborted(ctx context.Context, pb *parsedBatch, batchID string, emit func(line any) error, start time.Time) DoneLine {
+	for i := range pb.jobs {
+		line := ResultLine{
+			Type: "error", ID: pb.ids[i], Index: i, Strategy: pb.jobs[i].Strategy,
+			Error: fmt.Sprintf("not started: %v", ctx.Err()),
+		}
+		if emit != nil {
+			if err := emit(line); err != nil {
+				emit = nil
+			}
+		}
+	}
+	s.mBatchesDone.Add(1)
+	s.mJobs.Add(int64(len(pb.jobs)))
+	s.mJobsFailed.Add(int64(len(pb.jobs)))
+	done := DoneLine{
+		Type: "done", Batch: batchID, Jobs: len(pb.jobs), Failed: len(pb.jobs),
+		ElapsedMicros: time.Since(start).Microseconds(),
+		Cache:         toCacheReport(compile.NewRecorder()),
+	}
+	if emit != nil {
+		_ = emit(done)
+	}
+	return done
+}
+
+// sysKey identifies one simulated system: the textual topology spec, the
+// qubit count and the fabrication seed.
+type sysKey struct {
+	topo string
+	n    int
+	seed int64
+}
+
+// systemCache memoizes characterized systems across requests, so repeat
+// submissions against the same named device share one *phys.System (and
+// therefore hash its content signature over identical memory). Bounded by
+// sysCacheLimit; eviction is arbitrary — rebuilding a system is cheap, the
+// cache only exists to keep the common case allocation-free.
+type systemCache struct {
+	mu sync.Mutex
+	m  map[sysKey]*phys.System
+}
+
+const sysCacheLimit = 64
+
+func (c *systemCache) get(topo string, n int, seed int64) (*phys.System, error) {
+	key := sysKey{topo: topo, n: n, seed: seed}
+	c.mu.Lock()
+	if sys, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		return sys, nil
+	}
+	c.mu.Unlock()
+	dev, err := topology.FromSpec(topo, n)
+	if err != nil {
+		return nil, err
+	}
+	sys := phys.NewSystem(dev, phys.DefaultParams(), seed)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if have, ok := c.m[key]; ok { // lost a build race: share the winner
+		return have, nil
+	}
+	if len(c.m) >= sysCacheLimit {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[key] = sys
+	return sys, nil
+}

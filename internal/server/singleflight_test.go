@@ -1,0 +1,86 @@
+package server
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"fastsc/internal/core"
+)
+
+// TestConcurrentSingleFlight hits one daemon with many concurrent
+// identical batches and asserts the single-flight guarantee through the
+// request-scoped stats: a miss is recorded only when a request's own
+// compute function ran, so the miss total across ALL concurrent requests
+// must equal the miss total of one request against a fresh server —
+// every key is computed exactly once process-wide, no matter how many
+// requests race for it. Run under -race (the repo's make test does) this
+// also shakes the admission path, the scoped recorders and the shared
+// cache for data races.
+func TestConcurrentSingleFlight(t *testing.T) {
+	const clients = 8
+
+	// Baseline: one request against a fresh server defines the workload's
+	// deterministic lookup profile (misses = unique keys computed).
+	baseline := New(Config{})
+	bts := httptest.NewServer(baseline.Handler())
+	_, baseDone := doStream(t, bts, testRequest(core.Strategies()...))
+	bts.Close()
+	if baseDone.Cache == nil || baseDone.Cache.Misses == 0 {
+		t.Fatalf("baseline cache report = %+v", baseDone.Cache)
+	}
+	baseTotal := baseDone.Cache.Hits + baseDone.Cache.Misses
+
+	// Fire the same request from many clients at once against one server
+	// with enough compile slots that they genuinely overlap.
+	srv := New(Config{MaxConcurrent: clients})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	dones := make([]DoneLine, clients)
+	var wg sync.WaitGroup
+	for i := range dones {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, dones[i] = doStream(t, ts, testRequest(core.Strategies()...))
+		}()
+	}
+	wg.Wait()
+
+	var misses uint64
+	for i, d := range dones {
+		if d.Failed != 0 {
+			t.Fatalf("client %d: %d failed jobs", i, d.Failed)
+		}
+		if d.Cache == nil {
+			t.Fatalf("client %d: no cache report", i)
+		}
+		if total := d.Cache.Hits + d.Cache.Misses; total == 0 || total > baseTotal {
+			// Warm requests may do FEWER lookups than the cold baseline
+			// (an outer-level hit short-circuits the nested lookups its
+			// compute would have made), but never more.
+			t.Errorf("client %d: %d lookups, want 1..%d", i, total, baseTotal)
+		}
+		misses += d.Cache.Misses
+	}
+
+	// Single-flight: the compute count across all clients equals one
+	// cold run — concurrent requests joined in-flight computations (and
+	// later ones hit the warm cache) instead of recomputing.
+	if misses != baseDone.Cache.Misses {
+		t.Errorf("total misses across %d concurrent clients = %d, want %d (single-flight violated)",
+			clients, misses, baseDone.Cache.Misses)
+	}
+
+	// The per-region split must agree with the totals.
+	var regionMisses uint64
+	for _, d := range dones {
+		for _, st := range d.Cache.Regions {
+			regionMisses += st.Misses
+		}
+	}
+	if regionMisses != misses {
+		t.Errorf("region miss sum %d != total misses %d", regionMisses, misses)
+	}
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// batchStore holds async batches for polling. It is bounded: adding a
+// batch beyond the limit evicts the oldest *finished* batch (running and
+// queued batches are never evicted, so an accepted batch can always be
+// polled at least until it completes and one poll-window later).
+type batchStore struct {
+	mu    sync.Mutex
+	m     map[string]*batchRecord
+	order []string
+	limit int
+	seq   int64
+}
+
+func newBatchStore(limit int) *batchStore {
+	return &batchStore{m: make(map[string]*batchRecord), limit: limit}
+}
+
+// add registers a new queued batch and returns its record.
+func (st *batchStore) add(jobs int) *batchRecord {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	rec := &batchRecord{id: fmt.Sprintf("b-%06d", st.seq), status: "queued", jobs: jobs}
+	st.m[rec.id] = rec
+	st.order = append(st.order, rec.id)
+	if len(st.m) > st.limit {
+		for i, oid := range st.order {
+			if old := st.m[oid]; old != nil && old.isDone() {
+				delete(st.m, oid)
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				break
+			}
+		}
+	}
+	return rec
+}
+
+// get returns the record for id, or nil.
+func (st *batchStore) get(id string) *batchRecord {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m[id]
+}
+
+// len returns the number of stored batches.
+func (st *batchStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+// batchRecord is one async batch's poll state. Results accumulate in
+// completion order as the engine streams them.
+type batchRecord struct {
+	id        string
+	mu        sync.Mutex
+	status    string // "queued" | "running" | "done"
+	jobs      int
+	failed    int
+	results   []ResultLine
+	cache     *CacheReport
+	elapsedUs int64
+}
+
+// appendLine records one emitted stream line; DoneLines are applied by
+// finish instead.
+func (r *batchRecord) appendLine(line any) error {
+	rl, ok := line.(ResultLine)
+	if !ok {
+		return nil
+	}
+	r.mu.Lock()
+	r.results = append(r.results, rl)
+	if rl.Type == "error" {
+		r.failed++
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// setRunning marks the batch as holding a compile slot.
+func (r *batchRecord) setRunning() {
+	r.mu.Lock()
+	if r.status == "queued" {
+		r.status = "running"
+	}
+	r.mu.Unlock()
+}
+
+// finish applies the terminal DoneLine.
+func (r *batchRecord) finish(done DoneLine) {
+	r.mu.Lock()
+	r.status = "done"
+	r.failed = done.Failed
+	r.cache = done.Cache
+	r.elapsedUs = done.ElapsedMicros
+	r.mu.Unlock()
+}
+
+func (r *batchRecord) isDone() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status == "done"
+}
+
+// snapshot renders the record as a poll response.
+func (r *batchRecord) snapshot() BatchStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return BatchStatus{
+		Batch:         r.id,
+		Status:        r.status,
+		Jobs:          r.jobs,
+		Completed:     len(r.results),
+		Failed:        r.failed,
+		Results:       append([]ResultLine(nil), r.results...),
+		Cache:         r.cache,
+		ElapsedMicros: r.elapsedUs,
+	}
+}

@@ -11,6 +11,8 @@ package topology
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"fastsc/internal/graph"
 )
@@ -179,6 +181,59 @@ func Express2D(rows, cols, k int) *Device {
 	}
 	d.Name = fmt.Sprintf("2EX-%d(%dx%d)", k, rows, cols)
 	return d
+}
+
+// FromSpec builds a device from a textual topology spec — the vocabulary
+// shared by the CLIs' -topology flags and the compile server's device
+// field: "grid" (perfect-square n), "linear", "ring", "1ex-K" and "2ex-K"
+// (express cubes with interval K >= 2, e.g. "1ex-3"; 2EX needs a
+// perfect-square n). Unlike the panicking constructors it validates its
+// inputs and returns an error, so untrusted specs can be parsed safely.
+func FromSpec(spec string, n int) (*Device, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: invalid qubit count %d", n)
+	}
+	switch {
+	case spec == "grid":
+		side := intSqrt(n)
+		if side*side != n {
+			return nil, fmt.Errorf("topology: grid needs a perfect-square qubit count, got %d", n)
+		}
+		return Grid(side, side), nil
+	case spec == "linear":
+		return Linear(n), nil
+	case spec == "ring":
+		return Ring(n), nil
+	case strings.HasPrefix(spec, "1ex-"):
+		k, err := expressInterval(spec)
+		if err != nil {
+			return nil, err
+		}
+		return Express1D(n, k), nil
+	case strings.HasPrefix(spec, "2ex-"):
+		k, err := expressInterval(spec)
+		if err != nil {
+			return nil, err
+		}
+		side := intSqrt(n)
+		if side*side != n {
+			return nil, fmt.Errorf("topology: 2ex needs a perfect-square qubit count, got %d", n)
+		}
+		return Express2D(side, side, k), nil
+	}
+	return nil, fmt.Errorf("topology: unknown spec %q (want grid | linear | ring | 1ex-K | 2ex-K)", spec)
+}
+
+// SpecNames lists the topology spec forms FromSpec accepts.
+func SpecNames() []string { return []string{"grid", "linear", "ring", "1ex-K", "2ex-K"} }
+
+// expressInterval parses the K of a "1ex-K"/"2ex-K" spec.
+func expressInterval(spec string) (int, error) {
+	k, err := strconv.Atoi(spec[4:])
+	if err != nil || k < 2 {
+		return 0, fmt.Errorf("topology: bad express interval in %q (want an integer >= 2)", spec)
+	}
+	return k, nil
 }
 
 // FromEdges builds a device over qubits 0..n-1 with the given couplers.

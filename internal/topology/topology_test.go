@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -191,5 +192,60 @@ func TestTopologyPropertyRandomSizes(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFromSpec(t *testing.T) {
+	cases := []struct {
+		spec  string
+		n     int
+		edges int
+		err   string
+	}{
+		{"grid", 9, 12, ""},
+		{"grid", 5, 0, "perfect-square"},
+		{"linear", 5, 4, ""},
+		{"ring", 5, 5, ""},
+		{"1ex-2", 8, 0, ""},
+		{"1ex-1", 8, 0, "express interval"},
+		{"1ex-x", 8, 0, "express interval"},
+		{"2ex-3", 9, 0, ""},
+		{"2ex-3", 8, 0, "perfect-square"},
+		{"moebius", 8, 0, "unknown spec"},
+		{"grid", 0, 0, "invalid qubit count"},
+	}
+	for _, tc := range cases {
+		dev, err := FromSpec(tc.spec, tc.n)
+		if tc.err != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Errorf("FromSpec(%q, %d) error = %v, want mention of %q", tc.spec, tc.n, err, tc.err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("FromSpec(%q, %d): %v", tc.spec, tc.n, err)
+			continue
+		}
+		if dev.Qubits != tc.n {
+			t.Errorf("FromSpec(%q, %d): %d qubits", tc.spec, tc.n, dev.Qubits)
+		}
+		if err := dev.Validate(); err != nil {
+			t.Errorf("FromSpec(%q, %d): %v", tc.spec, tc.n, err)
+		}
+		if tc.edges > 0 && dev.Coupling.NumEdges() != tc.edges {
+			t.Errorf("FromSpec(%q, %d): %d edges, want %d", tc.spec, tc.n, dev.Coupling.NumEdges(), tc.edges)
+		}
+	}
+}
+
+func TestSpecNamesMatchFromSpec(t *testing.T) {
+	// Every concrete (non-parameterized) spec name must round-trip.
+	for _, name := range SpecNames() {
+		if strings.Contains(name, "K") {
+			continue
+		}
+		if _, err := FromSpec(name, 4); err != nil {
+			t.Errorf("FromSpec(%q, 4): %v", name, err)
+		}
 	}
 }

@@ -1,0 +1,166 @@
+#!/usr/bin/env bash
+# daemon-smoke.sh — end-to-end smoke test of fastscd (run from repo root,
+# or via `make daemon-smoke`). Mirrors the CI daemon-smoke job:
+#
+#   1. build fastscd and start it with a snapshot file
+#   2. submit a 5-strategy QASM batch on a 9-qubit grid; validate every
+#      result line carries a sane schedule summary
+#   3. resubmit the identical batch; assert the request-scoped cache hit
+#      rate exceeds 0.90
+#   4. assert /metrics exports nonzero cache-region hit counters
+#   5. SIGTERM; assert a clean exit that persisted the snapshot
+#   6. restart against the snapshot; assert a warm start
+#      (fastscd_snapshot_restored_entries > 0)
+set -euo pipefail
+
+PORT="${PORT:-8077}"
+BASE="http://localhost:$PORT"
+WORKDIR="$(mktemp -d)"
+SNAP="$WORKDIR/cache.snap.gz"
+DAEMON_PID=""
+
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() { echo "daemon-smoke: FAIL: $*" >&2; exit 1; }
+
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    fail "daemon did not become healthy on $BASE"
+}
+
+start_daemon() {
+    "$WORKDIR/fastscd" -addr ":$PORT" -cache-file "$SNAP" >"$WORKDIR/daemon.log" 2>&1 &
+    DAEMON_PID=$!
+    wait_healthy
+}
+
+echo "== build"
+go build -o "$WORKDIR/fastscd" ./cmd/fastscd
+
+REQ="$WORKDIR/request.json"
+python3 - "$REQ" <<'PYEOF'
+import json, sys
+qasm = "\n".join([
+    "OPENQASM 2.0;",
+    'include "qelib1.inc";',
+    "qreg q[9];",
+    "h q[0];", "h q[4];",
+    "cz q[0],q[1];", "cz q[3],q[4];", "cz q[7],q[8];",
+    "cz q[1],q[2];", "cz q[4],q[5];",
+    "rz(pi/2) q[2];",
+    "cz q[2],q[5];",
+]) + "\n"
+req = {
+    "device": {"topology": "grid", "qubits": 9},
+    "jobs": [
+        {"id": s.lower().replace(" ", "-"), "strategy": s, "qasm": qasm}
+        for s in ["Baseline N", "Baseline G", "Baseline U", "Baseline S", "ColorDynamic"]
+    ],
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(req, f)
+PYEOF
+
+echo "== start (cold)"
+start_daemon
+
+echo "== submit batch (cold)"
+curl -fsS -N "$BASE/v1/compile" -d @"$REQ" > "$WORKDIR/cold.ndjson"
+python3 - "$WORKDIR/cold.ndjson" cold <<'PYEOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+results = [l for l in lines if l["type"] == "result"]
+errors = [l for l in lines if l["type"] == "error"]
+dones = [l for l in lines if l["type"] == "done"]
+assert not errors, f"error lines: {errors}"
+assert len(results) == 5, f"{len(results)} results, want 5"
+assert len(dones) == 1, "want exactly one done line"
+for r in results:
+    d = r["result"]
+    assert 0 < d["success"] <= 1, f"{r['id']}: success {d['success']}"
+    assert d["depth"] > 0 and d["total_ns"] > 0, f"{r['id']}: empty schedule"
+done = dones[0]
+assert done["jobs"] == 5 and done["failed"] == 0, done
+mode = sys.argv[2]
+rate = done["cache"]["hit_rate"]
+if mode == "warm":
+    assert rate > 0.90, f"warm hit rate {rate} is not > 0.90"
+print(f"{mode}: 5 strategies ok, hit rate {rate:.3f}")
+PYEOF
+
+echo "== resubmit identical batch (must be >90% cache hits)"
+curl -fsS -N "$BASE/v1/compile" -d @"$REQ" > "$WORKDIR/warm.ndjson"
+python3 - "$WORKDIR/warm.ndjson" warm <"/dev/null" <<'PYEOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+done = [l for l in lines if l["type"] == "done"][0]
+assert done["failed"] == 0, done
+rate = done["cache"]["hit_rate"]
+assert rate > 0.90, f"repeat-request hit rate {rate} is not > 0.90"
+print(f"warm: hit rate {rate:.3f}")
+PYEOF
+
+echo "== /metrics must export nonzero cache hits"
+curl -fsS "$BASE/metrics" > "$WORKDIR/metrics.txt"
+python3 - "$WORKDIR/metrics.txt" <<'PYEOF'
+import sys
+hits = 0
+for line in open(sys.argv[1]):
+    if line.startswith("fastscd_cache_hits_total{"):
+        hits += int(float(line.split()[-1]))
+assert hits > 0, "no cache hits exported on /metrics"
+print(f"metrics: {hits} cache hits across regions")
+PYEOF
+grep -q '^fastscd_batches_done_total 2$' "$WORKDIR/metrics.txt" \
+    || fail "expected fastscd_batches_done_total 2 on /metrics"
+
+echo "== SIGTERM must drain cleanly and persist the snapshot"
+kill -TERM "$DAEMON_PID"
+for _ in $(seq 1 100); do
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$DAEMON_PID" 2>/dev/null; then
+    fail "daemon still running 10s after SIGTERM"
+fi
+wait "$DAEMON_PID" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" -eq 0 ] || fail "daemon exited with status $rc (want 0); log: $(cat "$WORKDIR/daemon.log")"
+[ -s "$SNAP" ] || fail "no cache snapshot at $SNAP after drain"
+DAEMON_PID=""
+
+echo "== restart must warm-start from the snapshot"
+start_daemon
+curl -fsS "$BASE/metrics" > "$WORKDIR/metrics2.txt"
+restored=$(awk '/^fastscd_snapshot_restored_entries / {print $2}' "$WORKDIR/metrics2.txt")
+[ -n "$restored" ] && [ "$restored" -gt 0 ] \
+    || fail "fastscd_snapshot_restored_entries = '$restored', want > 0"
+echo "restart: $restored entries restored"
+
+echo "== warm-start requests must hit the restored cache"
+curl -fsS -N "$BASE/v1/compile" -d @"$REQ" > "$WORKDIR/restart.ndjson"
+python3 - "$WORKDIR/restart.ndjson" <<'PYEOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+done = [l for l in lines if l["type"] == "done"][0]
+assert done["failed"] == 0, done
+rate = done["cache"]["hit_rate"]
+# smt/slice/static/park persist; xtalk/circ/route rebuild after restart,
+# so the floor is below the same-process 0.90 but far above cold.
+assert rate > 0.5, f"post-restart hit rate {rate} is not > 0.5"
+print(f"post-restart: hit rate {rate:.3f}")
+PYEOF
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+echo "daemon-smoke: PASS"
