@@ -92,12 +92,17 @@ func main() {
 		}
 		fmt.Printf("%-60s %14.0f %14.0f %+7.1f%%%s\n", name, b.NsPerOp, n.NsPerOp, delta, mark)
 	}
+	gone := make([]string, 0, len(base))
 	for name := range base {
 		if re.MatchString(name) {
 			if _, ok := cand[name]; !ok {
-				fmt.Printf("%-60s %14.0f %14s %8s\n", name, base[name].NsPerOp, "-", "gone")
+				gone = append(gone, name)
 			}
 		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Printf("%-60s %14.0f %14s %8s\n", name, base[name].NsPerOp, "-", "gone")
 	}
 
 	if overlap == 0 {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"fastsc/internal/smt"
@@ -142,7 +143,19 @@ func (c *Cache) Save(path string) error {
 	for k, v := range c.regionEntries(RegionSlice) {
 		snap.Slice[k] = v.(SliceSolution)
 	}
-	for k, v := range c.regionEntries(RegionStatic) {
+	// Emit static entries in sorted key order: the other regions are gob
+	// maps, but this one is a slice, and appending it in map-range order
+	// would make the snapshot bytes differ from run to run for identical
+	// cache contents (the fig13 nondeterminism class, caught by the
+	// maporder analyzer).
+	static := c.regionEntries(RegionStatic)
+	staticKeys := make([]string, 0, len(static))
+	for k := range static {
+		staticKeys = append(staticKeys, k)
+	}
+	sort.Strings(staticKeys)
+	for _, k := range staticKeys {
+		v := static[k]
 		var blob bytes.Buffer
 		if err := gob.NewEncoder(&blob).Encode(&v); err != nil {
 			continue
