@@ -1,0 +1,101 @@
+// Command fastscvet is fastsc's custom static-analysis suite: five
+// repo-specific analyzers (maporder, hotalloc, poolpair, keyfields,
+// ctxflow) that enforce at vet time the invariants the compiler's
+// determinism and performance depend on. See internal/lint for the
+// analyzer catalogue and the //fastsc:ignore suppression contract, and
+// docs/architecture.md ("Invariants & enforcement") for the map from
+// each invariant to its analyzer and backstopping runtime test.
+//
+// Two modes share the same analyzers and suppression accounting:
+//
+//	fastscvet [packages]             standalone: loads packages via go list
+//	                                 and prints every finding plus the
+//	                                 suppression audit; exit 1 on findings.
+//	go vet -vettool=$(FASTSCVET) …   unitchecker: the go command invokes the
+//	                                 binary once per package with a .cfg
+//	                                 file (the stable vet protocol); exit 2
+//	                                 on findings, and the standard vet
+//	                                 analyzers run separately via plain
+//	                                 `go vet`.
+//
+// `make lint` runs both plain `go vet` and the -vettool pass, in lockstep
+// with .github/workflows/ci.yml.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+
+	"fastsc/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	analyzers := lint.Analyzers()
+
+	// The go vet tool protocol: -V=full prints a line identifying this
+	// build (the go command folds it into its action cache key), -flags
+	// describes the tool's flags (fastscvet has none), and a lone
+	// path/to/unit.cfg argument analyzes one package unit.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			return 0
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return lint.RunUnitchecker(analyzers, args[0], os.Stderr)
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fastscvet:", err)
+		return 1
+	}
+	pkgs, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fastscvet:", err)
+		return 1
+	}
+	findings, suppressed := 0, 0
+	for _, pkg := range pkgs {
+		res := lint.Analyze(pkg, analyzers)
+		lint.PrintResult(os.Stderr, res)
+		findings += len(res.Diagnostics)
+		suppressed += len(res.Suppressed)
+	}
+	fmt.Fprintf(os.Stderr, "fastscvet: %d package(s), %d finding(s), %d suppression(s) honored\n",
+		len(pkgs), findings, suppressed)
+	if findings > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printVersion emits the -V=full line. Hashing the executable makes the
+// line change whenever the tool is rebuilt, which is exactly what the go
+// command's result caching needs to invalidate stale vet verdicts.
+func printVersion() {
+	name := "fastscvet"
+	sum := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			h := sha256.Sum256(data)
+			sum = fmt.Sprintf("%x", h[:8])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, sum)
+}

@@ -99,6 +99,7 @@ func NewFrontier(c *Circuit) *Frontier { return Analyze(c).NewFrontier() }
 // drawing its cursor state from a pool. Multiple frontiers over one shared
 // Analysis are independent.
 func (a *Analysis) NewFrontier() *Frontier {
+	//fastsc:ignore poolpair -- escapes: constructor hands the pooled frontier to the caller, whose contract pairs it with Release (builder.releasePooled, router defer)
 	f := frontierPool.Get().(*Frontier)
 	f.a = a
 	f.next = resizeZero(f.next, a.NumQubits)
@@ -134,6 +135,8 @@ func (f *Frontier) Release() {
 // buffer: it is valid (and may be reordered in place by the caller) until
 // the next Ready call. Ready performs no allocation beyond growing that
 // buffer to the widest frontier seen.
+//
+//fastsc:hotpath every strategy drains the frontier once per slice; the zero-alloc contract is pinned by TestFrontierReadyZeroAlloc
 func (f *Frontier) Ready() []int {
 	ready := f.ready[:0]
 	a := f.a

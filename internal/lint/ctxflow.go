@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowAnalyzer enforces context threading: a function that receives a
+// context.Context must pass it along. Two bug shapes are flagged inside
+// such functions:
+//
+//   - calling context.Background() or context.TODO(), which severs the
+//     cancellation chain (the one sanctioned exception: a nil-guard
+//     `if ctx == nil { ctx = context.Background() }`, which engine-style
+//     entry points use to make nil contexts valid);
+//   - calling X(...) when a sibling XCtx(...) exists that accepts a
+//     context.Context — the RunBatch/RunBatchCtx and
+//     BatchCompile/BatchCompileCtx family — which silently detaches the
+//     callee's work from the caller's cancellation.
+//
+// Note the repo also abbreviates *compile.Context as "ctx"; this analyzer
+// keys on the types, not the names, so only the standard context is
+// tracked and a sibling whose extra parameter is *compile.Context does
+// not count as a Ctx variant.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc: "functions taking a context.Context must thread it: no " +
+		"context.Background/TODO, no calling X where XCtx exists",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	forEachFuncDecl(pass.Files, func(fn *ast.FuncDecl) {
+		def, _ := pass.Info.Defs[fn.Name].(*types.Func)
+		if def == nil {
+			return
+		}
+		ctxParam := contextParam(def.Signature())
+		if ctxParam == nil {
+			return
+		}
+		checkCtxBody(pass, fn, ctxParam)
+	})
+}
+
+// contextParam returns sig's first context.Context parameter, or nil.
+func contextParam(sig *types.Signature) *types.Var {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContext(params.At(i).Type()) {
+			return params.At(i)
+		}
+	}
+	return nil
+}
+
+func checkCtxBody(pass *Pass, fn *ast.FuncDecl, ctxParam *types.Var) {
+	inspectStack([]*ast.File{wrapBody(fn)}, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee := calleeObject(pass.Info, call)
+		if callee == nil {
+			return
+		}
+		if callee.Pkg() != nil && callee.Pkg().Path() == "context" &&
+			(callee.Name() == "Background" || callee.Name() == "TODO") {
+			if !underNilGuard(pass, stack, ctxParam) {
+				pass.Reportf(call.Pos(),
+					"%s already receives ctx; pass it (or derive from it) instead of context.%s",
+					fn.Name.Name, callee.Name())
+			}
+			return
+		}
+		if sib := ctxSibling(callee); sib != "" {
+			pass.Reportf(call.Pos(),
+				"%s holds ctx but calls %s, which detaches from cancellation; call %s and pass ctx",
+				fn.Name.Name, callee.Name(), sib)
+		}
+	})
+}
+
+// underNilGuard reports whether the node whose ancestor stack is given
+// sits inside an `if ctx == nil` (or `nil == ctx`) branch testing the
+// function's own context parameter.
+func underNilGuard(pass *Pass, stack []ast.Node, ctxParam *types.Var) bool {
+	for _, anc := range stack {
+		ifs, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		bin, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok || bin.Op.String() != "==" {
+			continue
+		}
+		for _, pair := range [2][2]ast.Expr{{bin.X, bin.Y}, {bin.Y, bin.X}} {
+			id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+			if !ok || pass.ObjectOf(id) != ctxParam {
+				continue
+			}
+			if tv, ok := pass.Info.Types[pair[1]]; ok && tv.IsNil() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ctxSibling returns the qualified name of callee's Ctx variant — a
+// function or method named callee.Name()+"Ctx" in the same scope (package
+// scope for functions, the receiver's method set for methods) that takes
+// a context.Context — when callee itself does not. Empty when none.
+func ctxSibling(callee *types.Func) string {
+	sig := callee.Signature()
+	if contextParam(sig) != nil {
+		return ""
+	}
+	want := callee.Name() + "Ctx"
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		obj, _, _ := types.LookupFieldOrMethod(t, true, callee.Pkg(), want)
+		if m, ok := obj.(*types.Func); ok && contextParam(m.Signature()) != nil {
+			return typeName(t) + "." + want
+		}
+		return ""
+	}
+	if callee.Pkg() == nil {
+		return ""
+	}
+	if m, ok := callee.Pkg().Scope().Lookup(want).(*types.Func); ok && contextParam(m.Signature()) != nil {
+		return callee.Pkg().Name() + "." + want
+	}
+	return ""
+}
+
+func typeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

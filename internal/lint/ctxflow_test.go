@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"fastsc/internal/lint"
+	"fastsc/internal/lint/linttest"
+)
+
+func TestCtxFlowFixture(t *testing.T) {
+	linttest.Run(t, "ctxflow", lint.CtxFlowAnalyzer)
+}

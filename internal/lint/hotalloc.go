@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotpathMarker annotates a function as allocation-disciplined: place it
+// in the doc comment of functions on the compile hot path (the schedule
+// slice loop, circuit.Frontier.Ready, phys.System.G0/G0ByID, xtalk.Build,
+// the mapping routers' swap scoring, ...).
+const HotpathMarker = "//fastsc:hotpath"
+
+// HotAllocAnalyzer enforces the zero-alloc discipline on functions
+// annotated //fastsc:hotpath: no map literals, no make(map...), no calls
+// into package fmt, and no implicit interface boxing of non-pointer
+// values (the hidden allocation when a concrete value is passed to an
+// interface parameter, assigned to an interface variable, or returned as
+// one). Arguments of panic calls are exempt — a panicking path is cold by
+// definition, and the repo's hot-path panics format their message with
+// fmt.Sprintf. Pointer-shaped conversions (pointers, channels, funcs,
+// maps) are exempt too: they fit an interface word and do not allocate,
+// which keeps the canonical `pool.Put(ptr)` pattern clean.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid map allocation, fmt calls and implicit interface boxing in " +
+		"functions annotated " + HotpathMarker,
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	forEachFuncDecl(pass.Files, func(fn *ast.FuncDecl) {
+		if !funcDocHasMarker(fn, HotpathMarker) {
+			return
+		}
+		def, _ := pass.Info.Defs[fn.Name].(*types.Func)
+		if def == nil {
+			return
+		}
+		checkHotBody(pass, fn.Body, def.Signature())
+	})
+}
+
+func checkHotBody(pass *Pass, body *ast.BlockStmt, sig *types.Signature) {
+	results := sig.Results()
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures have their own result signature; recurse so their
+			// return statements are checked against it, not the outer one.
+			if litSig, ok := pass.TypeOf(n.Type).(*types.Signature); ok {
+				checkHotBody(pass, n.Body, litSig)
+				return false
+			}
+		case *ast.CallExpr:
+			if isBuiltinCall(pass.Info, n, "panic") {
+				return false // cold by definition; fmt.Sprintf in a panic is fine
+			}
+			checkHotCall(pass, n)
+		case *ast.CompositeLit:
+			if isMap(pass.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "map literal allocates on a hot path; use a flat slice or reuse scratch")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					checkBoxing(pass, n.Rhs[i], pass.TypeOf(n.Lhs[i]), "assigned to interface")
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				if n.Type != nil {
+					checkBoxing(pass, v, pass.TypeOf(n.Type), "assigned to interface")
+				}
+			}
+		case *ast.ReturnStmt:
+			if results != nil && len(n.Results) == results.Len() {
+				for i, r := range n.Results {
+					checkBoxing(pass, r, results.At(i).Type(), "returned as interface")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags fmt calls, make(map...), and boxing at argument
+// positions (including conversions to interface types).
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	if isBuiltinCall(pass.Info, call, "make") && len(call.Args) > 0 {
+		if isMap(pass.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "make(map) allocates on a hot path; use a flat slice or reuse scratch")
+		}
+		return
+	}
+	if isBuiltinCall(pass.Info, call, "append") && len(call.Args) > 1 {
+		if sl, ok := pass.TypeOf(call.Args[0]).Underlying().(*types.Slice); ok {
+			for _, arg := range call.Args[1:] {
+				checkBoxing(pass, arg, sl.Elem(), "appended as interface")
+			}
+		}
+		return
+	}
+	if fn := calleeObject(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s on a hot path allocates and boxes its operands", fn.Name())
+		return
+	}
+	// Explicit conversion: T(x). Flag only conversions into interfaces.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkBoxing(pass, call.Args[0], tv.Type, "converted to interface")
+		return
+	}
+	sig, _ := pass.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkBoxing(pass, arg, pt, "passed to interface parameter")
+	}
+}
+
+// checkBoxing reports expr when storing it into target type would box a
+// non-pointer-shaped concrete value into an interface.
+func checkBoxing(pass *Pass, expr ast.Expr, target types.Type, how string) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	at := tv.Type
+	if types.IsInterface(at) || !boxingAllocates(at) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "implicit boxing: %s %s %s allocates on a hot path", at.String(), how, target.String())
+}
+
+// boxingAllocates reports whether converting a value of concrete type t
+// to an interface can allocate: pointer-shaped kinds (pointers, channels,
+// maps, funcs, unsafe.Pointer) fit the interface data word and do not.
+func boxingAllocates(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer
+	}
+	return true
+}

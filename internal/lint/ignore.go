@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the single auditable suppression form:
+//
+//	//fastsc:ignore <analyzer> -- <reason>
+//
+// placed on the offending line or the line immediately above it. The
+// reason is mandatory (a bare ignore is itself a finding), the analyzer
+// name must be one of the suite's, and a directive that suppresses
+// nothing is reported as unused — suppressions may not rot in place.
+const ignorePrefix = "//fastsc:ignore"
+
+// metaAnalyzer labels the findings the suppression machinery itself
+// produces (malformed or unused directives). They are not suppressible.
+const metaAnalyzer = "fastscvet"
+
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position // position of the directive comment
+	used     bool
+	bad      string // non-empty: why the directive is malformed
+}
+
+// parseIgnores scans every comment in pkg for ignore directives and
+// indexes them by (file, line): a directive suppresses findings on its
+// own line and on the line immediately following it.
+func parseIgnores(pkg *Package, known map[string]bool) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				d := &ignoreDirective{pos: pkg.Fset.Position(c.Pos())}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				name, reason, ok := strings.Cut(rest, "--")
+				d.analyzer = strings.TrimSpace(name)
+				d.reason = strings.TrimSpace(reason)
+				switch {
+				case !ok || d.reason == "":
+					d.bad = "suppression without a reason; use //fastsc:ignore <analyzer> -- <reason>"
+				case d.analyzer == "":
+					d.bad = "suppression without an analyzer name; use //fastsc:ignore <analyzer> -- <reason>"
+				case !known[d.analyzer]:
+					d.bad = "suppression names unknown analyzer " + quote(d.analyzer)
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+func quote(s string) string { return "\"" + s + "\"" }
+
+// applyIgnores filters raw findings through the package's ignore
+// directives: a finding is suppressed (and counted) when a well-formed
+// directive for its analyzer sits on the same line or the line above in
+// the same file. Malformed directives become meta-findings, as do
+// directives left unused by an analyzer in ran (for analyzers that did
+// not run, unused-ness is undecidable and the directive is left alone).
+func applyIgnores(pkg *Package, known, ran map[string]bool, raw []Diagnostic) Result {
+	directives := parseIgnores(pkg, known)
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	index := map[key]*ignoreDirective{}
+	for _, d := range directives {
+		if d.bad != "" {
+			continue
+		}
+		for _, line := range [2]int{d.pos.Line, d.pos.Line + 1} {
+			k := key{d.pos.Filename, line, d.analyzer}
+			if index[k] == nil {
+				index[k] = d
+			}
+		}
+	}
+
+	var res Result
+	for _, diag := range raw {
+		if d := index[key{diag.Pos.Filename, diag.Pos.Line, diag.Analyzer}]; d != nil {
+			d.used = true
+			res.Suppressed = append(res.Suppressed, Suppression{
+				Analyzer: diag.Analyzer,
+				Pos:      diag.Pos,
+				Reason:   d.reason,
+			})
+			continue
+		}
+		res.Diagnostics = append(res.Diagnostics, diag)
+	}
+	for _, d := range directives {
+		switch {
+		case d.bad != "":
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Analyzer: metaAnalyzer, Pos: d.pos, Message: d.bad,
+			})
+		case !d.used && ran[d.analyzer]:
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Analyzer: metaAnalyzer, Pos: d.pos,
+				Message: "unused suppression for " + quote(d.analyzer) + "; the finding it silenced is gone — delete the directive",
+			})
+		}
+	}
+	return res
+}

@@ -1,0 +1,41 @@
+package lint_test
+
+import (
+	"testing"
+
+	"fastsc/internal/lint"
+	"fastsc/internal/lint/linttest"
+)
+
+func TestKeyFieldsFixture(t *testing.T) {
+	const pkg = "fastsc/internal/lint/testdata/src/keyfields."
+	ana := lint.MakeKeyFieldsAnalyzer(map[string]lint.KeySchema{
+		pkg + "Good":      {KeyFunc: "fixtureKey", Fields: []string{"A", "B"}},
+		pkg + "Drifted":   {KeyFunc: "fixtureKey", Fields: []string{"X"}},
+		pkg + "Missing":   {KeyFunc: "fixtureKey", Fields: []string{"Y", "Gone"}},
+		pkg + "NotStruct": {KeyFunc: "fixtureKey", Fields: []string{"Z"}},
+		pkg + "Absent":    {KeyFunc: "fixtureKey", Fields: []string{"Q"}},
+	})
+	linttest.Run(t, "keyfields", ana)
+}
+
+// TestDefaultKeySchemaCovered runs the production keyfields analyzer the
+// way `make lint` does not: over the real packages it pins, asserting
+// zero findings. This is the lockstep check between keyschema.go and the
+// structs it describes, independent of the reflection guard in
+// compile/key_test.go.
+func TestDefaultKeySchemaCovered(t *testing.T) {
+	pkgs, err := lint.Load(".", []string{
+		"fastsc/internal/smt", "fastsc/internal/topology", "fastsc/internal/phys",
+		"fastsc/internal/circuit", "fastsc/internal/mapping",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		res := lint.Analyze(p, []*lint.Analyzer{lint.KeyFieldsAnalyzer})
+		for _, d := range res.Diagnostics {
+			t.Errorf("%s", d)
+		}
+	}
+}

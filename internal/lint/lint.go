@@ -1,0 +1,192 @@
+// Package lint implements fastscvet, fastsc's repo-specific static
+// analysis suite: five analyzers that enforce, at vet time, the
+// load-bearing invariants the compiler's correctness and performance
+// depend on and that would otherwise be guarded only by runtime tests
+// and reviewer memory:
+//
+//   - maporder: no map iteration may feed an order-sensitive sink
+//     (appends, writers, hashes) without sorting — the class of
+//     nondeterminism bug that once made fig13's express-XEB rows depend
+//     on Go map iteration order.
+//   - hotalloc: functions annotated //fastsc:hotpath must stay free of
+//     map allocation, fmt calls and implicit interface boxing.
+//   - poolpair: values acquired from a sync.Pool must reach a Put/Release
+//     on every path, or carry an explicit escape suppression.
+//   - keyfields: structs hashed into compile cache keys must have every
+//     field enumerated in the key schema table (keyschema.go), the
+//     compile-time twin of the reflection guard in compile/key_test.go.
+//   - ctxflow: a function that receives a context.Context must thread it
+//     (no context.Background/TODO, no calling X when XCtx exists).
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so the suite can migrate onto the real framework the
+// day the dependency is available; this repo vendors nothing and builds
+// offline, so the driver (cmd/fastscvet), the package loader (load.go),
+// the go vet -vettool unitchecker protocol (unitchecker.go) and the
+// fixture test harness (linttest) are small stdlib-only reimplementations
+// of the x/tools surface they need.
+//
+// Findings are suppressed with a single auditable form, placed on the
+// offending line or the line immediately above:
+//
+//	//fastsc:ignore <analyzer> -- <reason>
+//
+// A suppression without a reason, naming an unknown analyzer, or
+// matching no finding is itself a finding; the driver counts and prints
+// every suppression it honors, so the audit trail is part of every lint
+// run.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one analysis: a name, prose documentation, and a
+// Run function reporting findings on one package through its Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// A Pass connects an Analyzer to the single package being analyzed. The
+// analyzer reads the syntax trees and type information and reports
+// findings via Reportf; it must not retain the Pass after Run returns.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if not found.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by identifier id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Package is one loaded, type-checked package: the unit of analysis.
+// load.go builds them from `go list` output, unitchecker.go from a go vet
+// config, and linttest from fixture directories.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers read.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// A Suppression is one honored //fastsc:ignore directive: the finding it
+// silenced plus the audit reason. The driver counts and prints these.
+type Suppression struct {
+	Analyzer string
+	Pos      token.Position // position of the suppressed finding
+	Reason   string
+}
+
+// A Result is the outcome of analyzing one package: the findings to
+// report (including meta-findings about malformed or unused suppressions)
+// and the suppressions that were honored.
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  []Suppression
+}
+
+// Analyzers is the fastscvet suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapOrderAnalyzer,
+		HotAllocAnalyzer,
+		PoolPairAnalyzer,
+		KeyFieldsAnalyzer,
+		CtxFlowAnalyzer,
+	}
+}
+
+// Analyze runs the given analyzers over pkg, applies the //fastsc:ignore
+// suppressions found in its files, and returns the surviving findings
+// (sorted by position) plus the honored suppressions.
+func Analyze(pkg *Package, analyzers []*Analyzer) Result {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			diags:    &raw,
+		}
+		a.Run(pass)
+	}
+	// A directive may name any analyzer in the suite (plus any extra
+	// analyzer passed in), but staleness is only decidable for analyzers
+	// that actually ran: a poolpair suppression is not "unknown" — or
+	// "unused" — just because this invocation ran keyfields alone.
+	known := make(map[string]bool, len(analyzers))
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+		ran[a.Name] = true
+	}
+	res := applyIgnores(pkg, known, ran, raw)
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res
+}

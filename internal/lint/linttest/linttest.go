@@ -1,0 +1,119 @@
+// Package linttest is the fixture harness for the fastscvet analyzers — a
+// stdlib-only stand-in for golang.org/x/tools/go/analysis/analysistest.
+// A fixture is one Go package under testdata/src/<name>/ (relative to the
+// calling test's working directory); Run loads it through the same
+// go list + export-data pipeline the real driver uses, runs the analyzers,
+// and compares the surviving findings against `// want` expectations
+// embedded in the fixture source:
+//
+//	for k := range m { // want `maporder: iteration over map "m" .*`
+//
+// Each want carries one or more quoted regular expressions (Go-quoted or
+// backquoted), matched against the finding rendered as "analyzer: message"
+// on the same line. Every finding must match a want and every want must be
+// matched by a finding; mismatches fail the test. Run returns the full
+// Result so tests can additionally assert on honored suppressions — the
+// counted audit trail is part of the contract under test.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fastsc/internal/lint"
+)
+
+// Run loads testdata/src/<fixture>, analyzes it with the given analyzers,
+// checks findings against the fixture's want comments, and returns the
+// Result for further assertions.
+func Run(t *testing.T, fixture string, analyzers ...*lint.Analyzer) lint.Result {
+	t.Helper()
+	pkgs, err := lint.Load(".", []string{"./testdata/src/" + fixture})
+	if err != nil {
+		t.Fatalf("loading fixture %q: %v", fixture, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %q resolved to %d packages, want 1", fixture, len(pkgs))
+	}
+	pkg := pkgs[0]
+	res := lint.Analyze(pkg, analyzers)
+
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		rendered := d.Analyzer + ": " + d.Message
+		if !claimWant(wants, d.Pos.Filename, d.Pos.Line, rendered) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matching %q", w.file, w.line, w.re.String())
+		}
+	}
+	return res
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// claimWant marks the first unmatched want on (file, line) whose pattern
+// matches rendered, reporting whether one was found.
+func claimWant(wants []*want, file string, line int, rendered string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(rendered) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantMarker locates the expectation list inside a comment. Requiring a
+// quote right after the keyword keeps prose mentioning "want" inert.
+var wantMarker = regexp.MustCompile("(?:^|\\s)want\\s+([\"`].*)$")
+
+// parseWants extracts every want expectation from the package's comments,
+// keyed to the comment's own line.
+func parseWants(pkg *lint.Package) ([]*want, error) {
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := wantMarker.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := m[1]
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: malformed want expectation %q: %v", pos.Filename, pos.Line, rest, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Standalone package loading for the fastscvet driver. Two `go list`
+// invocations replace golang.org/x/tools/go/packages: the first resolves
+// the command-line patterns to target import paths, the second
+// (-deps -export) compiles export data for every dependency into the
+// build cache. Each target is then parsed and type-checked from source
+// against that export data via the standard library's gc importer — the
+// same pipeline go vet itself runs, minus the per-package process fan-out.
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns (go list syntax),
+// resolved relative to dir, and returns them ready for Analyze.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"-e", "-json=ImportPath,Error,Incomplete"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	want := map[string]bool{}
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("lint: go list %v: %s", patterns, t.Error.Err)
+		}
+		want[t.ImportPath] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %v", patterns)
+	}
+
+	all, err := goList(dir, append([]string{"-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,ImportMap,Error,Incomplete"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var units []*listedPackage
+	for _, p := range all {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if want[p.ImportPath] {
+			q := p
+			units = append(units, &q)
+		}
+	}
+
+	var pkgs []*Package
+	for _, u := range units {
+		if u.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", u.ImportPath, u.Error.Err)
+		}
+		if len(u.CgoFiles) > 0 {
+			return nil, fmt.Errorf("lint: %s uses cgo, which the loader does not support", u.ImportPath)
+		}
+		var files []string
+		for _, f := range u.GoFiles {
+			files = append(files, filepath.Join(u.Dir, f))
+		}
+		pkg, err := checkFiles(u.ImportPath, files, u.ImportMap, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func goList(dir string, args []string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, strings.TrimSpace(stderr.String()))
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// checkFiles parses and type-checks one package whose imports resolve
+// through export-data files (importMap maps source import paths to
+// resolved package paths, exports maps package paths to export files).
+func checkFiles(path string, filenames []string, importMap map[string]string, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(p string) (io.ReadCloser, error) {
+		if m, ok := importMap[p]; ok {
+			p = m
+		}
+		file, ok := exports[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(file)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrderAnalyzer flags `for range` loops over maps whose bodies feed an
+// order-sensitive sink: appending to a slice declared outside the loop,
+// writing to a writer/builder/hasher declared outside the loop, sending
+// on an outer channel, or storing through an outer counter index. Go map
+// iteration order is random per run, so any such loop makes output or a
+// hash nondeterministic — the exact bug class that once made fig13's
+// express-XEB rows depend on map iteration order. Accumulating into
+// another map, or counting/summing, is commutative and not flagged; an
+// append whose destination is sorted immediately after the loop (the
+// collect-then-sort idiom) is recognized and not flagged.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration feeding order-sensitive sinks (appends, writers, " +
+		"hashes, channel sends) unless the result is sorted",
+	Run: runMapOrder,
+}
+
+// sinkMethods are method names that write a sequential stream: calling
+// one on a value that outlives the loop makes the stream order-dependent.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Encode": true,
+}
+
+func runMapOrder(pass *Pass) {
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMap(pass.TypeOf(rs.X)) {
+			return
+		}
+		for _, s := range mapRangeSinks(pass, rs) {
+			if s.sortable && sortedAfter(pass, stack, rs, s.obj) {
+				continue
+			}
+			pass.Reportf(rs.For,
+				"iteration over map %s feeds %s; map order is nondeterministic — iterate sorted keys or sort the result",
+				render(rs.X), s.what)
+		}
+	})
+}
+
+type mapSink struct {
+	what     string
+	obj      types.Object
+	sortable bool // an append, excusable by a post-loop sort
+}
+
+// mapRangeSinks collects the order-sensitive sinks inside rs's body.
+// "Outside" means declared before the range statement: per-iteration
+// locals reset every round and carry no cross-iteration order.
+func mapRangeSinks(pass *Pass, rs *ast.RangeStmt) []mapSink {
+	var sinks []mapSink
+	outside := func(e ast.Expr) (types.Object, bool) {
+		obj := rootObject(pass.Info, e)
+		if obj == nil {
+			return nil, false
+		}
+		return obj, !declaredWithin(obj, rs.Pos(), rs.End())
+	}
+	// counters incremented in the body, for the s[i] = v; i++ idiom.
+	counters := map[types.Object]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				counters[pass.ObjectOf(id)] = true
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && (n.Tok.String() == "+=" || n.Tok.String() == "-=") {
+				if id, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident); ok {
+					counters[pass.ObjectOf(id)] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinCall(pass.Info, n, "append") && len(n.Args) > 0 {
+				if obj, out := outside(n.Args[0]); out {
+					sinks = append(sinks, mapSink{"an append to " + quote(obj.Name()), obj, true})
+				}
+				return true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if fn := calleeObject(pass.Info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					name := fn.Name()
+					switch {
+					case strings.HasPrefix(name, "Print"):
+						sinks = append(sinks, mapSink{what: "fmt." + name + " output"})
+					case strings.HasPrefix(name, "Fprint") && len(n.Args) > 0:
+						if obj, out := outside(n.Args[0]); out {
+							sinks = append(sinks, mapSink{what: "a fmt." + name + " write to " + quote(obj.Name()), obj: obj})
+						}
+					}
+					return true
+				}
+				if recvT := pass.TypeOf(sel.X); recvT != nil {
+					if sinkMethods[sel.Sel.Name] || isNamedType(recvT, "fastsc/internal/compile", "hasher") {
+						if obj, out := outside(sel.X); out {
+							sinks = append(sinks, mapSink{what: "a " + sel.Sel.Name + " on " + quote(obj.Name()), obj: obj})
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if obj, out := outside(n.Chan); out {
+				sinks = append(sinks, mapSink{what: "a send on " + quote(obj.Name()), obj: obj})
+			}
+		case *ast.AssignStmt:
+			// s[i] = v with outer s and a counter index: positional append.
+			for _, lhs := range n.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+				if !ok || !counters[pass.ObjectOf(id)] {
+					continue
+				}
+				if obj, out := outside(ix.X); out {
+					sinks = append(sinks, mapSink{"a counter-indexed store into " + quote(obj.Name()), obj, true})
+				}
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// sortedAfter reports whether a statement following rs — in any enclosing
+// statement list, so a sort after an outer loop that contains rs counts —
+// sorts the slice held by obj, which makes the in-loop append order
+// irrelevant.
+func sortedAfter(pass *Pass, stack []ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch s := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = s.List
+		case *ast.CaseClause:
+			list = s.Body
+		case *ast.CommClause:
+			list = s.Body
+		default:
+			continue
+		}
+		for j, stmt := range list {
+			if stmt.Pos() <= rs.Pos() && rs.End() <= stmt.End() {
+				for _, after := range list[j+1:] {
+					if sortsObject(pass, after, obj) {
+						return true
+					}
+				}
+				break // keep walking outward: a post-outer-loop sort also excuses
+			}
+		}
+	}
+	return false
+}
+
+// sortsObject reports whether stmt contains a call that sorts obj's
+// slice: a sort/slices package function or any function whose name
+// mentions sorting (sortInts, sortByCriticality, ...), taking obj as an
+// argument.
+func sortsObject(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := calleeObject(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		pkgPath := ""
+		if fn.Pkg() != nil {
+			pkgPath = fn.Pkg().Path()
+		}
+		sortish := ((pkgPath == "sort" || pkgPath == "slices") && strings.Contains(strings.ToLower(fn.Name()), "sort")) ||
+			(pkgPath == "sort" || pkgPath == "slices") && (fn.Name() == "Strings" || fn.Name() == "Ints" || fn.Name() == "Float64s" || fn.Name() == "Slice" || fn.Name() == "SliceStable") ||
+			strings.Contains(strings.ToLower(fn.Name()), "sort")
+		if !sortish {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObject(pass.Info, arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// render prints a short source form of e for messages.
+func render(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return quote(e.Name)
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			return quote(x.Name + "." + e.Sel.Name)
+		}
+		return quote("…." + e.Sel.Name)
+	case *ast.CallExpr:
+		return "returned by " + render(e.Fun)
+	}
+	return "value"
+}

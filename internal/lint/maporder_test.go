@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"fastsc/internal/lint"
+	"fastsc/internal/lint/linttest"
+)
+
+func TestMapOrderFixture(t *testing.T) {
+	res := linttest.Run(t, "maporder", lint.MapOrderAnalyzer)
+	if len(res.Suppressed) != 0 {
+		t.Errorf("maporder fixture honored %d suppressions, want 0", len(res.Suppressed))
+	}
+}

@@ -1,0 +1,22 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"fastsc/internal/lint"
+	"fastsc/internal/lint/linttest"
+)
+
+func TestPoolPairFixture(t *testing.T) {
+	res := linttest.Run(t, "poolpair", lint.PoolPairAnalyzer)
+	// The escapes() case must come through as one honored, audited
+	// suppression, not as a silent hole.
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("poolpair fixture honored %d suppressions, want 1: %+v", len(res.Suppressed), res.Suppressed)
+	}
+	s := res.Suppressed[0]
+	if s.Analyzer != "poolpair" || !strings.HasPrefix(s.Reason, "escapes:") {
+		t.Errorf("suppression = %+v, want analyzer poolpair with an escapes: reason", s)
+	}
+}

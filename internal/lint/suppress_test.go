@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"fastsc/internal/lint"
+	"fastsc/internal/lint/linttest"
+)
+
+// TestSuppressFixture exercises the //fastsc:ignore machinery end to end:
+// a well-formed directive silences its finding and lands in the counted
+// audit trail; malformed and unused directives surface as fastscvet
+// meta-findings (asserted by the fixture's want comments).
+func TestSuppressFixture(t *testing.T) {
+	res := linttest.Run(t, "suppress", lint.MapOrderAnalyzer)
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("suppress fixture honored %d suppressions, want 1: %+v", len(res.Suppressed), res.Suppressed)
+	}
+	s := res.Suppressed[0]
+	if s.Analyzer != "maporder" || !strings.Contains(s.Reason, "key order is irrelevant") {
+		t.Errorf("suppression = %+v, want the maporder directive from suppressed()", s)
+	}
+}

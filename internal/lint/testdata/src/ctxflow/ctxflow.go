@@ -1,0 +1,49 @@
+// Fixture for the ctxflow analyzer: functions holding a context.Context
+// may not sever it with context.Background/TODO (outside the sanctioned
+// nil-guard) or by calling X where an XCtx sibling exists.
+package ctxflow
+
+import "context"
+
+func work() {}
+
+func workCtx(ctx context.Context) { _ = ctx }
+
+type runner struct{}
+
+func (runner) Run() {}
+
+func (runner) RunCtx(ctx context.Context) { _ = ctx }
+
+func background(ctx context.Context) {
+	_ = context.Background() // want `ctxflow: background already receives ctx; pass it .* instead of context\.Background`
+}
+
+func todo(ctx context.Context) {
+	_ = context.TODO() // want `ctxflow: todo already receives ctx; pass it .* instead of context\.TODO`
+}
+
+func nilGuard(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background() // sanctioned nil-guard: not flagged
+	}
+	workCtx(ctx)
+}
+
+func detaches(ctx context.Context) {
+	work() // want `ctxflow: detaches holds ctx but calls work, which detaches from cancellation; call ctxflow\.workCtx`
+}
+
+func detachesMethod(ctx context.Context, r runner) {
+	r.Run() // want `ctxflow: detachesMethod holds ctx but calls Run, .* call runner\.RunCtx`
+}
+
+func threads(ctx context.Context, r runner) {
+	workCtx(ctx) // threading the context: not flagged
+	r.RunCtx(ctx)
+}
+
+func noCtx() {
+	work() // caller holds no context: not checked
+	_ = context.Background()
+}

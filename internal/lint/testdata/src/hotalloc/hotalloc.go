@@ -1,0 +1,73 @@
+// Fixture for the hotalloc analyzer: //fastsc:hotpath functions may not
+// allocate maps, call fmt, or implicitly box non-pointer values; panic
+// subtrees, pointer-shaped conversions and unannotated functions are out
+// of scope.
+package hotalloc
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+//fastsc:hotpath fixture
+func hotMapLit() map[string]int {
+	return map[string]int{"a": 1} // want `hotalloc: map literal allocates`
+}
+
+//fastsc:hotpath fixture
+func hotMakeMap(n int) int {
+	m := make(map[int]int, n) // want `hotalloc: make\(map\) allocates`
+	return len(m)
+}
+
+//fastsc:hotpath fixture
+func hotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want `hotalloc: fmt\.Sprintf on a hot path`
+}
+
+//fastsc:hotpath fixture
+func hotArgBox(x int) {
+	sink(x) // want `hotalloc: implicit boxing: int passed to interface parameter`
+}
+
+//fastsc:hotpath fixture
+func hotReturnBox(x int) any {
+	return x // want `hotalloc: implicit boxing: int returned as interface`
+}
+
+//fastsc:hotpath fixture
+func hotAppendBox(vals []any, x int) []any {
+	return append(vals, x) // want `hotalloc: implicit boxing: int appended as interface`
+}
+
+//fastsc:hotpath fixture
+func hotAssignBox(x int) {
+	var v any
+	v = x // want `hotalloc: implicit boxing: int assigned to interface`
+	_ = v
+}
+
+//fastsc:hotpath fixture
+func hotPtr(p *int) {
+	sink(p) // pointer-shaped: fits the interface word, not flagged
+}
+
+//fastsc:hotpath fixture
+func hotPanic(x int) int {
+	if x < 0 {
+		panic(fmt.Sprintf("negative: %d", x)) // panic path is cold: not flagged
+	}
+	return x
+}
+
+//fastsc:hotpath fixture
+func hotClosure(xs []int) error {
+	less := func(i, j int) bool {
+		return xs[i] < xs[j] // closure's own bool result: not boxing into error
+	}
+	_ = less(0, 0)
+	return nil
+}
+
+func coldMap() map[string]int {
+	return map[string]int{"a": 1} // unannotated: not checked
+}

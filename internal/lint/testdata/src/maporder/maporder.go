@@ -1,0 +1,125 @@
+// Fixture for the maporder analyzer: map ranges feeding order-sensitive
+// sinks are flagged; commutative accumulation and the collect-then-sort
+// idiom are not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `maporder: iteration over map "m" feeds an append to "keys"`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func appendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // collect-then-sort: not flagged
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printLoop(m map[string]int) {
+	for k, v := range m { // want `maporder: .*fmt\.Println output`
+		fmt.Println(k, v)
+	}
+}
+
+func fprintLoop(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want `maporder: .*fmt\.Fprintf write to "sb"`
+		fmt.Fprintf(sb, "%s\n", k)
+	}
+}
+
+func writerLoop(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want `maporder: .*WriteString on "sb"`
+		sb.WriteString(k)
+	}
+}
+
+func sendLoop(m map[string]int, ch chan string) {
+	for k := range m { // want `maporder: .*send on "ch"`
+		ch <- k
+	}
+}
+
+func counterStore(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m { // want `maporder: .*counter-indexed store into "out"`
+		out[i] = k
+		i++
+	}
+	return out
+}
+
+func counterStoreSorted(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m { // counter-indexed, but sorted after: not flagged
+		out[i] = k
+		i++
+	}
+	sort.Strings(out)
+	return out
+}
+
+func nestedSorted(mm map[string]map[string]bool) []string {
+	var pairs []string
+	for outer, inner := range mm { // sorted after the enclosing loop: not flagged
+		for k := range inner { // likewise for the nested map range
+			pairs = append(pairs, outer+"/"+k)
+		}
+	}
+	sort.Strings(pairs)
+	return pairs
+}
+
+func nestedUnsorted(mm map[string]map[string]bool) []string {
+	var pairs []string
+	for _, inner := range mm { // want `maporder: iteration over map "mm" feeds an append to "pairs"`
+		for k := range inner { // want `maporder: iteration over map "inner" feeds an append to "pairs"`
+			pairs = append(pairs, k)
+		}
+	}
+	return pairs
+}
+
+func sumLoop(m map[string]int) int {
+	total := 0
+	for _, v := range m { // commutative accumulation: not flagged
+		total += v
+	}
+	return total
+}
+
+func invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m { // map-to-map: not flagged
+		inv[v] = k
+	}
+	return inv
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs { // slice iteration is ordered: not flagged
+		out = append(out, x)
+	}
+	return out
+}
+
+func innerSlice(m map[string]int) {
+	for k := range m { // per-iteration local resets each round: not flagged
+		var parts []string
+		parts = append(parts, k)
+		_ = parts
+	}
+}

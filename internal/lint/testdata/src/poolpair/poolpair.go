@@ -1,0 +1,59 @@
+// Fixture for the poolpair analyzer: pool.Get bindings must reach a
+// Put/Release on every path; intentional escapes carry the standard
+// suppression with an escapes: reason.
+package poolpair
+
+import "sync"
+
+type scratch struct{ buf []int }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (s *scratch) Release() { pool.Put(s) }
+
+func leak() {
+	s := pool.Get().(*scratch) // want `poolpair: s acquired from pool is never released`
+	s.buf = s.buf[:0]
+}
+
+func deferredRelease() int {
+	s := pool.Get().(*scratch)
+	defer s.Release()
+	return len(s.buf)
+}
+
+func putDirect() {
+	s := pool.Get().(*scratch)
+	pool.Put(s)
+}
+
+func earlyReturn(fail bool) error {
+	s := pool.Get().(*scratch) // want `poolpair: s acquired from pool may leak on the return at`
+	if fail {
+		return errFixture
+	}
+	s.Release()
+	return nil
+}
+
+func releaseBeforeEveryReturn(fail bool) error {
+	s := pool.Get().(*scratch)
+	if fail {
+		s.Release()
+		return errFixture
+	}
+	s.Release()
+	return nil
+}
+
+func escapes() *scratch {
+	//fastsc:ignore poolpair -- escapes: fixture constructor hands the pooled value to its caller
+	s := pool.Get().(*scratch)
+	return s
+}
+
+type fixtureError struct{}
+
+func (fixtureError) Error() string { return "fixture" }
+
+var errFixture error = fixtureError{}

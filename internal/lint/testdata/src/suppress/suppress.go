@@ -1,0 +1,37 @@
+// Fixture for the //fastsc:ignore machinery: a well-formed suppression
+// silences its finding (and is counted — suppress_test.go asserts the
+// audit trail), while a reasonless directive, an unknown analyzer name and
+// an unused directive are themselves findings.
+package suppress
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	//fastsc:ignore maporder -- fixture: key order is irrelevant to the caller
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func reasonless(m map[string]int) []string {
+	var keys []string
+	//fastsc:ignore maporder want `fastscvet: suppression without a reason`
+	for k := range m { // want `maporder: iteration over map "m" feeds an append to "keys"`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func unknownAnalyzer(m map[string]int) []string {
+	var keys []string
+	//fastsc:ignore nosuch -- not a real analyzer; want `fastscvet: suppression names unknown analyzer "nosuch"`
+	for k := range m { // want `maporder: iteration over map "m" feeds an append to "keys"`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func unused() int {
+	//fastsc:ignore maporder -- nothing to silence here; want `fastscvet: unused suppression for "maporder"`
+	return 0
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The go vet -vettool protocol ("unitchecker" in x/tools terms): the go
+// command type-plans the build, then invokes the tool once per package
+// unit with the path to a JSON config file as its sole argument. The
+// config carries the file set and an import-path -> export-data map, so
+// the tool never runs the build system itself. Facts are not used by any
+// fastscvet analyzer (all five are single-package), so the vetx output
+// the go command expects is written empty and dependency vetx inputs are
+// never read.
+
+// VetConfig is the go command's per-unit vet configuration (the subset
+// fastscvet reads; unknown fields are ignored by encoding/json). The
+// format is stable since Go 1.12 — cmd/vet and every -vettool consume it.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker executes one go vet unit: it reads the config at
+// cfgPath, type-checks the unit against the supplied export data, runs
+// the analyzers, prints surviving findings (and the suppression audit)
+// to w, and returns the process exit code: 0 clean, 2 findings, 1
+// operational error.
+func RunUnitchecker(analyzers []*Analyzer, cfgPath string, w io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(w, "fastscvet: %v\n", err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(w, "fastscvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The go command requires the facts file to exist even when empty;
+	// write it first so every exit path below satisfies that contract.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(w, "fastscvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := checkFiles(cfg.ImportPath, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "fastscvet: %v\n", err)
+		return 1
+	}
+	res := Analyze(pkg, analyzers)
+	PrintResult(w, res)
+	if len(res.Diagnostics) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// PrintResult writes findings one per line (file:line:col: analyzer:
+// message, the go vet diagnostic shape) followed by the suppression
+// audit: every honored //fastsc:ignore with its reason.
+func PrintResult(w io.Writer, res Result) {
+	for _, d := range res.Diagnostics {
+		fmt.Fprintln(w, d.String())
+	}
+	for _, s := range res.Suppressed {
+		fmt.Fprintf(w, "fastscvet: suppressed %s at %s -- %s\n", s.Analyzer, s.Pos, s.Reason)
+	}
+}

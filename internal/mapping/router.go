@@ -2,7 +2,7 @@ package mapping
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"fastsc/internal/circuit"
@@ -398,6 +398,8 @@ func (r *LookaheadRouter) Route(c *circuit.Circuit, ana *circuit.Analysis, dev *
 // edge). The score of a candidate is the summed post-swap coupling
 // distance of the blocked frontier gates plus Decay^(k+1)-weighted
 // distances of the next Window unissued two-qubit gates in program order.
+//
+//fastsc:hotpath runs once per inserted SWAP (BenchmarkRoute guards it); candidate/window buffers come from the pooled lookScratch and the scoring loop must not allocate
 func (r *LookaheadRouter) chooseSwap(s *routeState, ana *circuit.Analysis, dm *graph.DistanceMatrix,
 	scr *lookScratch, window int, decay float64, cursor int, lastSwap *graph.Edge) error {
 
@@ -421,6 +423,7 @@ func (r *LookaheadRouter) chooseSwap(s *routeState, ana *circuit.Analysis, dm *g
 			// No couplers touch any blocked operand at all (isolated
 			// qubits): the gate can never be routed.
 			g := s.c.Gates[scr.blocked[0]]
+			//fastsc:ignore hotalloc -- cold path: unroutable circuit aborts the compile; formatting the error here is fine
 			return fmt.Errorf("mapping: no path between physical qubits %d and %d on %q",
 				s.m.LogToPhys[g.Qubits[0]], s.m.LogToPhys[g.Qubits[1]], s.dev.Name)
 		}
@@ -428,11 +431,11 @@ func (r *LookaheadRouter) chooseSwap(s *routeState, ana *circuit.Analysis, dm *g
 		// device); permit it rather than stalling.
 		scr.cand = append(scr.cand, *lastSwap)
 	}
-	sort.Slice(scr.cand, func(i, j int) bool {
-		if scr.cand[i].U != scr.cand[j].U {
-			return scr.cand[i].U < scr.cand[j].U
+	slices.SortFunc(scr.cand, func(a, b graph.Edge) int {
+		if a.U != b.U {
+			return a.U - b.U
 		}
-		return scr.cand[i].V < scr.cand[j].V
+		return a.V - b.V
 	})
 	// Deduplicate (sorted, so duplicates are adjacent).
 	uniq := scr.cand[:0]

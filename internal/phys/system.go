@@ -61,6 +61,8 @@ func DefaultSystem(dev *topology.Device) *System {
 // qubits are not coupled: callers must only ask about physical couplers,
 // and an uncoupled pair reaching this lookup is a compiler bug, not a
 // recoverable condition.
+//
+//fastsc:hotpath gate-duration and noise math resolve couplings per gate; the panic path is the only formatting allowed here
 func (s *System) G0(a, b int) float64 {
 	id, ok := s.Device.Coupling.EdgeID(a, b)
 	if !ok {
@@ -74,6 +76,8 @@ func (s *System) G0(a, b int) float64 {
 // id — static palettes, crosstalk weights, noise channels iterating
 // Device.Edges() — use this to skip even the edge-id binary search. It
 // panics (slice bounds) on ids outside [0, NumEdges).
+//
+//fastsc:hotpath direct dense-slice index; must stay alloc- and probe-free
 func (s *System) G0ByID(id int32) float64 { return s.Coupling[id] }
 
 // Transmon returns the transmon parameters of qubit q.

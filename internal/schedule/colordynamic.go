@@ -41,6 +41,7 @@ func (GmonDynamic) Compile(ctx *compile.Context, c *circuit.Circuit, sys *phys.S
 	return compileColorDynamic(ctx, "ColorDynamic-G", true, c, sys, opts)
 }
 
+//fastsc:hotpath the Algorithm 1 slice loop: per-slice state lives in the pooled sliceScratch and the shared Analysis; only what a Slice retains may be freshly allocated
 func compileColorDynamic(ctx *compile.Context, name string, gmon bool, c *circuit.Circuit, sys *phys.System, opts Options) (*Schedule, error) {
 	b, err := newBuilder(ctx, name, c, sys, opts)
 	if err != nil {

@@ -153,6 +153,7 @@ var scratchPool = sync.Pool{New: func() any { return new(sliceScratch) }}
 // acquireScratch returns a scratch sized for nQubits qubits, reusing pooled
 // buffers when they are large enough.
 func acquireScratch(nQubits int) *sliceScratch {
+	//fastsc:ignore poolpair -- escapes: constructor hands the pooled scratch to the builder, which releases it in finish/abort (releasePooled)
 	s := scratchPool.Get().(*sliceScratch)
 	if cap(s.freqs) < nQubits {
 		s.freqs = make([]float64, nQubits)

@@ -39,6 +39,8 @@ type Graph struct {
 }
 
 // Build constructs the distance-d crosstalk graph of dev. d must be >= 1.
+//
+//fastsc:hotpath the per-coupler bounded-BFS loop is the cache-miss cost of the xtalk region (BenchmarkXtalkBuild guards it); nothing in it may allocate a map or box
 func Build(dev *topology.Device, d int) *Graph {
 	if d < 1 {
 		panic(fmt.Sprintf("xtalk: crosstalk distance must be >= 1, got %d", d))
