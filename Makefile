@@ -15,7 +15,7 @@ BENCH_JSON ?= BENCH_6.json
 BENCH_GUARD_PATTERN = BenchmarkBatchCompile|BenchmarkXtalkBuild|BenchmarkCircuitAnalysis|BenchmarkFrontier|BenchmarkRoute
 BENCH_GUARD_PKGS = ./internal/bench/ ./internal/xtalk/ ./internal/circuit/
 
-.PHONY: all build test lint bench bench-json bench-regress warm-cache-check daemon daemon-smoke
+.PHONY: all build test lint lint-smoke fastscvet bench bench-json bench-regress warm-cache-check daemon daemon-smoke
 
 all: lint build test
 
@@ -25,12 +25,35 @@ build:
 test:
 	$(GO) test -race ./...
 
-lint:
+# fastscvet builds the repo's own analyzer suite (internal/lint, five
+# analyzers: maporder, hotalloc, poolpair, keyfields, ctxflow) as a
+# go vet -vettool binary. docs/architecture.md ("Invariants &
+# enforcement") maps each analyzer to the invariant it guards.
+fastscvet:
+	$(GO) build -o bin/fastscvet ./cmd/fastscvet
+
+# lint = gofmt + go vet + fastscvet, in lockstep with ci.yml. Running
+# fastscvet through go vet's -vettool protocol (rather than standalone)
+# covers _test.go files too. CI's lint job additionally runs staticcheck
+# and govulncheck, which need network to install and so do not run here.
+lint: fastscvet
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) vet -vettool=$(abspath bin/fastscvet) ./...
+
+# lint-smoke proves the lint gate can actually fail: fastscvet over the
+# deliberately-violating fixture package (which wildcard builds never
+# see — it lives under testdata) must exit nonzero, or the wiring is
+# decorative.
+lint-smoke: fastscvet
+	@if $(GO) vet -vettool=$(abspath bin/fastscvet) ./internal/lint/testdata/src/lintsmoke >/dev/null 2>&1; then \
+		echo "lint-smoke: fastscvet passed the seeded-violation fixture; the lint gate is not wired" >&2; exit 1; \
+	else \
+		echo "lint-smoke: fastscvet correctly failed the seeded-violation fixture"; \
+	fi
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./... | tee bench-results.txt

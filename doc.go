@@ -126,4 +126,14 @@
 // CSR: its cursor state comes from a sync.Pool and Ready() fills a
 // reusable buffer with no map and no per-call allocation — the returned
 // slice is valid until the next Ready call.
+//
+// # Static enforcement
+//
+// The invariants above — deterministic output, exact cache keys,
+// zero-alloc hot loops, paired pool scratch, threaded contexts — are
+// enforced at vet time by fastscvet (cmd/fastscvet, analyzers in
+// internal/lint), the repo's own go/analysis-style suite run by `make
+// lint` and CI through go vet -vettool. The "Invariants & enforcement"
+// section of docs/architecture.md maps each invariant to its analyzer
+// and to the runtime test that backstops it.
 package fastsc
