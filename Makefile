@@ -15,7 +15,7 @@ BENCH_JSON ?= BENCH_6.json
 BENCH_GUARD_PATTERN = BenchmarkBatchCompile|BenchmarkXtalkBuild|BenchmarkCircuitAnalysis|BenchmarkFrontier|BenchmarkRoute
 BENCH_GUARD_PKGS = ./internal/bench/ ./internal/xtalk/ ./internal/circuit/
 
-.PHONY: all build test lint lint-smoke fastscvet bench bench-json bench-regress warm-cache-check daemon daemon-smoke
+.PHONY: all build test lint lint-smoke fastscvet bench bench-json bench-regress warm-cache-check daemon daemon-smoke chaos-smoke
 
 all: lint build test
 
@@ -95,6 +95,15 @@ daemon:
 # drain that persists a snapshot, and a warm restart from it.
 daemon-smoke:
 	./scripts/daemon-smoke.sh
+
+# Mirrors the CI chaos-smoke job: run fastscd with fault points armed
+# (injected job panic, slow solves) and a durable batch store, drive it
+# with cmd/fastscload, kill -9 mid-batch, restart, and assert the store
+# recovered (epoch 2, finished batches intact, the mid-flight batch
+# "interrupted", no acked id lost) and the periodic cache snapshot left a
+# warm start behind.
+chaos-smoke:
+	./scripts/chaos-smoke.sh
 
 # Mirrors the CI warm-cache job: a second Fig 9 sweep against the same
 # cache snapshot must report a total hit rate above 95%.

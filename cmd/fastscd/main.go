@@ -1,19 +1,28 @@
 // Command fastscd serves frequency-aware compilation over HTTP: it keeps
 // one process-wide compile cache warm across requests and streams batch
 // results as NDJSON. See docs/api.md for the API and docs/architecture.md
-// for how the daemon sits on top of the compilation stack.
+// for how the daemon sits on top of the compilation stack (including the
+// "Failure model & recovery" section for what survives a crash).
 //
 // Start a daemon, compile against it, then stop it gracefully:
 //
-//	fastscd -addr :8077 -cache-file /var/lib/fastsc/cache.snap.gz &
+//	fastscd -addr :8077 -cache-file /var/lib/fastsc/cache.snap.gz \
+//	        -store-file /var/lib/fastsc/batches.store &
 //	curl -N -d @batch.json http://localhost:8077/v1/compile
 //	kill -TERM $!   # drains in-flight batches, then saves the snapshot
 //
-// On SIGTERM/SIGINT the daemon stops admitting work (healthz turns 503
-// so load balancers rotate it out), lets every admitted batch finish
-// (bounded by -drain-timeout), and — when a -cache-file is set — saves a
-// cache snapshot that warms the next start. A second signal aborts the
-// drain immediately.
+// On SIGTERM/SIGINT the daemon stops admitting work (/readyz turns 503 so
+// load balancers rotate it out; /healthz stays 200 — the process is alive),
+// lets every admitted batch finish (bounded by -drain-timeout), and — when
+// a -cache-file is set — saves a cache snapshot that warms the next start.
+// A second signal aborts the drain immediately.
+//
+// With a -store-file, async batch records are durable: a batch 202-acked
+// before a kill -9 is still pollable after restart, finished batches keep
+// their results, and batches that were in flight when the process died
+// poll as "interrupted". With -snapshot-interval the cache snapshot is
+// also written periodically, so even an unclean death leaves a warm start
+// behind.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"fastsc/internal/faultpoint"
 	"fastsc/internal/server"
 )
 
@@ -39,9 +49,21 @@ func main() {
 		maxJobs       = flag.Int("max-jobs", 0, "jobs per batch (0 = default 256)")
 		cacheFile     = flag.String("cache-file", "", "cache snapshot path: loaded at startup (cold start if missing/stale) and saved after a clean drain; a .gz suffix writes it compressed")
 		cacheCap      = flag.Int("cache-capacity", 0, "compile cache capacity in cost units (0 = default)")
+		storeFile     = flag.String("store-file", "", "durable batch-store path: async batch records survive restarts (in-flight ones poll as \"interrupted\")")
+		snapInterval  = flag.Duration("snapshot-interval", 0, "also save the cache snapshot periodically (0 = only on clean shutdown); makes warm starts survive kill -9")
 		drainTimeout  = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight batches")
+		faultSpec     = flag.String("faultpoints", "", "arm fault-injection points, e.g. \"job.panic*1,solve.slow=50ms\" (chaos testing; also read from "+faultpoint.EnvVar+")")
 	)
 	flag.Parse()
+
+	if err := faultpoint.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "fastscd:", err)
+		os.Exit(2)
+	}
+	if err := faultpoint.Arm(*faultSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "fastscd:", err)
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		Workers:       *workers,
@@ -50,14 +72,62 @@ func main() {
 		MaxJobs:       *maxJobs,
 		CacheCapacity: *cacheCap,
 	})
-	if *cacheFile != "" {
-		n, err := srv.Cache().Load(*cacheFile)
+
+	// The batch store opens synchronously before the listener: a 202 ack
+	// must never be issued by a process that would forget the batch, so
+	// the daemon either has its durable store or knows it degraded.
+	if *storeFile != "" {
+		restored, interrupted, err := srv.Store().Open(*storeFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fastscd: cache snapshot: %v (starting cold)\n", err)
+			fmt.Fprintf(os.Stderr, "fastscd: batch store: %v (starting empty)\n", err)
 		} else {
+			fmt.Fprintf(os.Stderr, "fastscd: batch store: %d records restored (%d interrupted), epoch %d\n",
+				restored, interrupted, srv.Store().Epoch())
+		}
+	}
+
+	// The cache snapshot loads in the background: restoring a large
+	// snapshot can take seconds, and the daemon should accept (cold)
+	// traffic immediately. /readyz reports 503 "restoring" until the load
+	// finishes, so rolling fleets keep traffic on warm peers meanwhile.
+	restoreDone := make(chan struct{})
+	if *cacheFile != "" {
+		srv.SetRestoring(true)
+		go func() {
+			defer close(restoreDone)
+			defer srv.SetRestoring(false)
+			n, err := srv.Cache().Load(*cacheFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fastscd: cache snapshot: %v (starting cold)\n", err)
+				return
+			}
 			srv.SetRestored(n)
 			fmt.Fprintf(os.Stderr, "fastscd: warm start: %d cache entries restored from %s\n", n, *cacheFile)
-		}
+		}()
+	} else {
+		close(restoreDone)
+	}
+
+	// The periodic saver makes the warm start crash-proof: waiting for the
+	// restore first so a slow load cannot be clobbered by an early save of
+	// a still-cold cache.
+	saverStop := make(chan struct{})
+	if *cacheFile != "" && *snapInterval > 0 {
+		go func() {
+			<-restoreDone
+			tick := time.NewTicker(*snapInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-saverStop:
+					return
+				case <-tick.C:
+					if err := srv.Cache().Save(*cacheFile); err != nil {
+						fmt.Fprintln(os.Stderr, "fastscd: periodic snapshot:", err)
+					}
+				}
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{
@@ -91,16 +161,22 @@ func main() {
 		cancel()
 	}()
 
-	srv.Drain() // refuse new submissions; healthz turns 503 immediately
+	srv.Drain() // refuse new submissions; readyz turns 503 immediately
 	drainErr := srv.Shutdown(ctx)
 	if drainErr != nil {
 		fmt.Fprintln(os.Stderr, "fastscd:", drainErr)
 	}
+	close(saverStop)
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, "fastscd: http shutdown:", err)
 	}
 	<-errCh // ListenAndServe has returned http.ErrServerClosed
 
+	if *storeFile != "" {
+		if err := srv.Store().SaveNow(); err != nil {
+			fmt.Fprintln(os.Stderr, "fastscd: batch store:", err)
+		}
+	}
 	if *cacheFile != "" && drainErr == nil {
 		if err := srv.Cache().Save(*cacheFile); err != nil {
 			fmt.Fprintln(os.Stderr, "fastscd: cache snapshot:", err)

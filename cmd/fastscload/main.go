@@ -1,0 +1,361 @@
+// Command fastscload drives a fastscd daemon with concurrent batch
+// submissions and reports throughput and latency percentiles. It is the
+// load half of the chaos harness (scripts/chaos-smoke.sh): it speaks the
+// public API only — submit, honor 429 Retry-After with jittered
+// exponential backoff, poll to a terminal status — so whatever it observes
+// a real client would observe too.
+//
+// Modes:
+//
+//	fastscload -addr http://localhost:8077 -clients 16 -batches 200
+//	    drive the daemon; print throughput, p50/p99, per-status counts.
+//	    With -ids-out, write every acked batch id (one per line) for a
+//	    later -check pass.
+//
+//	fastscload -addr ... -check ids.txt
+//	    verify every id recorded by a previous run is still pollable and
+//	    terminal — across a daemon restart this asserts no acked batch was
+//	    lost — and that the file holds no duplicate ids. Exit 1 on any
+//	    violation.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// submitBody is the subset of the CompileRequest wire shape the load
+// generator emits; the daemon owns the authoritative definition.
+type submitBody struct {
+	Device struct {
+		Topology string `json:"topology"`
+		Qubits   int    `json:"qubits"`
+	} `json:"device"`
+	Jobs       []jobBody `json:"jobs"`
+	DeadlineMS int64     `json:"deadline_ms,omitempty"`
+	Priority   *int      `json:"priority,omitempty"`
+}
+
+type jobBody struct {
+	ID       string `json:"id"`
+	Strategy string `json:"strategy,omitempty"`
+	QASM     string `json:"qasm"`
+}
+
+type submitAck struct {
+	Batch string `json:"batch"`
+	URL   string `json:"url"`
+}
+
+type pollStatus struct {
+	Batch  string `json:"batch"`
+	Status string `json:"status"`
+	Jobs   int    `json:"jobs"`
+	Failed int    `json:"failed"`
+}
+
+// outcome is one driven batch's lifecycle as the client saw it.
+type outcome struct {
+	id      string
+	status  string
+	latency time.Duration
+	retries int
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://localhost:8077", "daemon base URL")
+		clients    = flag.Int("clients", 8, "concurrent client goroutines")
+		batches    = flag.Int("batches", 64, "total batches to submit")
+		jobs       = flag.Int("jobs", 2, "jobs per batch")
+		qubits     = flag.Int("qubits", 6, "qubits per circuit")
+		deadlineMS = flag.Int64("deadline-ms", 0, "per-batch deadline_ms (0 = none)")
+		priority   = flag.Int("priority", -1, "priority 0..9 (-1 = omit, server default)")
+		unique     = flag.Bool("unique", false, "make every batch's circuits unique (defeats the cache, maximizes solver load)")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "overall run deadline")
+		idsOut     = flag.String("ids-out", "", "append acked batch ids to this file")
+		checkFile  = flag.String("check", "", "check mode: verify every id in this file is pollable and terminal")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if *checkFile != "" {
+		os.Exit(runCheck(client, *addr, *checkFile))
+	}
+	os.Exit(runLoad(client, *addr, loadConfig{
+		clients: *clients, batches: *batches, jobs: *jobs, qubits: *qubits,
+		deadlineMS: *deadlineMS, priority: *priority, unique: *unique,
+		timeout: *timeout, idsOut: *idsOut,
+	}))
+}
+
+type loadConfig struct {
+	clients, batches, jobs, qubits int
+	deadlineMS                     int64
+	priority                       int
+	unique                         bool
+	timeout                        time.Duration
+	idsOut                         string
+}
+
+func runLoad(client *http.Client, addr string, cfg loadConfig) int {
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+		rejected int
+	)
+	deadline := time.Now().Add(cfg.timeout)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			for n := range work {
+				o, rej := driveBatch(client, addr, cfg, n, rng, deadline)
+				mu.Lock()
+				rejected += rej
+				if o.id != "" {
+					outcomes = append(outcomes, o)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	start := time.Now()
+	for n := 0; n < cfg.batches; n++ {
+		work <- n
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	byStatus := map[string]int{}
+	var latencies []time.Duration
+	for _, o := range outcomes {
+		byStatus[o.status]++
+		latencies = append(latencies, o.latency)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	statuses := make([]string, 0, len(byStatus))
+	for s := range byStatus {
+		statuses = append(statuses, s)
+	}
+	sort.Strings(statuses)
+
+	fmt.Printf("fastscload: %d batches acked in %.2fs (%.1f/s), %d transient rejections retried\n",
+		len(outcomes), elapsed.Seconds(), float64(len(outcomes))/elapsed.Seconds(), rejected)
+	for _, s := range statuses {
+		fmt.Printf("  status %-12s %d\n", s, byStatus[s])
+	}
+	if len(latencies) > 0 {
+		fmt.Printf("  latency p50 %s  p99 %s  max %s\n",
+			percentile(latencies, 0.50), percentile(latencies, 0.99), latencies[len(latencies)-1])
+	}
+
+	if cfg.idsOut != "" {
+		f, err := os.OpenFile(cfg.idsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fastscload:", err)
+			return 1
+		}
+		for _, o := range outcomes {
+			fmt.Fprintln(f, o.id)
+		}
+		f.Close()
+	}
+	if len(outcomes) < cfg.batches {
+		fmt.Fprintf(os.Stderr, "fastscload: only %d of %d batches were acked before the run deadline\n",
+			len(outcomes), cfg.batches)
+		return 1
+	}
+	return 0
+}
+
+// driveBatch submits one batch with backoff and polls it to a terminal
+// status. It returns the outcome (zero id if never acked) and how many
+// transient rejections (429/503) it retried through.
+func driveBatch(client *http.Client, addr string, cfg loadConfig, n int, rng *rand.Rand, deadline time.Time) (outcome, int) {
+	body := buildBody(cfg, n)
+	raw, _ := json.Marshal(body)
+
+	var ack submitAck
+	retries := 0
+	backoff := 100 * time.Millisecond
+	start := time.Now()
+	for {
+		if time.Now().After(deadline) {
+			return outcome{}, retries
+		}
+		resp, err := client.Post(addr+"/v1/batches", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			time.Sleep(backoff)
+			continue
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			if err := json.Unmarshal(data, &ack); err != nil {
+				fmt.Fprintf(os.Stderr, "fastscload: bad ack %q: %v\n", data, err)
+				return outcome{}, retries
+			}
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// Honor the server's Retry-After estimate, jittered so a
+			// thundering herd of rejected clients does not re-arrive in
+			// lockstep; fall back to exponential backoff without one.
+			retries++
+			wait := backoff
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * time.Second
+			}
+			wait = wait/2 + time.Duration(rng.Int63n(int64(wait)))
+			if max := time.Until(deadline); wait > max {
+				wait = max
+			}
+			time.Sleep(wait)
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+			continue
+		default:
+			fmt.Fprintf(os.Stderr, "fastscload: submit: %d %s\n", resp.StatusCode, data)
+			return outcome{}, retries
+		}
+		break
+	}
+
+	for {
+		if time.Now().After(deadline) {
+			return outcome{id: ack.Batch, status: "poll-timeout", latency: time.Since(start), retries: retries}, retries
+		}
+		resp, err := client.Get(addr + ack.URL)
+		if err != nil {
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st pollStatus
+		if resp.StatusCode != http.StatusOK || json.Unmarshal(data, &st) != nil {
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		if st.Status != "queued" && st.Status != "running" {
+			return outcome{id: ack.Batch, status: st.Status, latency: time.Since(start), retries: retries}, retries
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// buildBody assembles batch n's request: a hardware-efficient-style chain
+// circuit. With unique set, a per-batch rotation angle makes every circuit
+// (and so every solver key) distinct, defeating the cache.
+func buildBody(cfg loadConfig, n int) submitBody {
+	var b submitBody
+	b.Device.Topology = "linear"
+	b.Device.Qubits = cfg.qubits
+	b.DeadlineMS = cfg.deadlineMS
+	if cfg.priority >= 0 {
+		p := cfg.priority
+		b.Priority = &p
+	}
+	theta := "pi/2"
+	if cfg.unique {
+		theta = fmt.Sprintf("%d*pi/%d", (n%97)+1, 199)
+	}
+	var q strings.Builder
+	fmt.Fprintf(&q, "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[%d];\n", cfg.qubits)
+	for i := 0; i < cfg.qubits; i++ {
+		fmt.Fprintf(&q, "h q[%d];\n", i)
+	}
+	for i := 0; i+1 < cfg.qubits; i++ {
+		fmt.Fprintf(&q, "cz q[%d],q[%d];\n", i, i+1)
+	}
+	fmt.Fprintf(&q, "rz(%s) q[0];\n", theta)
+	for j := 0; j < cfg.jobs; j++ {
+		b.Jobs = append(b.Jobs, jobBody{ID: fmt.Sprintf("b%d-j%d", n, j), QASM: q.String()})
+	}
+	return b
+}
+
+// runCheck verifies every batch id in file is still pollable with a
+// terminal status and that the file holds no duplicates.
+func runCheck(client *http.Client, addr, file string) int {
+	f, err := os.Open(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fastscload:", err)
+		return 1
+	}
+	defer f.Close()
+	seen := map[string]bool{}
+	var lost, dup, live, checked int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		id := strings.TrimSpace(sc.Text())
+		if id == "" {
+			continue
+		}
+		checked++
+		if seen[id] {
+			fmt.Fprintf(os.Stderr, "fastscload: duplicate batch id %s\n", id)
+			dup++
+			continue
+		}
+		seen[id] = true
+		resp, err := client.Get(addr + "/v1/batches/" + id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fastscload: poll %s: %v\n", id, err)
+			lost++
+			continue
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			fmt.Fprintf(os.Stderr, "fastscload: batch %s LOST (404 after ack)\n", id)
+			lost++
+			continue
+		}
+		var st pollStatus
+		if resp.StatusCode != http.StatusOK || json.Unmarshal(data, &st) != nil {
+			fmt.Fprintf(os.Stderr, "fastscload: poll %s: %d %s\n", id, resp.StatusCode, data)
+			lost++
+			continue
+		}
+		if st.Status == "queued" || st.Status == "running" {
+			fmt.Fprintf(os.Stderr, "fastscload: batch %s still %s\n", id, st.Status)
+			live++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "fastscload:", err)
+		return 1
+	}
+	fmt.Printf("fastscload: checked %d ids: %d lost, %d duplicated, %d non-terminal\n", checked, lost, dup, live)
+	if lost > 0 || dup > 0 {
+		return 1
+	}
+	return 0
+}
+
+// percentile returns the p-quantile of sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i].Round(time.Millisecond)
+}

@@ -2,10 +2,24 @@ package compile
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
+
+	"fastsc/internal/faultpoint"
 )
+
+// ErrDeadline is the typed cause a serving layer attaches to per-request
+// deadlines (context.WithDeadlineCause); jobs skipped because the deadline
+// expired report an error wrapping it, so callers can distinguish "request
+// ran out of budget" from a plain cancellation with errors.Is.
+var ErrDeadline = errors.New("compile: request deadline exceeded")
+
+// ErrJobPanic is the base error of an outcome whose job panicked; the
+// engine converts per-job panics into this error instead of tearing down
+// the batch (or the process), and servers count them with errors.Is.
+var ErrJobPanic = errors.New("compile: job panicked")
 
 // Job is one unit of batch work: typically "compile this circuit with this
 // strategy on this system", but any function of the shared Context fits.
@@ -46,10 +60,14 @@ func (c *Context) RunBatch(jobs []Job) <-chan Outcome {
 // RunBatchCtx is RunBatch under a cancellation context: when ctx is
 // canceled, jobs already running finish normally (their outcomes are still
 // streamed) and every job not yet started is reported with Err wrapping
-// ctx's error instead of being run. Every submitted job yields exactly one
-// outcome either way, so CollectBatch-style consumers never block. This is
-// the primitive a serving layer builds drain and client-disconnect
-// semantics on.
+// ctx's cancellation cause instead of being run — a skipped job costs no
+// worker time. When the context carries a typed cause (the server arms
+// request deadlines with ErrDeadline via context.WithDeadlineCause), that
+// cause survives into each skipped job's error, so errors.Is(err,
+// compile.ErrDeadline) identifies deadline-shed work end to end. Every
+// submitted job yields exactly one outcome either way, so
+// CollectBatch-style consumers never block. This is the primitive a
+// serving layer builds drain, deadline and client-disconnect semantics on.
 func (c *Context) RunBatchCtx(ctx context.Context, jobs []Job) <-chan Outcome {
 	if ctx == nil {
 		ctx = context.Background()
@@ -70,11 +88,11 @@ func (c *Context) RunBatchCtx(ctx context.Context, jobs []Job) <-chan Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				if err := ctx.Err(); err != nil {
+				if ctx.Err() != nil {
 					out <- Outcome{
 						Index: i,
 						Key:   jobs[i].Key,
-						Err:   fmt.Errorf("compile: job %q not started: %w", jobs[i].Key, err),
+						Err:   fmt.Errorf("compile: job %q not started: %w", jobs[i].Key, context.Cause(ctx)),
 					}
 					continue
 				}
@@ -99,9 +117,10 @@ func (c *Context) runOne(index int, job Job) (o Outcome) {
 	defer func() {
 		o.Elapsed = time.Since(start)
 		if r := recover(); r != nil {
-			o.Err = fmt.Errorf("compile: job %q panicked: %v", job.Key, r)
+			o.Err = fmt.Errorf("%w: job %q: %v", ErrJobPanic, job.Key, r)
 		}
 	}()
+	faultpoint.MaybePanic(faultpoint.JobPanic)
 	o.Value, o.Err = job.Run(c)
 	return o
 }

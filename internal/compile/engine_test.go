@@ -1,10 +1,14 @@
 package compile
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"fastsc/internal/faultpoint"
 )
 
 func TestRunBatchDeliversEveryJob(t *testing.T) {
@@ -112,6 +116,83 @@ func TestRunBatchRecoversPanics(t *testing.T) {
 	}
 	if outcomes[1].Err != nil || outcomes[1].Value != "ok" {
 		t.Fatalf("sibling job was damaged: %+v", outcomes[1])
+	}
+}
+
+// TestRunBatchCtxDeadlineCause: when the context carries a typed deadline
+// cause (the server's per-request deadline_ms), jobs skipped after expiry
+// report an error wrapping that cause — errors.Is identifies deadline-shed
+// work through the whole engine — and skipped jobs burn no worker time.
+func TestRunBatchCtxDeadlineCause(t *testing.T) {
+	cctx := NewContext(1)
+	ctx, cancel := context.WithDeadlineCause(context.Background(),
+		time.Now().Add(10*time.Millisecond), ErrDeadline)
+	defer cancel()
+
+	var ran atomic.Int64
+	block := make(chan struct{})
+	jobs := []Job{
+		{Key: "running", Run: func(*Context) (any, error) {
+			ran.Add(1)
+			<-block // outlive the deadline; started jobs finish normally
+			return "done", nil
+		}},
+		{Key: "skipped", Run: func(*Context) (any, error) { ran.Add(1); return nil, nil }},
+	}
+	out := cctx.RunBatchCtx(ctx, jobs)
+	<-ctx.Done() // deadline passes while job 0 is still running
+	close(block)
+
+	outcomes := make([]Outcome, len(jobs))
+	for o := range out {
+		outcomes[o.Index] = o
+	}
+	if outcomes[0].Err != nil || outcomes[0].Value != "done" {
+		t.Fatalf("started job: %+v", outcomes[0])
+	}
+	if !errors.Is(outcomes[1].Err, ErrDeadline) {
+		t.Fatalf("skipped job err = %v, want errors.Is(_, ErrDeadline)", outcomes[1].Err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d jobs ran, want 1 (expired job must not occupy a worker)", got)
+	}
+}
+
+// TestRunBatchPanicSentinel: a panicking job's outcome wraps ErrJobPanic so
+// serving layers can count panics without string matching.
+func TestRunBatchPanicSentinel(t *testing.T) {
+	ctx := NewContext(1)
+	outcomes := ctx.CollectBatch([]Job{
+		{Key: "panics", Run: func(*Context) (any, error) { panic("kaboom") }},
+	})
+	if !errors.Is(outcomes[0].Err, ErrJobPanic) {
+		t.Fatalf("err = %v, want errors.Is(_, ErrJobPanic)", outcomes[0].Err)
+	}
+}
+
+// TestRunBatchFaultpointPanic: the job.panic fault point fires inside a
+// worker and is recovered per job — one job fails, its siblings and the
+// batch survive. This is the unit-level twin of the chaos smoke's
+// daemon-survives-a-panicking-job assertion.
+func TestRunBatchFaultpointPanic(t *testing.T) {
+	defer faultpoint.Reset()
+	faultpoint.Reset()
+	if err := faultpoint.Arm(faultpoint.JobPanic + "*1"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(1) // serial: the single armed firing hits job 0
+	outcomes := ctx.CollectBatch([]Job{
+		{Key: "victim", Run: func(*Context) (any, error) { return "unreached", nil }},
+		{Key: "survivor", Run: func(*Context) (any, error) { return "ok", nil }},
+	})
+	if !errors.Is(outcomes[0].Err, ErrJobPanic) {
+		t.Fatalf("victim err = %v, want ErrJobPanic", outcomes[0].Err)
+	}
+	if outcomes[1].Err != nil || outcomes[1].Value != "ok" {
+		t.Fatalf("survivor: %+v", outcomes[1])
+	}
+	if faultpoint.Fired(faultpoint.JobPanic) != 1 {
+		t.Fatalf("fired %d, want 1", faultpoint.Fired(faultpoint.JobPanic))
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fastsc/internal/circuit"
+	"fastsc/internal/faultpoint"
 	"fastsc/internal/graph"
 	"fastsc/internal/mapping"
 	"fastsc/internal/smt"
@@ -35,6 +36,7 @@ func (c *Context) SolveSMT(k int, cfg smt.Config) ([]float64, float64, error) {
 	hit := true
 	v, _ := cache.Do(RegionSMT, SMTKey(k, cfg), func() (any, error) {
 		hit = false
+		faultpoint.Sleep(faultpoint.SolveSlow)
 		xs, delta, err := smt.Solve(k, cfg)
 		return smtResult{xs: xs, delta: delta, err: err}, nil
 	})

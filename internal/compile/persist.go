@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"fastsc/internal/faultpoint"
 	"fastsc/internal/smt"
 )
 
@@ -179,8 +180,11 @@ func (c *Cache) Save(path string) error {
 			return fmt.Errorf("compile: encode cache snapshot: %w", err)
 		}
 	}
+	if err := faultpoint.Err(faultpoint.SnapshotSaveErr); err != nil {
+		return fmt.Errorf("compile: write cache snapshot: %w", err)
+	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	if err := os.WriteFile(tmp, faultpoint.Corrupt(faultpoint.SnapshotSaveCorrupt, buf.Bytes()), 0o644); err != nil {
 		return fmt.Errorf("compile: write cache snapshot: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"fastsc/internal/faultpoint"
 	"fastsc/internal/graph"
 	"fastsc/internal/smt"
 )
@@ -259,5 +260,54 @@ func TestSnapshotNilCache(t *testing.T) {
 	}
 	if n, err := c.Load("anything"); n != 0 || err != nil {
 		t.Fatalf("nil cache Load = %d, %v", n, err)
+	}
+}
+
+// TestSaveFaultpointError: the snapshot.save.err fault point makes Save
+// fail with an injected error the caller can identify, leaving no partial
+// file behind.
+func TestSaveFaultpointError(t *testing.T) {
+	defer faultpoint.Reset()
+	faultpoint.Reset()
+	if err := faultpoint.Arm(faultpoint.SnapshotSaveErr + "*1"); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(0)
+	c.Put(RegionParking, "sys", []float64{5.0})
+	path := snapshotPath(t)
+	if err := c.Save(path); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("Save = %v, want injected error", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("snapshot file exists after injected save failure")
+	}
+	// The point is consumed: the next Save succeeds.
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveFaultpointCorrupt: the snapshot.save.corrupt fault point writes
+// flipped bytes; Load must honor the degrade-to-empty contract (cold
+// cache, nil error) instead of failing compilation.
+func TestSaveFaultpointCorrupt(t *testing.T) {
+	defer faultpoint.Reset()
+	faultpoint.Reset()
+	if err := faultpoint.Arm(faultpoint.SnapshotSaveCorrupt + "*1"); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(0)
+	c.Put(RegionParking, "sys", []float64{5.0})
+	path := snapshotPath(t)
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	warm := NewCache(0)
+	n, err := warm.Load(path)
+	if err != nil {
+		t.Fatalf("Load of corrupt snapshot = %v, want nil (degrade to cold)", err)
+	}
+	if n != 0 {
+		t.Fatalf("restored %d entries from corrupt snapshot, want 0", n)
 	}
 }

@@ -1,0 +1,220 @@
+// Package faultpoint provides named failure points for fault injection:
+// deliberately breakable seams compiled into the production binary, inert
+// unless armed. The chaos harness (scripts/chaos-smoke.sh, cmd/fastscload)
+// arms them via the FASTSC_FAULTPOINTS environment variable or fastscd's
+// -faultpoints flag to exercise the failure paths — snapshot I/O errors,
+// corrupt snapshot bytes, slow solves, per-job panics — that a clean test
+// run never takes.
+//
+// A spec is a comma-separated list of armed points:
+//
+//	name            arm name, unlimited firings
+//	name*3          arm name for exactly 3 firings
+//	name=50ms       arm name with a duration payload (for delay points)
+//	name*2=50ms     both
+//
+// Every probe (Active, Err, Delay, MaybePanic) consumes one firing of an
+// armed point and counts it; unarmed points cost one atomic load and
+// return the zero answer, so probes are safe to leave on hot-ish paths.
+// The package is concurrency-safe. Tests use Arm/Reset directly.
+package faultpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names wired into the repo. Declared here so call sites and specs
+// cannot drift apart silently.
+const (
+	// JobPanic panics inside one batch job's execution (the engine's
+	// per-job recover must convert it to that job's error, not kill the
+	// process). Fired by compile.(*Context).RunBatchCtx workers.
+	JobPanic = "job.panic"
+	// SolveSlow sleeps its duration payload on every SMT-solve cache miss,
+	// simulating a pathologically slow solver to build queue pressure.
+	SolveSlow = "solve.slow"
+	// SnapshotSaveErr fails compile.Cache.Save with an injected error.
+	SnapshotSaveErr = "snapshot.save.err"
+	// SnapshotSaveCorrupt flips bytes in an encoded cache snapshot before
+	// it is written, so the next Load must degrade to a cold start.
+	SnapshotSaveCorrupt = "snapshot.save.corrupt"
+	// StoreSaveErr fails the server's batch-store persist with an injected
+	// error (the store keeps serving from memory).
+	StoreSaveErr = "store.save.err"
+	// StoreLoadCorrupt corrupts the batch-store snapshot bytes on read, so
+	// recovery must degrade to an empty store.
+	StoreLoadCorrupt = "store.load.corrupt"
+)
+
+// EnvVar is the environment variable ArmFromEnv reads.
+const EnvVar = "FASTSC_FAULTPOINTS"
+
+// ErrInjected is the base error of every injected failure; callers assert
+// injection with errors.Is(err, faultpoint.ErrInjected).
+var ErrInjected = errors.New("faultpoint: injected failure")
+
+// point is one armed failure point.
+type point struct {
+	remaining int64 // firings left; negative = unlimited
+	delay     time.Duration
+	fired     int64
+}
+
+var (
+	mu     sync.Mutex
+	points map[string]*point
+	// armed is 0 while no point is armed, letting every probe bail on one
+	// atomic load in the (overwhelmingly common) inert configuration.
+	armed atomic.Int32
+)
+
+// Arm parses a spec ("name", "name*3", "name=50ms", comma-separated) and
+// arms the named points, adding to whatever is already armed. An empty
+// spec arms nothing.
+func Arm(spec string) error {
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name := field
+		p := &point{remaining: -1}
+		if i := strings.IndexByte(name, '='); i >= 0 {
+			d, err := time.ParseDuration(name[i+1:])
+			if err != nil {
+				return fmt.Errorf("faultpoint: bad duration in %q: %v", field, err)
+			}
+			p.delay = d
+			name = name[:i]
+		}
+		if i := strings.IndexByte(name, '*'); i >= 0 {
+			n, err := strconv.ParseInt(name[i+1:], 10, 64)
+			if err != nil || n < 1 {
+				return fmt.Errorf("faultpoint: bad count in %q", field)
+			}
+			p.remaining = n
+			name = name[:i]
+		}
+		if name == "" {
+			return fmt.Errorf("faultpoint: empty point name in %q", spec)
+		}
+		mu.Lock()
+		if points == nil {
+			points = make(map[string]*point)
+		}
+		points[name] = p
+		armed.Store(1)
+		mu.Unlock()
+	}
+	return nil
+}
+
+// ArmFromEnv arms the spec in FASTSC_FAULTPOINTS, if any.
+func ArmFromEnv() error { return Arm(os.Getenv(EnvVar)) }
+
+// Reset disarms every point and zeroes the fired counters.
+func Reset() {
+	mu.Lock()
+	points = nil
+	armed.Store(0)
+	mu.Unlock()
+}
+
+// consume takes one firing of name if it is armed with firings left,
+// returning the point on success.
+func consume(name string) *point {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	p := points[name]
+	if p == nil || p.remaining == 0 {
+		return nil
+	}
+	if p.remaining > 0 {
+		p.remaining--
+	}
+	p.fired++
+	return p
+}
+
+// Active consumes one firing of name and reports whether it fired.
+func Active(name string) bool { return consume(name) != nil }
+
+// Err consumes one firing of name, returning an error wrapping ErrInjected
+// if it fired and nil otherwise.
+func Err(name string) error {
+	if consume(name) == nil {
+		return nil
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, name)
+}
+
+// Delay consumes one firing of name, returning its duration payload (zero
+// when not armed or armed without one).
+func Delay(name string) time.Duration {
+	p := consume(name)
+	if p == nil {
+		return 0
+	}
+	return p.delay
+}
+
+// Sleep consumes one firing of name and sleeps its duration payload.
+func Sleep(name string) {
+	if d := Delay(name); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// MaybePanic consumes one firing of name and panics if it fired.
+func MaybePanic(name string) {
+	if consume(name) != nil {
+		panic("faultpoint: injected panic at " + name)
+	}
+}
+
+// Corrupt consumes one firing of name; if it fired, it returns a copy of
+// data with its leading bytes flipped — corrupting the stream header
+// (gzip magic, gob type descriptors) guarantees any decoder rejects it,
+// whereas flipping payload bytes can decode "successfully" into garbage.
+// Otherwise data is returned unchanged.
+func Corrupt(name string, data []byte) []byte {
+	if consume(name) == nil || len(data) == 0 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	for i := 0; i < len(out) && i < 16; i++ {
+		out[i] ^= 0xff
+	}
+	return out
+}
+
+// Fired returns how many times name has fired since the last Reset.
+func Fired(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p := points[name]; p != nil {
+		return p.fired
+	}
+	return 0
+}
+
+// FiredAll returns a copy of every armed point's fired counter.
+func FiredAll() map[string]int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[string]int64, len(points))
+	for name, p := range points {
+		out[name] = p.fired
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsInert(t *testing.T) {
+	Reset()
+	if Active("nope") || Err("nope") != nil || Delay("nope") != 0 {
+		t.Fatal("unarmed points must be inert")
+	}
+	MaybePanic("nope") // must not panic
+	if got := Corrupt("nope", []byte("abc")); string(got) != "abc" {
+		t.Fatalf("Corrupt unarmed = %q", got)
+	}
+}
+
+func TestArmSpecParsing(t *testing.T) {
+	defer Reset()
+	cases := []struct {
+		spec string
+		ok   bool
+	}{
+		{"a", true},
+		{"a*3", true},
+		{"a=50ms", true},
+		{"a*2=50ms", true},
+		{"a, b*1 ,c=1s", true},
+		{"", true},
+		{"a*x", false},
+		{"a*0", false},
+		{"a=xyz", false},
+		{"*3", false},
+	}
+	for _, tc := range cases {
+		Reset()
+		err := Arm(tc.spec)
+		if (err == nil) != tc.ok {
+			t.Errorf("Arm(%q) = %v, want ok=%v", tc.spec, err, tc.ok)
+		}
+	}
+}
+
+func TestCountedFirings(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Arm("p*2"); err != nil {
+		t.Fatal(err)
+	}
+	if !Active("p") || !Active("p") {
+		t.Fatal("armed point did not fire twice")
+	}
+	if Active("p") {
+		t.Fatal("point fired beyond its count")
+	}
+	if Fired("p") != 2 {
+		t.Fatalf("Fired = %d, want 2", Fired("p"))
+	}
+}
+
+func TestUnlimitedAndErr(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Arm("q"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := Err("q"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("firing %d: err = %v", i, err)
+		}
+	}
+	if Fired("q") != 10 {
+		t.Fatalf("Fired = %d", Fired("q"))
+	}
+}
+
+func TestDelayPayload(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Arm("slow=25ms"); err != nil {
+		t.Fatal(err)
+	}
+	if d := Delay("slow"); d != 25*time.Millisecond {
+		t.Fatalf("Delay = %v", d)
+	}
+}
+
+func TestMaybePanic(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Arm("boom*1"); err != nil {
+		t.Fatal(err)
+	}
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		MaybePanic("boom")
+		return false
+	}
+	if !panicked() {
+		t.Fatal("armed panic point did not panic")
+	}
+	if panicked() {
+		t.Fatal("panic point fired beyond its count")
+	}
+}
+
+func TestCorruptFlipsBytes(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Arm("c*1"); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]byte, 64)
+	out := Corrupt("c", in)
+	if string(out) == string(in) {
+		t.Fatal("Corrupt returned unchanged bytes while armed")
+	}
+	if string(in) != string(make([]byte, 64)) {
+		t.Fatal("Corrupt mutated its input")
+	}
+}
+
+func TestConcurrentConsume(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Arm("race*100"); err != nil {
+		t.Fatal(err)
+	}
+	var fired sync.WaitGroup
+	var hits atomic64
+	for i := 0; i < 8; i++ {
+		fired.Add(1)
+		go func() {
+			defer fired.Done()
+			for j := 0; j < 50; j++ {
+				if Active("race") {
+					hits.add(1)
+				}
+			}
+		}()
+	}
+	fired.Wait()
+	if hits.load() != 100 {
+		t.Fatalf("fired %d times, want exactly 100", hits.load())
+	}
+}
+
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

@@ -3,7 +3,10 @@
 // nil-guard) or by calling X where an XCtx sibling exists.
 package ctxflow
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 func work() {}
 
@@ -46,4 +49,37 @@ func threads(ctx context.Context, r runner) {
 func noCtx() {
 	work() // caller holds no context: not checked
 	_ = context.Background()
+}
+
+// Deadline-threading cases, modeled on the server's per-request deadline
+// path: a handler that receives the request context must derive the batch
+// deadline FROM it, so canceling the request also cancels the batch.
+
+func deadlineFromCtx(ctx context.Context, at time.Time) (context.Context, context.CancelFunc) {
+	// Deriving the deadline from the received ctx keeps the chain: not flagged.
+	return context.WithDeadlineCause(ctx, at, context.DeadlineExceeded)
+}
+
+func deadlineDetached(ctx context.Context, at time.Time) (context.Context, context.CancelFunc) {
+	return context.WithDeadlineCause(context.Background(), at, context.DeadlineExceeded) // want `ctxflow: deadlineDetached already receives ctx; pass it .* instead of context\.Background`
+}
+
+func cancelCauseFromCtx(ctx context.Context) {
+	cctx, cancel := context.WithCancelCause(ctx) // deriving a cancelable child: not flagged
+	defer cancel(nil)
+	workCtx(cctx)
+}
+
+func deadlineNilGuard(ctx context.Context, at time.Time) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background() // sanctioned nil-guard: not flagged
+	}
+	return context.WithDeadlineCause(ctx, at, context.DeadlineExceeded)
+}
+
+func deadlineThenDetaches(ctx context.Context, at time.Time, r runner) {
+	dctx, cancel := context.WithDeadlineCause(ctx, at, context.DeadlineExceeded)
+	defer cancel()
+	_ = dctx
+	r.Run() // want `ctxflow: deadlineThenDetaches holds ctx but calls Run, .* call runner\.RunCtx`
 }

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"fastsc/internal/compile"
+)
+
+// errQueueFull rejects a submission that found every compile slot busy and
+// the wait queue full of work it cannot displace.
+var errQueueFull = errors.New("server: admission queue full")
+
+// ErrShed is the cause reported by a queued batch that was evicted from
+// the admission queue to make room for higher-priority work.
+var ErrShed = errors.New("server: shed from admission queue by higher-priority work")
+
+// admitter allocates the server's compile slots. It replaces the FIFO
+// slot semaphore of PR 6 with a priority queue: a reservation either takes
+// a free slot immediately or waits; when the bounded queue is full, an
+// arriving reservation sheds the most shed-worthy waiter — any waiter
+// whose deadline has already expired first, then the lowest-priority
+// waiter younger than the arrival's priority class — or is itself
+// rejected with errQueueFull. Waiters whose own deadline or context
+// expires remove themselves without ever holding a slot, so expired work
+// cannot occupy workers. Running batches are never preempted.
+type admitter struct {
+	mu       sync.Mutex
+	free     int
+	maxQueue int
+	queue    []*ticket
+	seq      int64
+}
+
+func newAdmitter(slots, maxQueue int) *admitter {
+	return &admitter{free: slots, maxQueue: maxQueue}
+}
+
+// ticket is one reservation: created by reserve, redeemed by wait, and —
+// when wait returned nil — released exactly once after the batch finishes.
+type ticket struct {
+	a        *admitter
+	prio     int
+	seq      int64
+	deadline time.Time // zero = none
+	ready    chan struct{}
+	granted  bool
+	queued   bool
+	shedErr  error
+}
+
+// reserve claims a slot or a queue position for a batch of the given
+// priority. It returns errQueueFull when the queue is full of live work
+// of equal or higher priority; otherwise the returned ticket is either
+// already granted or queued, and the caller must call wait.
+func (a *admitter) reserve(prio int, deadline time.Time) (*ticket, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	t := &ticket{a: a, prio: prio, seq: a.seq, deadline: deadline, ready: make(chan struct{})}
+	if a.free > 0 {
+		a.free--
+		t.granted = true
+		close(t.ready)
+		return t, nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		victim := a.shedVictimLocked(prio)
+		if victim == nil {
+			return nil, errQueueFull
+		}
+		cause := ErrShed
+		if !victim.deadline.IsZero() && time.Now().After(victim.deadline) {
+			cause = compile.ErrDeadline
+		}
+		a.shedLocked(victim, cause)
+	}
+	t.queued = true
+	a.queue = append(a.queue, t)
+	return t, nil
+}
+
+// shedVictimLocked picks the waiter to evict for an arrival of priority
+// prio: any already-expired waiter first (regardless of priority — its
+// work is dead either way), else the lowest-priority waiter strictly below
+// prio, newest first. Nil when nothing may be displaced.
+func (a *admitter) shedVictimLocked(prio int) *ticket {
+	now := time.Now()
+	var lowest *ticket
+	for _, w := range a.queue {
+		if !w.deadline.IsZero() && now.After(w.deadline) {
+			return w
+		}
+		if w.prio < prio && (lowest == nil || w.prio < lowest.prio ||
+			(w.prio == lowest.prio && w.seq > lowest.seq)) {
+			lowest = w
+		}
+	}
+	return lowest
+}
+
+// shedLocked evicts w from the queue with the given cause.
+func (a *admitter) shedLocked(w *ticket, cause error) {
+	a.removeLocked(w)
+	w.shedErr = cause
+	close(w.ready)
+}
+
+// removeLocked takes w out of the queue.
+func (a *admitter) removeLocked(w *ticket) {
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			break
+		}
+	}
+	w.queued = false
+}
+
+// releaseLocked returns one slot: the best live waiter (highest priority,
+// oldest within a priority) is granted it; already-expired waiters are
+// shed instead of granted. With no waiters the slot goes back to the pool.
+func (a *admitter) releaseLocked() {
+	now := time.Now()
+	for {
+		var best *ticket
+		for _, w := range a.queue {
+			if best == nil || w.prio > best.prio || (w.prio == best.prio && w.seq < best.seq) {
+				best = w
+			}
+		}
+		if best == nil {
+			a.free++
+			return
+		}
+		if !best.deadline.IsZero() && now.After(best.deadline) {
+			a.shedLocked(best, compile.ErrDeadline)
+			continue
+		}
+		a.removeLocked(best)
+		best.granted = true
+		close(best.ready)
+		return
+	}
+}
+
+// depth returns the number of batches waiting for a slot.
+func (a *admitter) depth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue)
+}
+
+// wait blocks until the ticket is granted a slot (nil), shed (ErrShed or
+// compile.ErrDeadline), or ctx expires (its cause; a ticket granted in
+// the same instant hands the slot straight back). After a non-nil return
+// the ticket is dead; after nil the caller owns a slot and must call
+// release exactly once.
+func (t *ticket) wait(ctx context.Context) error {
+	select {
+	case <-t.ready:
+		// shedErr and granted are written before close(ready) under the
+		// admitter lock; the channel close orders them before this read.
+		if t.shedErr != nil {
+			return t.shedErr
+		}
+		return nil
+	case <-ctx.Done():
+		a := t.a
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if t.granted {
+			// Lost the race against a concurrent grant: hand the slot on.
+			a.releaseLocked()
+		} else if t.queued {
+			a.removeLocked(t)
+		}
+		return context.Cause(ctx)
+	}
+}
+
+// release frees the slot held by a granted ticket.
+func (t *ticket) release() {
+	t.a.mu.Lock()
+	t.a.releaseLocked()
+	t.a.mu.Unlock()
+}

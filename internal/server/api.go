@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"fastsc/internal/circuit"
 	"fastsc/internal/compile"
@@ -27,6 +28,16 @@ type CompileRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// Verbose includes per-slice frequency detail in every result.
 	Verbose bool `json:"verbose,omitempty"`
+	// DeadlineMS is the batch's deadline in milliseconds from arrival; 0
+	// means none. Work not started by the deadline is abandoned with a
+	// typed not-started error instead of occupying a compile slot, and an
+	// expired batch waiting in the admission queue is shed first.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Priority orders admission: 0 (lowest) to 9; omitted selects
+	// DefaultPriority. When the queue is full, an arriving batch may shed
+	// a queued batch of strictly lower priority; equal priorities are FIFO
+	// and running batches are never preempted.
+	Priority *int `json:"priority,omitempty"`
 }
 
 // DeviceSpec names the target chip: a topology spec (see
@@ -153,10 +164,14 @@ type SubmitResponse struct {
 	URL    string `json:"url"`
 }
 
-// BatchStatus is the poll response of GET /v1/batches/{id}.
+// BatchStatus is the poll response of GET /v1/batches/{id}. Status is
+// "queued" or "running" while live; terminal states are "done", "expired"
+// (deadline passed), "shed" (evicted for higher-priority work), "canceled"
+// (submission aborted), and "interrupted" (the daemon restarted while the
+// batch was in flight; its results are whatever had been persisted).
 type BatchStatus struct {
 	Batch         string       `json:"batch"`
-	Status        string       `json:"status"` // "queued" | "running" | "done"
+	Status        string       `json:"status"`
 	Jobs          int          `json:"jobs"`
 	Completed     int          `json:"completed"`
 	Failed        int          `json:"failed"`
@@ -182,10 +197,20 @@ type MetaResponse struct {
 // omits device.seed, matching the CLIs' -device-seed default.
 const DefaultDeviceSeed = 42
 
-// apiError is an error with an HTTP status.
+// DefaultPriority is the admission priority of a request that omits
+// "priority" — the middle of the 0..9 range, so callers can go both up
+// and down from the default.
+const DefaultPriority = 5
+
+// MaxPriority is the highest admission priority.
+const MaxPriority = 9
+
+// apiError is an error with an HTTP status; retryAfter, when non-zero,
+// becomes a Retry-After header (seconds).
 type apiError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -201,6 +226,11 @@ type parsedBatch struct {
 	sys     *phys.System
 	verbose bool
 	workers int
+	// prio is the admission priority (0..9, DefaultPriority when omitted).
+	prio int
+	// deadlineAt is the absolute batch deadline, fixed at parse time from
+	// deadline_ms; zero means none.
+	deadlineAt time.Time
 }
 
 // parseRequest validates a CompileRequest and resolves it against the
@@ -213,6 +243,16 @@ func (s *Server) parseRequest(req *CompileRequest) (*parsedBatch, *apiError) {
 	}
 	if max := s.cfg.MaxJobs; len(req.Jobs) > max {
 		return nil, badRequest("request has %d jobs, limit is %d", len(req.Jobs), max)
+	}
+	if req.DeadlineMS < 0 {
+		return nil, badRequest("deadline_ms must be >= 0, got %d", req.DeadlineMS)
+	}
+	prio := DefaultPriority
+	if req.Priority != nil {
+		prio = *req.Priority
+		if prio < 0 || prio > MaxPriority {
+			return nil, badRequest("priority must be in [0, %d], got %d", MaxPriority, prio)
+		}
 	}
 	seed := int64(DefaultDeviceSeed)
 	if req.Device.Seed != nil {
@@ -230,8 +270,12 @@ func (s *Server) parseRequest(req *CompileRequest) (*parsedBatch, *apiError) {
 		sys:     sys,
 		verbose: req.Verbose,
 		workers: req.Workers,
+		prio:    prio,
 		jobs:    make([]core.BatchJob, 0, len(req.Jobs)),
 		ids:     make([]string, 0, len(req.Jobs)),
+	}
+	if req.DeadlineMS > 0 {
+		pb.deadlineAt = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 	}
 	for i, js := range req.Jobs {
 		id := js.ID

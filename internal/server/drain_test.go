@@ -55,15 +55,25 @@ func TestGracefulDrain(t *testing.T) {
 
 	srv.Drain()
 
-	// Health flips to draining immediately.
-	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	// Readiness flips to draining immediately; liveness stays 200 — a
+	// draining instance is rotated out of traffic, not restarted.
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
-		t.Fatalf("healthz while draining = %d %q", resp.StatusCode, body)
+		t.Fatalf("readyz while draining = %d %q", resp.StatusCode, body)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining = %d %q, want 200 (liveness only)", resp.StatusCode, body)
 	}
 
 	// New submissions — streaming and async — are refused with 503.

@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+
+	"fastsc/internal/compile"
 )
 
 // routes mounts the API surface documented in docs/api.md.
@@ -18,6 +21,18 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/meta", s.handleMeta)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+}
+
+// withBatchDeadline derives the batch's compile context from parent: when
+// the request carries deadline_ms, the context expires at that absolute
+// time with compile.ErrDeadline as its cause, so every job skipped after
+// expiry reports a typed deadline error end to end.
+func withBatchDeadline(parent context.Context, pb *parsedBatch) (context.Context, context.CancelFunc) {
+	if pb.deadlineAt.IsZero() {
+		return context.WithCancel(parent)
+	}
+	return context.WithDeadlineCause(parent, pb.deadlineAt, compile.ErrDeadline)
 }
 
 // decodeRequest reads and validates a CompileRequest body.
@@ -46,12 +61,14 @@ func (s *Server) handleCompileStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
-	release, aerr := s.admit()
+	tkt, release, aerr := s.admit(pb)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
 	}
 	defer release()
+	ctx, cancel := withBatchDeadline(r.Context(), pb)
+	defer cancel()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
@@ -67,7 +84,7 @@ func (s *Server) handleCompileStream(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	}
-	s.runBatch(r.Context(), pb, "", emit, nil)
+	s.runBatch(ctx, pb, "", tkt, emit, nil)
 }
 
 // handleSubmit serves POST /v1/batches: parse, admit, then run the batch
@@ -81,16 +98,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
-	release, aerr := s.admit()
+	tkt, release, aerr := s.admit(pb)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
 	}
-	rec := s.store.add(len(pb.jobs))
+	rec := s.store.add(len(pb.jobs), pb.prio)
 	go func() {
 		defer release()
-		done := s.runBatch(context.Background(), pb, rec.id, rec.appendLine, rec.setRunning)
-		rec.finish(done)
+		// Accepted batches are not tied to the submitting connection, so
+		// the compile context descends from Background, carrying only the
+		// request's own deadline.
+		ctx, cancel := withBatchDeadline(context.Background(), pb)
+		defer cancel()
+		done, status := s.runBatch(ctx, pb, rec.id, tkt, rec.appendLine, rec.setRunning)
+		rec.finish(done, status)
 	}()
 	w.Header().Set("Location", "/v1/batches/"+rec.id)
 	writeJSON(w, http.StatusAccepted, SubmitResponse{
@@ -118,17 +140,31 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, meta())
 }
 
-// handleHealth serves GET /healthz: 200 "ok" while accepting, 503
-// "draining" afterwards — the signal load balancers use to rotate a
-// terminating instance out before its in-flight batches finish.
+// handleHealth serves GET /healthz: pure liveness. It answers 200 "ok"
+// whenever the process can serve HTTP at all — including while draining
+// or restoring a snapshot — so supervisors do not kill an instance that
+// is merely busy. Traffic routing reads /readyz instead.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.Draining() {
+	io.WriteString(w, "ok\n")
+}
+
+// handleReady serves GET /readyz: readiness. 503 "draining" once Drain has
+// been called (load balancers rotate the terminating instance out while
+// its in-flight batches finish) and 503 "restoring" while the background
+// snapshot restore is still warming the cache; 200 "ready" otherwise.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.Draining():
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining\n")
-		return
+	case s.Restoring():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "restoring\n")
+	default:
+		io.WriteString(w, "ready\n")
 	}
-	io.WriteString(w, "ok\n")
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -138,8 +174,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, aerr *apiError) {
-	if aerr.status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+	if aerr.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(aerr.retryAfter))
 	}
 	writeJSON(w, aerr.status, ErrorResponse{Error: aerr.msg})
 }

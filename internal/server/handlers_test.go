@@ -575,10 +575,10 @@ func TestHealthz(t *testing.T) {
 
 func TestStoreEviction(t *testing.T) {
 	st := newBatchStore(2)
-	a := st.add(1)
-	b := st.add(1)
-	a.finish(DoneLine{Type: "done"})
-	c := st.add(1) // exceeds limit: evicts a (the only finished batch)
+	a := st.add(1, DefaultPriority)
+	b := st.add(1, DefaultPriority)
+	a.finish(DoneLine{Type: "done"}, "done")
+	c := st.add(1, DefaultPriority) // exceeds limit: evicts a (the only finished batch)
 	if st.get(a.id) != nil {
 		t.Errorf("finished batch %s not evicted", a.id)
 	}
@@ -587,7 +587,7 @@ func TestStoreEviction(t *testing.T) {
 	}
 	// With no finished batch to shed, the store grows past the limit
 	// rather than dropping pollable state.
-	d := st.add(1)
+	d := st.add(1, DefaultPriority)
 	if st.get(d.id) == nil || st.len() != 3 {
 		t.Errorf("store len = %d", st.len())
 	}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// durationBuckets are the upper bounds (seconds) of the request-duration
+// histograms: log-spaced from 5ms to 60s so p50/p99 of both millisecond
+// cache-hit batches and multi-second cold solves land inside the range
+// rather than in +Inf.
+var durationBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket duration histogram in the Prometheus
+// cumulative exposition shape, safe for concurrent observers. Counts are
+// stored per bucket (not cumulative) and summed at render time; the sum is
+// kept in microseconds so observation is a single atomic add with no CAS
+// loop on float bits.
+type histogram struct {
+	counts    []atomic.Int64 // one per bucket, +1 for +Inf
+	sumMicros atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(durationBuckets)+1)}
+}
+
+// observe records one duration in seconds.
+func (h *histogram) observe(seconds float64) {
+	i := 0
+	for i < len(durationBuckets) && seconds > durationBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumMicros.Add(int64(seconds * 1e6))
+}
+
+// writeTo renders the histogram in Prometheus text format under name.
+func (h *histogram) writeTo(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, le := range durationBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatBucket(le), cum)
+	}
+	cum += h.counts[len(durationBuckets)].Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %g\n", name, float64(h.sumMicros.Load())/1e6)
+	fmt.Fprintf(b, "%s_count %d\n", name, cum)
+}
+
+// formatBucket renders a bucket bound the way Prometheus clients do
+// ("0.005", "1", "60") — %g, which never emits a trailing zero fraction.
+func formatBucket(le float64) string {
+	return fmt.Sprintf("%g", le)
+}

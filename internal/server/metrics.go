@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"fastsc/internal/faultpoint"
 )
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
@@ -57,21 +59,61 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "fastscd_batches_admitted %d\n", s.admitted.Load())
 	writeHelp("fastscd_batches_running", "Batches currently holding a compile slot.", "gauge")
 	fmt.Fprintf(&b, "fastscd_batches_running %d\n", s.running.Load())
+	writeHelp("fastscd_queue_depth", "Batches waiting in the admission queue for a compile slot.", "gauge")
+	fmt.Fprintf(&b, "fastscd_queue_depth %d\n", s.adm.depth())
 	writeHelp("fastscd_batches_done_total", "Batches that ran to completion.", "counter")
 	fmt.Fprintf(&b, "fastscd_batches_done_total %d\n", s.mBatchesDone.Load())
+	writeHelp("fastscd_batches_shed_total", "Queued batches evicted to make room for higher-priority work.", "counter")
+	fmt.Fprintf(&b, "fastscd_batches_shed_total %d\n", s.mShed.Load())
+	writeHelp("fastscd_batches_expired_total", "Batches whose deadline passed before or during execution.", "counter")
+	fmt.Fprintf(&b, "fastscd_batches_expired_total %d\n", s.mExpired.Load())
 	writeHelp("fastscd_jobs_total", "Compile jobs finished, successful or not.", "counter")
 	fmt.Fprintf(&b, "fastscd_jobs_total %d\n", s.mJobs.Load())
 	writeHelp("fastscd_jobs_failed_total", "Compile jobs that finished with an error.", "counter")
 	fmt.Fprintf(&b, "fastscd_jobs_failed_total %d\n", s.mJobsFailed.Load())
+	writeHelp("fastscd_job_panics_total", "Compile jobs that panicked and were recovered per job.", "counter")
+	fmt.Fprintf(&b, "fastscd_job_panics_total %d\n", s.mJobPanics.Load())
+
+	s.hBatchSeconds.writeTo(&b, "fastscd_batch_duration_seconds",
+		"Wall time of finished batches, admission wait included.")
+	s.hWaitSeconds.writeTo(&b, "fastscd_admission_wait_seconds",
+		"Time batches spent waiting for a compile slot.")
 
 	writeHelp("fastscd_stored_batches", "Async batches retained for polling.", "gauge")
 	fmt.Fprintf(&b, "fastscd_stored_batches %d\n", s.store.len())
+	writeHelp("fastscd_store_epoch", "Batch-store generation: 1 fresh, incremented by every recovery.", "gauge")
+	fmt.Fprintf(&b, "fastscd_store_epoch %d\n", s.store.Epoch())
+	restored, interrupted, saveErrs := s.store.RecoveryStats()
+	writeHelp("fastscd_store_restored_batches", "Batch records restored from the durable store at boot.", "gauge")
+	fmt.Fprintf(&b, "fastscd_store_restored_batches %d\n", restored)
+	writeHelp("fastscd_store_interrupted_batches", "Restored batches that were in flight when the previous process died.", "gauge")
+	fmt.Fprintf(&b, "fastscd_store_interrupted_batches %d\n", interrupted)
+	writeHelp("fastscd_store_save_errors_total", "Batch-store persists that failed (store kept serving from memory).", "counter")
+	fmt.Fprintf(&b, "fastscd_store_save_errors_total %d\n", saveErrs)
+
+	if fired := faultpoint.FiredAll(); len(fired) > 0 {
+		names := make([]string, 0, len(fired))
+		for name := range fired {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		writeHelp("fastscd_faultpoints_fired_total", "Armed fault-point firings, by point name.", "counter")
+		for _, name := range names {
+			fmt.Fprintf(&b, "fastscd_faultpoints_fired_total{point=%q} %d\n", name, fired[name])
+		}
+	}
 	writeHelp("fastscd_draining", "1 while the server refuses new submissions ahead of shutdown.", "gauge")
 	draining := 0
 	if s.Draining() {
 		draining = 1
 	}
 	fmt.Fprintf(&b, "fastscd_draining %d\n", draining)
+	writeHelp("fastscd_restoring", "1 while the background snapshot restore is still warming the cache.", "gauge")
+	restoring := 0
+	if s.Restoring() {
+		restoring = 1
+	}
+	fmt.Fprintf(&b, "fastscd_restoring %d\n", restoring)
 	writeHelp("fastscd_uptime_seconds", "Seconds since the server was created.", "gauge")
 	fmt.Fprintf(&b, "fastscd_uptime_seconds %.0f\n", time.Since(s.started).Seconds())
 

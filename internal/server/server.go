@@ -2,7 +2,9 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -77,16 +79,17 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	base    *compile.Context
-	sem     chan struct{}
+	adm     *admitter
 	wg      sync.WaitGroup
 	store   *batchStore
 	systems systemCache
 	mux     *http.ServeMux
 	started time.Time
 
-	admitted atomic.Int64 // batches admitted and not yet finished
-	running  atomic.Int64 // batches holding a compile slot
-	draining atomic.Bool
+	admitted  atomic.Int64 // batches admitted and not yet finished
+	running   atomic.Int64 // batches holding a compile slot
+	draining  atomic.Bool
+	restoring atomic.Bool // background snapshot restore in progress
 
 	snapshotRestored atomic.Int64
 	mStreams         atomic.Int64
@@ -95,8 +98,18 @@ type Server struct {
 	mBatchesDone     atomic.Int64
 	mJobs            atomic.Int64
 	mJobsFailed      atomic.Int64
+	mJobPanics       atomic.Int64
 	mRejectQueue     atomic.Int64
 	mRejectDrain     atomic.Int64
+	mShed            atomic.Int64
+	mExpired         atomic.Int64
+
+	// batchEWMA holds the float64 bits of an exponentially weighted moving
+	// average of batch wall time (seconds), feeding Retry-After.
+	batchEWMA atomic.Uint64
+
+	hBatchSeconds *histogram
+	hWaitSeconds  *histogram
 
 	// startGate, when set (tests only), runs after a batch acquires its
 	// compile slot and before any job starts.
@@ -107,12 +120,14 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		base:    &compile.Context{Cache: compile.NewCache(cfg.CacheCapacity)},
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		store:   newBatchStore(cfg.StoredBatches),
-		systems: systemCache{m: make(map[sysKey]*phys.System)},
-		started: time.Now(),
+		cfg:           cfg,
+		base:          &compile.Context{Cache: compile.NewCache(cfg.CacheCapacity)},
+		adm:           newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue),
+		store:         newBatchStore(cfg.StoredBatches),
+		systems:       systemCache{m: make(map[sysKey]*phys.System)},
+		started:       time.Now(),
+		hBatchSeconds: newHistogram(),
+		hWaitSeconds:  newHistogram(),
 	}
 	s.routes()
 	return s
@@ -125,6 +140,19 @@ func (s *Server) Cache() *compile.Cache { return s.base.Cache }
 // SetRestored records how many snapshot entries warmed the cache at
 // startup, exported as fastscd_snapshot_restored_entries.
 func (s *Server) SetRestored(n int) { s.snapshotRestored.Store(int64(n)) }
+
+// SetRestoring flags that a background snapshot restore is in progress.
+// While set, /readyz reports 503 (the instance serves but is not warm);
+// /healthz is unaffected. The daemon sets it around its background cache
+// Load so load balancers keep traffic on warm peers during a fleet roll.
+func (s *Server) SetRestoring(v bool) { s.restoring.Store(v) }
+
+// Restoring reports whether a background snapshot restore is in progress.
+func (s *Server) Restoring() bool { return s.restoring.Load() }
+
+// Store exposes the async batch store for durable open/save at the daemon
+// boundary (see batchStore.Open and batchStore.SaveNow).
+func (s *Server) Store() *batchStore { return s.store }
 
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -158,14 +186,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// admit reserves an admission slot for one batch. On success the caller
-// owns a place in the bounded queue and must call the returned release
-// exactly once after the batch finishes. The draining check runs after the
-// reservation so a concurrent Drain+Shutdown can never miss a batch that
-// passed the check.
-func (s *Server) admit() (release func(), aerr *apiError) {
+// admit reserves a place for one batch: the drain gate, then a slot or
+// queue position from the priority admitter. On success the caller must
+// redeem the ticket with runBatch (which waits for the slot) and call the
+// returned release exactly once after the batch finishes. The draining
+// check runs after the WaitGroup reservation so a concurrent Drain+Shutdown
+// can never miss a batch that passed the check. A full queue is a 429
+// whose Retry-After estimates when a slot should free (see retryAfter).
+func (s *Server) admit(pb *parsedBatch) (tkt *ticket, release func(), aerr *apiError) {
 	s.wg.Add(1)
-	n := s.admitted.Add(1)
+	s.admitted.Add(1)
 	release = func() {
 		s.admitted.Add(-1)
 		s.wg.Done()
@@ -173,36 +203,106 @@ func (s *Server) admit() (release func(), aerr *apiError) {
 	if s.draining.Load() {
 		release()
 		s.mRejectDrain.Add(1)
-		return nil, &apiError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+		return nil, nil, &apiError{status: http.StatusServiceUnavailable,
+			msg: "server is draining", retryAfter: 1}
 	}
-	if n > int64(s.cfg.MaxConcurrent+s.cfg.MaxQueue) {
+	tkt, err := s.adm.reserve(pb.prio, pb.deadlineAt)
+	if err != nil {
 		release()
 		s.mRejectQueue.Add(1)
-		return nil, &apiError{status: http.StatusTooManyRequests, msg: fmt.Sprintf(
-			"queue full: %d batches admitted (limit %d running + %d queued)",
-			n-1, s.cfg.MaxConcurrent, s.cfg.MaxQueue)}
+		return nil, nil, &apiError{status: http.StatusTooManyRequests, msg: fmt.Sprintf(
+			"queue full: %d running and %d queued batches at equal or higher priority (limit %d running + %d queued)",
+			s.cfg.MaxConcurrent, s.cfg.MaxQueue, s.cfg.MaxConcurrent, s.cfg.MaxQueue),
+			retryAfter: s.retryAfter()}
 	}
-	return release, nil
+	return tkt, release, nil
 }
 
-// runBatch compiles one admitted batch: it waits for a compile slot, fans
-// the jobs through the engine on a request-scoped Context (shared cache,
-// per-request worker budget and stats Recorder), and emits one ResultLine
-// per job in completion order followed by the DoneLine. ctx aborts jobs
-// not yet started (client disconnect); emit errors likewise abort the
-// remainder. The returned DoneLine is also emitted.
-func (s *Server) runBatch(ctx context.Context, pb *parsedBatch, batchID string, emit func(line any) error, onRunning func()) DoneLine {
-	start := time.Now()
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		// Client gone before a slot freed: report every job unstarted.
-		return s.finishAborted(ctx, pb, batchID, emit, start)
+// ewmaBatchSeconds returns the smoothed batch wall time, defaulting to one
+// second before any batch has finished.
+func (s *Server) ewmaBatchSeconds() float64 {
+	if bits := s.batchEWMA.Load(); bits != 0 {
+		return math.Float64frombits(bits)
 	}
+	return 1
+}
+
+// observeBatchSeconds folds one batch duration into the EWMA (α = 0.2).
+func (s *Server) observeBatchSeconds(d float64) {
+	for {
+		old := s.batchEWMA.Load()
+		next := d
+		if old != 0 {
+			next = 0.8*math.Float64frombits(old) + 0.2*d
+		}
+		if s.batchEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfter derives a Retry-After hint (seconds) from the queue depth and
+// the smoothed batch duration: with depth waiters ahead and MaxConcurrent
+// slots draining one EWMA-duration batch each, a slot should free in about
+// (depth+1)·ewma/slots seconds. Clamped to [1, 120] so a misbehaving EWMA
+// can never tell clients to go away for an hour.
+func (s *Server) retryAfter() int {
+	secs := float64(s.adm.depth()+1) * s.ewmaBatchSeconds() / float64(s.cfg.MaxConcurrent)
+	n := int(math.Ceil(secs))
+	if n < 1 {
+		n = 1
+	}
+	if n > 120 {
+		n = 120
+	}
+	return n
+}
+
+// batchStatus maps the cause a batch stopped for to its terminal wire
+// status: "expired" (its deadline passed), "shed" (evicted for
+// higher-priority work), "canceled" (client disconnect or server
+// shutdown), or "done".
+func batchStatus(cause error) string {
+	switch {
+	case cause == nil:
+		return "done"
+	case errors.Is(cause, compile.ErrDeadline):
+		return "expired"
+	case errors.Is(cause, ErrShed):
+		return "shed"
+	default:
+		return "canceled"
+	}
+}
+
+// runBatch compiles one admitted batch: it redeems the admission ticket
+// (waiting for a compile slot), fans the jobs through the engine on a
+// request-scoped Context (shared cache, per-request worker budget and
+// stats Recorder), and emits one ResultLine per job in completion order
+// followed by the DoneLine. ctx aborts jobs not yet started (client
+// disconnect or deadline, with context.Cause carried into each skipped
+// job's error); emit errors likewise abort the remainder. The returned
+// status is the terminal batchStatus of this run.
+func (s *Server) runBatch(ctx context.Context, pb *parsedBatch, batchID string, tkt *ticket, emit func(line any) error, onRunning func()) (DoneLine, string) {
+	start := time.Now()
+	if err := tkt.wait(ctx); err != nil {
+		// Shed, expired or abandoned without ever holding a slot. Shedding
+		// is counted here, off the wait error, so an admitter-shed batch
+		// and a self-expired one are each counted exactly once.
+		s.hWaitSeconds.observe(time.Since(start).Seconds())
+		switch {
+		case errors.Is(err, compile.ErrDeadline):
+			s.mExpired.Add(1)
+		case errors.Is(err, ErrShed):
+			s.mShed.Add(1)
+		}
+		return s.finishAborted(err, pb, batchID, emit, start), batchStatus(err)
+	}
+	s.hWaitSeconds.observe(time.Since(start).Seconds())
 	s.running.Add(1)
 	defer func() {
 		s.running.Add(-1)
-		<-s.sem
+		tkt.release()
 	}()
 	if onRunning != nil {
 		onRunning()
@@ -222,6 +322,9 @@ func (s *Server) runBatch(ctx context.Context, pb *parsedBatch, batchID string, 
 		line := toResultLine(r, pb.ids[r.Index], pb.verbose)
 		if r.Err != nil {
 			failed++
+			if errors.Is(r.Err, compile.ErrJobPanic) {
+				s.mJobPanics.Add(1)
+			}
 		}
 		if emit != nil {
 			if err := emit(line); err != nil {
@@ -232,28 +335,36 @@ func (s *Server) runBatch(ctx context.Context, pb *parsedBatch, batchID string, 
 	s.mJobs.Add(int64(len(pb.jobs)))
 	s.mJobsFailed.Add(int64(failed))
 	s.mBatchesDone.Add(1)
+	elapsed := time.Since(start)
+	s.hBatchSeconds.observe(elapsed.Seconds())
+	s.observeBatchSeconds(elapsed.Seconds())
 
+	status := batchStatus(context.Cause(ctx))
+	if status == "expired" {
+		s.mExpired.Add(1)
+	}
 	done := DoneLine{
 		Type:          "done",
 		Batch:         batchID,
 		Jobs:          len(pb.jobs),
 		Failed:        failed,
-		ElapsedMicros: time.Since(start).Microseconds(),
+		ElapsedMicros: elapsed.Microseconds(),
 		Cache:         toCacheReport(cctx.Record),
 	}
 	if emit != nil {
 		_ = emit(done)
 	}
-	return done
+	return done, status
 }
 
-// finishAborted reports a batch whose client disconnected before it got a
-// compile slot: every job is an error line, nothing is computed.
-func (s *Server) finishAborted(ctx context.Context, pb *parsedBatch, batchID string, emit func(line any) error, start time.Time) DoneLine {
+// finishAborted reports a batch that stopped before it got a compile slot
+// — shed, expired, or its client disconnected: every job is an error line
+// carrying the cause, nothing is computed.
+func (s *Server) finishAborted(cause error, pb *parsedBatch, batchID string, emit func(line any) error, start time.Time) DoneLine {
 	for i := range pb.jobs {
 		line := ResultLine{
 			Type: "error", ID: pb.ids[i], Index: i, Strategy: pb.jobs[i].Strategy,
-			Error: fmt.Sprintf("not started: %v", ctx.Err()),
+			Error: fmt.Sprintf("not started: %v", cause),
 		}
 		if emit != nil {
 			if err := emit(line); err != nil {

@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# chaos-smoke.sh — fault-injection and crash-recovery smoke test of fastscd
+# (run from repo root, or via `make chaos-smoke`). Mirrors the CI
+# chaos-smoke job:
+#
+#   1. build fastscd + fastscload; start the daemon cold with a durable
+#      batch store, periodic cache snapshots, and fault points armed
+#      (one injected per-job panic, slow SMT solves)
+#   2. submit a batch whose first job panics; assert the daemon survives,
+#      the victim job fails, its sibling succeeds, and
+#      fastscd_job_panics_total = 1
+#   3. drive it with fastscload (concurrent clients, jittered backoff
+#      honoring Retry-After), recording every acked batch id
+#   4. submit a unique slow batch, wait until it is running, kill -9
+#   5. restart; assert the store recovered at epoch 2, finished batches
+#      poll "done" with their results, the mid-flight batch polls
+#      "interrupted", and every id fastscload recorded is still pollable
+#      (no lost or duplicated acks across the crash)
+#   6. resubmit the pre-crash batch; assert the periodic snapshot left a
+#      warm cache (hit rate > 0.5)
+set -euo pipefail
+
+PORT="${PORT:-8078}"
+BASE="http://localhost:$PORT"
+WORKDIR="$(mktemp -d)"
+SNAP="$WORKDIR/cache.snap.gz"
+STORE="$WORKDIR/batches.store"
+IDS="$WORKDIR/ids.txt"
+DAEMON_PID=""
+
+cleanup() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() { echo "chaos-smoke: FAIL: $*" >&2; exit 1; }
+
+wait_ready() {
+    for _ in $(seq 1 100); do
+        if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    fail "daemon did not become ready on $BASE"
+}
+
+start_daemon() { # $1 = extra flags (e.g. -faultpoints ...), may be empty
+    # shellcheck disable=SC2086
+    "$WORKDIR/fastscd" -addr ":$PORT" -cache-file "$SNAP" -store-file "$STORE" \
+        -snapshot-interval 300ms -max-concurrent 2 $1 \
+        >>"$WORKDIR/daemon.log" 2>&1 &
+    DAEMON_PID=$!
+    wait_ready
+}
+
+metric() { # $1 = metric name; prints its value or empty
+    curl -fsS "$BASE/metrics" | awk -v m="$1" '$1 == m {print $2}'
+}
+
+echo "== build"
+go build -o "$WORKDIR/fastscd" ./cmd/fastscd
+go build -o "$WORKDIR/fastscload" ./cmd/fastscload
+
+echo "== start cold with fault points armed (job.panic*1, solve.slow=150ms)"
+start_daemon "-faultpoints job.panic*1,solve.slow=150ms"
+
+echo "== a panicking job must fail alone; the daemon and its sibling survive"
+cat > "$WORKDIR/panic.json" <<'EOF'
+{"device":{"topology":"linear","qubits":4},
+ "jobs":[{"id":"victim","qasm":"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\nh q[0];\ncz q[0],q[1];\ncz q[1],q[2];\n"},
+         {"id":"survivor","qasm":"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\nh q[0];\ncz q[0],q[1];\ncz q[1],q[2];\n"}],
+ "workers":1}
+EOF
+curl -fsS -N "$BASE/v1/compile" -d @"$WORKDIR/panic.json" > "$WORKDIR/panic.ndjson"
+python3 - "$WORKDIR/panic.ndjson" <<'PYEOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+by_id = {l["id"]: l for l in lines if l["type"] in ("result", "error")}
+done = [l for l in lines if l["type"] == "done"][0]
+assert by_id["victim"]["type"] == "error", f"victim did not fail: {by_id['victim']}"
+assert "panic" in by_id["victim"]["error"], f"victim error not a panic: {by_id['victim']}"
+assert by_id["survivor"]["type"] == "result", f"survivor damaged: {by_id['survivor']}"
+assert done["failed"] == 1, done
+print("panic containment: victim failed, survivor ok")
+PYEOF
+panics="$(metric fastscd_job_panics_total)"
+[ "$panics" = "1" ] || fail "fastscd_job_panics_total = '$panics', want 1"
+
+echo "== load: concurrent clients with backoff, ids recorded"
+"$WORKDIR/fastscload" -addr "$BASE" -clients 8 -batches 40 -jobs 2 -qubits 5 \
+    -ids-out "$IDS" || fail "fastscload load phase"
+[ "$(wc -l < "$IDS")" -eq 40 ] || fail "expected 40 recorded ids"
+
+echo "== submit a unique slow batch, kill -9 while it is mid-flight"
+cat > "$WORKDIR/slow.json" <<'EOF'
+{"device":{"topology":"grid","qubits":9},
+ "jobs":[{"id":"doomed","qasm":"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[9];\nh q[0];\ncz q[0],q[1];\ncz q[3],q[4];\ncz q[1],q[2];\ncz q[4],q[5];\nrz(13*pi/311) q[8];\n"}]}
+EOF
+ACK=$(curl -fsS -d @"$WORKDIR/slow.json" "$BASE/v1/batches")
+DOOMED=$(python3 -c 'import json,sys; print(json.loads(sys.argv[1])["batch"])' "$ACK")
+for _ in $(seq 1 100); do
+    status=$(curl -fsS "$BASE/v1/batches/$DOOMED" \
+        | python3 -c 'import json,sys; print(json.load(sys.stdin)["status"])')
+    [ "$status" = "running" ] && break
+    [ "$status" = "done" ] && fail "slow batch finished before kill -9 (solve.slow not effective)"
+    sleep 0.02
+done
+[ "$status" = "running" ] || fail "slow batch never started running (status $status)"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+echo "killed mid-batch: $DOOMED was running"
+
+echo "== restart (fault points disarmed): store must recover"
+start_daemon ""
+epoch="$(metric fastscd_store_epoch)"
+[ "$epoch" = "2" ] || fail "fastscd_store_epoch = '$epoch', want 2"
+restored="$(metric fastscd_store_restored_batches)"
+[ -n "$restored" ] && [ "$restored" -ge 41 ] \
+    || fail "fastscd_store_restored_batches = '$restored', want >= 41"
+interrupted="$(metric fastscd_store_interrupted_batches)"
+[ -n "$interrupted" ] && [ "$interrupted" -ge 1 ] \
+    || fail "fastscd_store_interrupted_batches = '$interrupted', want >= 1"
+echo "recovery: epoch $epoch, $restored records restored, $interrupted interrupted"
+
+echo "== the mid-flight batch must poll interrupted, not vanish"
+status=$(curl -fsS "$BASE/v1/batches/$DOOMED" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["status"])')
+[ "$status" = "interrupted" ] || fail "batch $DOOMED polls '$status', want interrupted"
+
+echo "== every acked batch id must survive the crash (no lost, no dup)"
+"$WORKDIR/fastscload" -addr "$BASE" -check "$IDS" || fail "fastscload check phase"
+
+echo "== a finished pre-crash batch keeps its results"
+FIRST_ID=$(head -1 "$IDS")
+curl -fsS "$BASE/v1/batches/$FIRST_ID" > "$WORKDIR/first.json"
+python3 - "$WORKDIR/first.json" <<'PYEOF'
+import json, sys
+st = json.load(open(sys.argv[1]))
+assert st["status"] == "done", st["status"]
+assert st["completed"] == st["jobs"] and st["failed"] == 0, st
+assert all(r["type"] == "result" for r in st["results"]), st["results"]
+print(f"batch {st['batch']}: {st['completed']} results intact across kill -9")
+PYEOF
+
+echo "== the periodic snapshot must have left a warm cache behind"
+curl -fsS -N "$BASE/v1/compile" -d @"$WORKDIR/panic.json" > "$WORKDIR/rewarm.ndjson"
+python3 - "$WORKDIR/rewarm.ndjson" <<'PYEOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+done = [l for l in lines if l["type"] == "done"][0]
+assert done["failed"] == 0, done  # fault points disarmed: no panic now
+rate = done["cache"]["hit_rate"]
+assert rate > 0.5, f"post-crash hit rate {rate} is not > 0.5 (periodic snapshot missing?)"
+print(f"post-crash warm start: hit rate {rate:.3f}")
+PYEOF
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+echo "chaos-smoke: PASS"

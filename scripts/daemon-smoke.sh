@@ -29,18 +29,21 @@ trap cleanup EXIT
 
 fail() { echo "daemon-smoke: FAIL: $*" >&2; exit 1; }
 
-wait_healthy() {
+# Readiness (not liveness): /readyz stays 503 while the daemon restores a
+# cache snapshot in the background, so a warm restart is only "up" once the
+# restored entries are actually queryable.
+wait_ready() {
     for _ in $(seq 1 100); do
-        if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+        if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then return 0; fi
         sleep 0.1
     done
-    fail "daemon did not become healthy on $BASE"
+    fail "daemon did not become ready on $BASE"
 }
 
 start_daemon() {
     "$WORKDIR/fastscd" -addr ":$PORT" -cache-file "$SNAP" >"$WORKDIR/daemon.log" 2>&1 &
     DAEMON_PID=$!
-    wait_healthy
+    wait_ready
 }
 
 echo "== build"
