@@ -5,15 +5,16 @@ GO ?= go
 
 # The committed machine-readable benchmark record for this PR generation
 # (bench-json writes it; bench-regress compares a fresh run against it).
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_7.json
 
 # The benchmarks the regression guard watches: the batch-compilation cold
-# path plus the flat-core hot spots it is built on (crosstalk construction,
+# path, the single-large-circuit intra-parallelism path, the SMT bisection,
+# and the flat-core hot spots they are built on (crosstalk construction,
 # circuit analysis, frontier drain, layout/routing). Keep the pattern and
 # the package list in lockstep with .github/workflows/ci.yml's
 # bench-regression job.
-BENCH_GUARD_PATTERN = BenchmarkBatchCompile|BenchmarkXtalkBuild|BenchmarkCircuitAnalysis|BenchmarkFrontier|BenchmarkRoute
-BENCH_GUARD_PKGS = ./internal/bench/ ./internal/xtalk/ ./internal/circuit/
+BENCH_GUARD_PATTERN = BenchmarkBatchCompile|BenchmarkLargeCircuitCompile|BenchmarkSMTSolve|BenchmarkXtalkBuild|BenchmarkCircuitAnalysis|BenchmarkFrontier|BenchmarkRoute
+BENCH_GUARD_PKGS = ./internal/bench/ ./internal/smt/ ./internal/xtalk/ ./internal/circuit/
 
 .PHONY: all build test lint lint-smoke fastscvet bench bench-json bench-regress warm-cache-check daemon daemon-smoke chaos-smoke
 
@@ -91,8 +92,10 @@ daemon:
 
 # Mirrors the CI daemon-smoke job: build fastscd, start it, submit a
 # batch over HTTP, assert valid schedules, a >90% cache hit rate on a
-# repeat submission, nonzero /metrics hit counters, a clean SIGTERM
-# drain that persists a snapshot, and a warm restart from it.
+# repeat submission, nonzero /metrics hit counters, a single deep
+# circuit with workers > 1 reporting into the batch-duration histogram,
+# a clean SIGTERM drain that persists a snapshot, and a warm restart
+# from it.
 daemon-smoke:
 	./scripts/daemon-smoke.sh
 

@@ -38,6 +38,20 @@
 // corrupt or version-mismatched snapshot silently degrades to a cold
 // cache.
 //
+// # Intra-circuit parallelism
+//
+// One deep circuit cannot be helped by batch-level parallelism, so the
+// worker budget is also spent inside a single compilation: ColorDynamic
+// splits each slice's active subgraph into connected components and
+// solves them concurrently over the Context's spare worker slots
+// (memoized per component in the slice cache region), smt.SolveWith runs
+// the frequency bisection as a speculative probe tree when slots are
+// free, and a pioneer goroutine replays the slice loop one slice ahead
+// of the main loop to warm the cache. All three produce schedules
+// byte-identical to the serial path; the "Intra-circuit parallelism"
+// section of docs/architecture.md gives the component key schema, the
+// determinism argument and the prefetch policy.
+//
 // # Compilation as a service
 //
 // cmd/fastscd serves the same pipeline as a long-running HTTP daemon

@@ -1,0 +1,110 @@
+package compile
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fastsc/internal/graph"
+)
+
+func TestSliceComponentKeyDistinctFromSliceKey(t *testing.T) {
+	sig := "0123456789abcdef"
+	verts := []int{3, 7, 8}
+	whole := SliceKey(sig, 2, 2, verts)
+	comp := SliceComponentKey(sig, 2, 2, verts)
+	if whole == comp {
+		t.Fatalf("whole-slice and component keys collide: %q", whole)
+	}
+	// The shapes are distinguished structurally, not by luck: a component
+	// key carries one more '|'-separated field than any whole-slice key,
+	// and no field of either can contain '|'.
+	if w, c := strings.Count(whole, "|"), strings.Count(comp, "|"); c != w+1 {
+		t.Fatalf("component key has %d separators, whole-slice %d, want exactly one more", c, w)
+	}
+}
+
+func TestSliceComponentKeyCanonicalOverOrder(t *testing.T) {
+	sig := "0123456789abcdef"
+	a := SliceComponentKey(sig, 2, 2, []int{9, 1, 4})
+	b := SliceComponentKey(sig, 2, 2, []int{1, 4, 9})
+	if a != b {
+		t.Fatalf("component key depends on vertex order: %q vs %q", a, b)
+	}
+	if c := SliceComponentKey(sig, 2, 2, []int{1, 4, 10}); c == a {
+		t.Fatalf("distinct vertex sets share key %q", a)
+	}
+	if c := SliceComponentKey(sig, 2, 3, []int{1, 4, 9}); c == a {
+		t.Fatal("distinct budgets share a component key")
+	}
+}
+
+func TestSliceComponentMemoization(t *testing.T) {
+	ctx := &Context{Cache: NewCache(0), Workers: 1}
+	sol := ComponentSolution{
+		Coloring:  graph.Coloring{-1, 0, 1},
+		Deferred:  []int{2},
+		NumColors: 2,
+		Counts:    []int{1, 1},
+	}
+	key := SliceComponentKey("sig", 2, 2, []int{1, 2})
+	computes := 0
+	for i := 0; i < 3; i++ {
+		got, err := ctx.SliceComponent(key, func() (ComponentSolution, error) {
+			computes++
+			return sol, nil
+		})
+		if err != nil {
+			t.Fatalf("SliceComponent: %v", err)
+		}
+		if !reflect.DeepEqual(got, sol) {
+			t.Fatalf("SliceComponent = %+v, want %+v", got, sol)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+	if s := ctx.Cache.StatsByRegion()[RegionSlice]; s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("slice region stats = %+v, want 2 hits / 1 miss", s)
+	}
+}
+
+func TestSnapshotRoundTripComponentSolutions(t *testing.T) {
+	c := NewCache(0)
+	whole := SliceSolution{
+		Coloring:  graph.Coloring{-1, 0, 1, 0},
+		NumColors: 2,
+		Assign:    []float64{6.4, 6.1},
+		Delta:     0.25,
+	}
+	comp := ComponentSolution{
+		Coloring:  graph.Coloring{-1, -1, 0, 1},
+		Deferred:  []int{5},
+		NumColors: 2,
+		Counts:    []int{1, 1},
+	}
+	wholeKey := SliceKey("sig", 2, 2, []int{1, 2, 3})
+	compKey := SliceComponentKey("sig", 2, 2, []int{2, 3})
+	c.Put(RegionSlice, wholeKey, whole)
+	c.Put(RegionSlice, compKey, comp)
+
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	if err := c.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	fresh := NewCache(0)
+	n, err := fresh.Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("restored %d entries, want 2", n)
+	}
+	if v, ok := fresh.Get(RegionSlice, wholeKey); !ok || !reflect.DeepEqual(v, whole) {
+		t.Fatalf("whole-slice entry after round trip = %+v (ok=%v), want %+v", v, ok, whole)
+	}
+	if v, ok := fresh.Get(RegionSlice, compKey); !ok || !reflect.DeepEqual(v, comp) {
+		t.Fatalf("component entry after round trip = %+v (ok=%v), want %+v", v, ok, comp)
+	}
+}

@@ -62,8 +62,12 @@ const (
 // added, keyed by the circuit content signature. v4 accompanies the
 // layout/routing subsystem: the route region was added, keyed by
 // (circuit signature, device signature, mapping.Options), and RouteKey
-// normalizes the options (WithDefaults) before encoding.
-const KeyVersion = 4
+// normalizes the options (WithDefaults) before encoding. v5 accompanies
+// component-decomposed slice solving: the slice region additionally holds
+// per-component solutions under SliceComponentKey (a distinct "c"-tagged
+// shape that can never alias a whole-slice key), so snapshots written
+// before the decomposition are rejected wholesale.
+const KeyVersion = 5
 
 type hasher struct{ h uint64 }
 
@@ -189,14 +193,36 @@ func RouteKey(circ *circuit.Circuit, devSig string, opts mapping.Options) string
 // Callers on the hot path pass an already-sorted slice, which skips the
 // defensive copy; unsorted input is copied and sorted, never mutated.
 func SliceKey(sysSig string, distance, budget int, activeVertices []int) string {
-	verts := activeVertices
+	return sliceKey("v%d|%s|%d|%d|", sysSig, distance, budget, activeVertices)
+}
+
+// SliceComponentKey is the cache key of one connected component of a
+// slice's active interaction subgraph, solved (colored) in isolation. It
+// lives in the slice region next to whole-slice keys but under a distinct
+// shape: the "c" tag after the version makes a component key one
+// '|'-separated field longer than any whole-slice key, and since neither
+// the signature nor the vertex encoding can contain '|', the two shapes
+// can never alias. Sharing the region means component solutions inherit
+// the slice region's persistence and size accounting for free.
+//
+// Component keys are what turn slice caching from whole-pattern matching
+// into motif matching: two slices that differ globally but share a local
+// gate cluster hit the same component entry, so large circuits whose
+// slices recombine a few local motifs stop missing on every new
+// combination.
+func SliceComponentKey(sysSig string, distance, budget int, componentVerts []int) string {
+	return sliceKey("v%d|c|%s|%d|%d|", sysSig, distance, budget, componentVerts)
+}
+
+func sliceKey(format, sysSig string, distance, budget int, vertices []int) string {
+	verts := vertices
 	if !sort.IntsAreSorted(verts) {
-		verts = append([]int(nil), activeVertices...)
+		verts = append([]int(nil), vertices...)
 		sort.Ints(verts)
 	}
 	var sb strings.Builder
-	sb.Grow(len(sysSig) + 16 + 3*len(verts))
-	fmt.Fprintf(&sb, "v%d|%s|%d|%d|", KeyVersion, sysSig, distance, budget)
+	sb.Grow(len(sysSig) + 18 + 3*len(verts))
+	fmt.Fprintf(&sb, format, KeyVersion, sysSig, distance, budget)
 	prev := 0
 	for i, v := range verts {
 		if i > 0 {

@@ -25,8 +25,12 @@ import (
 // dense slices, colorings became []int32), so v2 snapshots no longer
 // decode. v4 accompanies the dense phys.System / analyzed-circuit IR
 // rewrite (KeyVersion 3): slice keys carry the new key version, so v3
-// snapshots would never hit anyway and are rejected wholesale.
-const SnapshotVersion = 4
+// snapshots would never hit anyway and are rejected wholesale. v5
+// accompanies component-decomposed slice solving (KeyVersion 5): the
+// slice region now holds two value shapes — whole-slice SliceSolution
+// and per-component ComponentSolution — persisted in separate snapshot
+// sections so each decodes with its concrete type.
+const SnapshotVersion = 5
 
 // snapshotMagic guards against feeding an arbitrary gob stream (or a
 // truncated file) to Load.
@@ -65,7 +69,12 @@ type diskSnapshot struct {
 	SMT        map[string]persistedSMT
 	Park       map[string][]float64
 	Slice      map[string]SliceSolution
-	Static     []diskEntry
+	// SliceComp carries the slice region's per-component entries
+	// (ComponentSolution values under SliceComponentKey keys); the region
+	// holds two value shapes, and gob needs each in a concretely typed
+	// section.
+	SliceComp map[string]ComponentSolution
+	Static    []diskEntry
 }
 
 // diskEntry is one opaque static-region entry; Blob is the value
@@ -134,6 +143,7 @@ func (c *Cache) Save(path string) error {
 		SMT:        make(map[string]persistedSMT),
 		Park:       make(map[string][]float64),
 		Slice:      make(map[string]SliceSolution),
+		SliceComp:  make(map[string]ComponentSolution),
 	}
 	for k, v := range c.regionEntries(RegionSMT) {
 		snap.SMT[k] = toPersistedSMT(v.(smtResult))
@@ -142,7 +152,12 @@ func (c *Cache) Save(path string) error {
 		snap.Park[k] = v.([]float64)
 	}
 	for k, v := range c.regionEntries(RegionSlice) {
-		snap.Slice[k] = v.(SliceSolution)
+		switch sol := v.(type) {
+		case SliceSolution:
+			snap.Slice[k] = sol
+		case ComponentSolution:
+			snap.SliceComp[k] = sol
+		}
 	}
 	// Emit static entries in sorted key order: the other regions are gob
 	// maps, but this one is a slice, and appending it in map-range order
@@ -240,6 +255,10 @@ func (c *Cache) Load(path string) (int, error) {
 		restored++
 	}
 	for k, v := range snap.Slice {
+		c.Put(RegionSlice, k, v)
+		restored++
+	}
+	for k, v := range snap.SliceComp {
 		c.Put(RegionSlice, k, v)
 		restored++
 	}

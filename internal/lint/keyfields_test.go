@@ -11,6 +11,7 @@ func TestKeyFieldsFixture(t *testing.T) {
 	const pkg = "fastsc/internal/lint/testdata/src/keyfields."
 	ana := lint.MakeKeyFieldsAnalyzer(map[string]lint.KeySchema{
 		pkg + "Good":      {KeyFunc: "fixtureKey", Fields: []string{"A", "B"}},
+		pkg + "Reordered": {KeyFunc: "fixtureKey", Fields: []string{"Later", "Earlier"}},
 		pkg + "Drifted":   {KeyFunc: "fixtureKey", Fields: []string{"X"}},
 		pkg + "Missing":   {KeyFunc: "fixtureKey", Fields: []string{"Y", "Gone"}},
 		pkg + "NotStruct": {KeyFunc: "fixtureKey", Fields: []string{"Z"}},

@@ -71,3 +71,53 @@ func hotClosure(xs []int) error {
 func coldMap() map[string]int {
 	return map[string]int{"a": 1} // unannotated: not checked
 }
+
+// solution mirrors the shape of the scheduler's per-component results: the
+// merge- and scan-shaped fixtures below pin the analyzer's behavior on the
+// component-merge and parallel-probe hot paths.
+type solution struct {
+	colors []int32
+	counts []int
+}
+
+//fastsc:hotpath fixture
+func hotMergeClean(sols []solution, span int) []int32 {
+	merged := make([]int32, span) // slices are fine on hot paths
+	var k int
+	for i := range sols {
+		if len(sols[i].counts) > k {
+			k = len(sols[i].counts)
+		}
+		for v, c := range sols[i].colors {
+			if c >= 0 {
+				merged[v] = c
+			}
+		}
+	}
+	return merged
+}
+
+//fastsc:hotpath fixture
+func hotMergeMap(sols []solution) map[int]int {
+	counts := make(map[int]int) // want `hotalloc: make\(map\) allocates`
+	for i := range sols {
+		for c, n := range sols[i].counts {
+			counts[c] += n
+		}
+	}
+	return counts
+}
+
+//fastsc:hotpath fixture
+func hotScanClean(deltas *[3]float64, ok *[3]bool, par func(int, func(int))) {
+	par(3, func(i int) {
+		ok[i] = deltas[i] > 0 // closure does arithmetic only: not flagged
+	})
+}
+
+//fastsc:hotpath fixture
+func hotScanBoxInClosure(deltas *[3]float64, par func(int, func(int))) {
+	par(3, func(i int) {
+		sink(deltas[i]) // want `hotalloc: implicit boxing: float64 passed to interface parameter`
+	})
+}

@@ -20,3 +20,11 @@ type Missing struct { // want `keyfields: Missing lost field "Gone", which fixtu
 }
 
 type NotStruct int // want `keyfields: key schema pins NotStruct as a struct hashed by fixtureKey, but it is int`
+
+// Reordered pins the schema's set semantics: the enumeration order in the
+// schema table need not match declaration order — only membership drifts
+// (gained or lost fields) are findings.
+type Reordered struct {
+	Earlier int
+	Later   int
+}

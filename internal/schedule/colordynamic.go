@@ -57,39 +57,24 @@ func compileColorDynamic(ctx *compile.Context, name string, gmon bool, c *circui
 	if opts.MaxColors > 0 && opts.MaxColors < budget {
 		budget = opts.MaxColors
 	}
+	// Speculatively warm the slice cache one step ahead of the main loop
+	// when a spare worker is free (no-op otherwise); stopped before return.
+	b.startPioneer(intCfg, budget)
+	defer b.stopPioneer()
 
 	scr := b.scr
 	f := b.front
 	for !f.Done() {
 		ready := f.Ready()
 		sortByCriticality(ready, b.crit)
-
-		// Queueing scheduler: admit gates most-critical first, postponing
-		// two-qubit gates whose crosstalk neighborhoods are already
-		// crowded (noise_conflict, §V-B6).
-		for _, idx := range ready {
-			g := b.circ.Gates[idx]
-			vert := int32(-1)
-			if g.Kind.IsTwoQubit() {
-				e := graph.NewEdge(g.Qubits[0], g.Qubits[1])
-				if b.xg.ConflictDegree(g.Qubits[0], g.Qubits[1], scr.active) >= opts.ConflictLimit {
-					continue // postpone to a later slice
-				}
-				v := mustVertex(b, e)
-				scr.active = append(scr.active, e)
-				scr.activeVerts = append(scr.activeVerts, v)
-				vert = int32(v)
-			}
-			scr.selected = append(scr.selected, int32(idx))
-			scr.selVerts = append(scr.selVerts, vert)
-		}
+		b.admitReady(ready, scr)
 
 		// Color the active subgraph of the crosstalk graph within the
 		// color budget and solve its frequencies; gates whose vertices
 		// cannot be colored are postponed (spectral -> temporal separation
 		// trade). The whole slice solution is a pure function of the
 		// active subgraph, so it is memoized across slices and jobs.
-		sol, err := b.solveSlice(intCfg, budget)
+		sol, err := b.solveSlice(scr, intCfg, budget)
 		if err != nil {
 			b.abort()
 			return nil, err
@@ -128,41 +113,219 @@ func deferredContains(deferred []int, v int) bool {
 	return i < len(deferred) && deferred[i] == v
 }
 
+// admitReady runs the queueing scheduler's admission loop (Algorithm 1
+// lines 10–16) over the criticality-sorted ready list, staging the admitted
+// gates in scr: most-critical first, postponing two-qubit gates whose
+// crosstalk neighborhoods are already crowded (noise_conflict, §V-B6). It
+// is shared by the main slice loop and the pioneer prefetch, so the
+// pioneer's prediction of the next slices can never drift from what the
+// main loop will admit.
+func (b *builder) admitReady(ready []int, scr *sliceScratch) {
+	for _, idx := range ready {
+		g := b.circ.Gates[idx]
+		vert := int32(-1)
+		if g.Kind.IsTwoQubit() {
+			e := graph.NewEdge(g.Qubits[0], g.Qubits[1])
+			if b.xg.ConflictDegree(g.Qubits[0], g.Qubits[1], scr.active) >= b.opts.ConflictLimit {
+				continue // postpone to a later slice
+			}
+			v := mustVertex(b, e)
+			scr.active = append(scr.active, e)
+			scr.activeVerts = append(scr.activeVerts, v)
+			vert = int32(v)
+		}
+		scr.selected = append(scr.selected, int32(idx))
+		scr.selVerts = append(scr.selVerts, vert)
+	}
+}
+
 // solveSlice produces the coloring + frequency assignment for the active
-// gate set staged in the builder's scratch, through the per-slice cache
-// when one is attached. The key is the exact sorted active vertex set of
-// the interaction subgraph on this system.
-func (b *builder) solveSlice(intCfg smt.Config, budget int) (compile.SliceSolution, error) {
-	scr := b.scr
+// gate set staged in scr, through the per-slice cache when one is attached.
+// The key is the exact sorted active vertex set of the interaction subgraph
+// on this system. A whole-slice miss decomposes the subgraph into its
+// connected components, solves (and memoizes) each independently, and
+// merges — see computeSlice.
+func (b *builder) solveSlice(scr *sliceScratch, intCfg smt.Config, budget int) (compile.SliceSolution, error) {
 	scr.keyVerts = append(scr.keyVerts[:0], scr.activeVerts...)
 	sort.Ints(scr.keyVerts)
 	key := compile.SliceKey(b.sig, b.xg.Distance, budget, scr.keyVerts)
 	return b.ctx.Slice(key, func() (compile.SliceSolution, error) {
-		h := b.xg.ActiveSubgraph(scr.active)
+		return b.computeSlice(scr, intCfg, budget)
+	})
+}
+
+// computeSlice is the whole-slice miss path: it splits the active
+// interaction subgraph into connected components, solves each in isolation
+// (fanning independent components across the Context's spare workers —
+// results land in index-addressed slots, so scheduling cannot affect the
+// merge), and merges them. Decomposition is exact, not heuristic: the
+// active subgraph is vertex-induced, so no crosstalk edge crosses a
+// component boundary, and the greedy coloring of a component is identical
+// whether the rest of the slice exists or not (Welsh–Powell order and
+// greedy color choice only read intra-component degrees and neighbors).
+// Component solutions are what turn the slice cache into a motif cache:
+// two globally distinct slices that share a local gate cluster reuse its
+// entry.
+func (b *builder) computeSlice(scr *sliceScratch, intCfg smt.Config, budget int) (compile.SliceSolution, error) {
+	comps := b.xg.ActiveComponents(scr.keyVerts)
+	sols := make([]compile.ComponentSolution, len(comps))
+	errs := make([]error, len(comps))
+	b.ctx.ForEach(len(comps), func(i int) {
+		sols[i], errs[i] = b.solveComponent(comps[i], budget)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return compile.SliceSolution{}, err
+		}
+	}
+	return b.mergeComponents(scr.keyVerts, sols, intCfg)
+}
+
+// solveComponent colors one connected component of the active subgraph in
+// isolation, through the slice region's component cache.
+func (b *builder) solveComponent(verts []int, budget int) (compile.ComponentSolution, error) {
+	key := compile.SliceComponentKey(b.sig, b.xg.Distance, budget, verts)
+	return b.ctx.SliceComponent(key, func() (compile.ComponentSolution, error) {
+		h := b.xg.G.Subgraph(verts)
 		coloring, deferred := graph.BoundedColoring(h, budget)
-		k := coloring.NumColors()
-		var freqs []float64
-		delta := 0.0
-		if k > 0 {
-			var err error
-			freqs, delta, err = b.ctx.SolveSMT(k, intCfg)
-			if err != nil {
-				return compile.SliceSolution{}, err
-			}
-		}
-		// Occupancy-ordered color -> frequency map (§V-B3).
-		var assign []float64
-		if k > 0 {
-			assign = smt.AssignByOccupancy(coloring.ColorCounts(), freqs)
-		}
-		return compile.SliceSolution{
+		return compile.ComponentSolution{
 			Coloring:  coloring,
 			Deferred:  deferred,
-			NumColors: k,
-			Assign:    assign,
-			Delta:     delta,
+			NumColors: coloring.NumColors(),
+			Counts:    coloring.ColorCounts(),
 		}, nil
 	})
+}
+
+// mergeComponents reassembles a whole-slice solution from its component
+// solutions. The merge reproduces the monolithic solve field for field:
+// greedy colors are contiguous from 0 within every component, so the
+// slice's color count is the max over components; per-color occupancy is
+// the per-color sum; the deferred set is the sorted union; and exactly one
+// SMT solve runs, for the merged color count — the frequencies depend on
+// the whole slice's k, never on any single component, which is why
+// ComponentSolution carries no frequencies. The merged coloring spans
+// vertices 0..max(keyVerts), matching graph.Subgraph's capacity convention
+// on the monolithic path (an empty slice yields the empty non-nil
+// coloring, same as NewColoring(0)).
+//
+//fastsc:hotpath the merge runs once per whole-slice miss between the component fan-out and the schedule's issue loop (BenchmarkLargeCircuitCompile guards it); nothing here may allocate a map, call fmt, or box
+func (b *builder) mergeComponents(keyVerts []int, sols []compile.ComponentSolution, intCfg smt.Config) (compile.SliceSolution, error) {
+	span := 0
+	if len(keyVerts) > 0 {
+		span = keyVerts[len(keyVerts)-1] + 1
+	}
+	merged := graph.NewColoring(span)
+	k := 0
+	var deferred []int
+	for i := range sols {
+		sol := &sols[i]
+		if sol.NumColors > k {
+			k = sol.NumColors
+		}
+		for v, c := range sol.Coloring {
+			if c != graph.Uncolored {
+				merged[v] = c
+			}
+		}
+		deferred = append(deferred, sol.Deferred...)
+	}
+	sort.Ints(deferred)
+	var freqs []float64
+	delta := 0.0
+	if k > 0 {
+		var err error
+		freqs, delta, err = b.ctx.SolveSMT(k, intCfg)
+		if err != nil {
+			return compile.SliceSolution{}, err
+		}
+	}
+	// Occupancy-ordered color -> frequency map (§V-B3), over the summed
+	// per-color occupancy of all components.
+	var assign []float64
+	if k > 0 {
+		counts := make([]int, k)
+		for i := range sols {
+			for c, n := range sols[i].Counts {
+				counts[c] += n
+			}
+		}
+		assign = smt.AssignByOccupancy(counts, freqs)
+	}
+	return compile.SliceSolution{
+		Coloring:  merged,
+		Deferred:  deferred,
+		NumColors: k,
+		Assign:    assign,
+		Delta:     delta,
+	}, nil
+}
+
+// startPioneer spawns the speculative slice-prefetch goroutine on a spare
+// worker if the Context has both a cache (the pioneer's only output
+// channel) and a free slot; otherwise it is a no-op. The pioneer replays
+// the main loop's slice sequence exactly — same admission, same deferral —
+// on its own frontier and scratch, so every slice key it computes is one
+// the main loop is about to ask for; the main loop then hits the cache (or
+// joins the in-flight computation through the single-flight layer) instead
+// of solving serially.
+func (b *builder) startPioneer(intCfg smt.Config, budget int) {
+	if b.ctx == nil || b.ctx.Cache == nil {
+		return
+	}
+	done := make(chan struct{})
+	spawned := b.ctx.TrySpawn(func() {
+		defer close(done)
+		defer func() {
+			// A pioneer panic is swallowed deliberately: the main loop
+			// re-runs the same computes, re-encounters the panic on its own
+			// goroutine (the single-flight layer re-raises a leader's panic
+			// in every waiter), and the engine's per-job guard reports it.
+			_ = recover()
+		}()
+		b.runPioneer(intCfg, budget)
+	})
+	if spawned {
+		b.pioneerDone = done
+	}
+}
+
+// runPioneer is the pioneer's replay loop: admit, solve (warming the slice,
+// component and SMT caches), issue the non-deferred gates on its private
+// frontier, repeat — checking the stop flag between slices.
+func (b *builder) runPioneer(intCfg smt.Config, budget int) {
+	f := b.ana.NewFrontier()
+	defer f.Release()
+	scr := acquireScratch(b.sys.Device.Qubits)
+	defer scr.release()
+	for !f.Done() && !b.pioneerStop.Load() {
+		ready := f.Ready()
+		sortByCriticality(ready, b.crit)
+		b.admitReady(ready, scr)
+		sol, err := b.solveSlice(scr, intCfg, budget)
+		if err != nil {
+			return
+		}
+		for i, sidx := range scr.selected {
+			if v := scr.selVerts[i]; v >= 0 && deferredContains(sol.Deferred, int(v)) {
+				continue // postponed by the color budget, same as the main loop
+			}
+			f.Issue(int(sidx))
+		}
+		scr.resetSlice()
+	}
+}
+
+// stopPioneer signals the pioneer to stop and waits for it to exit; a
+// no-op when none was spawned. Called (deferred) before compileColorDynamic
+// returns so no speculation outlives its compilation.
+func (b *builder) stopPioneer() {
+	if b.pioneerDone == nil {
+		return
+	}
+	b.pioneerStop.Store(true)
+	<-b.pioneerDone
+	b.pioneerDone = nil
 }
 
 func mustVertex(b *builder, e graph.Edge) int {
@@ -174,15 +337,37 @@ func mustVertex(b *builder, e graph.Edge) int {
 }
 
 // maxColorsFeasible probes the largest k for which the solver can place k
-// frequencies in the band, up to cap. Solves (including the terminating
-// infeasibility) are memoized through ctx.
+// frequencies in the band, up to cap. Feasibility is monotone in k — the
+// greedy placement for k−1 frequencies is a prefix of the placement for k,
+// so a feasible k implies every smaller count is feasible — which lets the
+// probe gallop (2, 4, 8, …) to the first infeasible count and then
+// binary-search the bracket: O(log cap) solves instead of O(cap). Solves
+// (including the terminating infeasibility verdicts) are memoized through
+// ctx.
 func maxColorsFeasible(ctx *compile.Context, cfg smt.Config, cap int) int {
-	best := 1
-	for k := 2; k <= cap; k++ {
-		if _, _, err := ctx.SolveSMT(k, cfg); err != nil {
+	feasible := func(k int) bool {
+		_, _, err := ctx.SolveSMT(k, cfg)
+		return err == nil
+	}
+	if cap < 2 || !feasible(2) {
+		return 1
+	}
+	lo := 2       // highest count known feasible
+	hi := cap + 1 // lowest count known (or assumed) infeasible
+	for probe := 4; probe <= cap; probe *= 2 {
+		if !feasible(probe) {
+			hi = probe
 			break
 		}
-		best = k
+		lo = probe
 	}
-	return best
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }

@@ -1,0 +1,70 @@
+package schedule
+
+import (
+	"testing"
+
+	"fastsc/internal/compile"
+	"fastsc/internal/graph"
+	"fastsc/internal/smt"
+)
+
+// TestMaxColorsFeasibleMatchesLinearScan pins the galloping color-budget
+// probe to the linear scan it replaced, across band widths (which move the
+// answer through the whole 1..cap range) and caps (including caps below,
+// at, and above the answer).
+func TestMaxColorsFeasibleMatchesLinearScan(t *testing.T) {
+	linear := func(cfg smt.Config, cap int) int {
+		best := 1
+		for k := 2; k <= cap; k++ {
+			if _, _, err := smt.Solve(k, cfg); err != nil {
+				break
+			}
+			best = k
+		}
+		return best
+	}
+	for _, width := range []float64{0.05, 0.2, 0.5, 0.75, 1.5, 3.0} {
+		cfg := smt.Config{Lo: 6.0, Hi: 6.0 + width, Alpha: -0.2, MinDelta: 0.04}
+		for cap := 1; cap <= 20; cap++ {
+			want := linear(cfg, cap)
+			if got := maxColorsFeasible(nil, cfg, cap); got != want {
+				t.Fatalf("width=%v cap=%d: galloping probe = %d, linear scan = %d", width, cap, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeComponentsAllocBound pins the component-merge hot path's
+// allocation count: it may allocate only what the merged SliceSolution
+// retains (coloring, occupancy, assignment) plus the occupancy sort — a
+// map, fmt call or interface box slipping in would show up here long
+// before a benchmark regression does.
+func TestMergeComponentsAllocBound(t *testing.T) {
+	sys := testSystem(9)
+	ctx := compile.NewContext(1)
+	b, err := newBuilder(ctx, "test", smallCircuit(), sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.abort()
+	intCfg := b.part.InteractionConfig(sys.MeanAnharmonicity())
+	// Two single-vertex components at vertices 0 and 5, as a slice with two
+	// far-apart gates would produce.
+	sols := []compile.ComponentSolution{
+		{Coloring: graph.Coloring{0}, NumColors: 1, Counts: []int{1}},
+		{Coloring: graph.Coloring{-1, -1, -1, -1, -1, 0}, NumColors: 1, Counts: []int{1}},
+	}
+	keyVerts := []int{0, 5}
+	if _, err := b.mergeComponents(keyVerts, sols, intCfg); err != nil {
+		t.Fatal(err) // also warms the SMT cache
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := b.mergeComponents(keyVerts, sols, intCfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxAllocs = 12
+	if allocs > maxAllocs {
+		t.Errorf("mergeComponents allocates %.0f objects per merge, want <= %d", allocs, maxAllocs)
+	}
+}

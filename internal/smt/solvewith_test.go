@@ -1,0 +1,104 @@
+package smt
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+// goroutinePar is a genuinely concurrent ParallelFor: every probe of a
+// speculative round runs on its own goroutine. The equivalence tests use it
+// to show that SolveWith's result cannot depend on scheduling.
+func goroutinePar(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// serialPar exercises the speculative-tree code path without concurrency.
+func serialPar(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func TestSolveWithMatchesSerialBitForBit(t *testing.T) {
+	configs := []Config{
+		{Lo: 6.2, Hi: 6.95, Alpha: -0.2},
+		{Lo: 5.0, Hi: 7.0, Alpha: -0.34},
+		{Lo: 6.0, Hi: 6.3, Alpha: -0.2, MinDelta: 0.01},
+		{Lo: 4.8, Hi: 6.8, Alpha: -0.15, MinDelta: 0.002},
+	}
+	for _, cfg := range configs {
+		for k := 1; k <= 12; k++ {
+			wantXs, wantDelta, wantErr := Solve(k, cfg)
+			for name, par := range map[string]ParallelFor{"serial-tree": serialPar, "goroutines": goroutinePar} {
+				xs, delta, err := SolveWith(k, cfg, par)
+				if (err == nil) != (wantErr == nil) {
+					t.Fatalf("k=%d cfg=%+v par=%s: err = %v, serial err = %v", k, cfg, name, err, wantErr)
+				}
+				if err != nil {
+					if errors.Is(wantErr, ErrInfeasible) != errors.Is(err, ErrInfeasible) {
+						t.Fatalf("k=%d cfg=%+v par=%s: infeasibility identity diverged", k, cfg, name)
+					}
+					continue
+				}
+				if math.Float64bits(delta) != math.Float64bits(wantDelta) {
+					t.Fatalf("k=%d cfg=%+v par=%s: delta %v != serial %v", k, cfg, name, delta, wantDelta)
+				}
+				if len(xs) != len(wantXs) {
+					t.Fatalf("k=%d cfg=%+v par=%s: %d freqs, serial %d", k, cfg, name, len(xs), len(wantXs))
+				}
+				for i := range xs {
+					if math.Float64bits(xs[i]) != math.Float64bits(wantXs[i]) {
+						t.Fatalf("k=%d cfg=%+v par=%s: xs[%d] = %v, serial %v", k, cfg, name, i, xs[i], wantXs[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSolveDelegatesToSolveWith(t *testing.T) {
+	c := Config{Lo: 6.2, Hi: 6.95, Alpha: -0.2}
+	xs1, d1, err1 := Solve(3, c)
+	xs2, d2, err2 := SolveWith(3, c, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unexpected errors: %v, %v", err1, err2)
+	}
+	if math.Float64bits(d1) != math.Float64bits(d2) {
+		t.Fatalf("delta mismatch: %v vs %v", d1, d2)
+	}
+	for i := range xs1 {
+		if math.Float64bits(xs1[i]) != math.Float64bits(xs2[i]) {
+			t.Fatalf("xs[%d] mismatch: %v vs %v", i, xs1[i], xs2[i])
+		}
+	}
+}
+
+func BenchmarkSMTSolve(b *testing.B) {
+	cfg := Config{Lo: 5.0, Hi: 7.0, Alpha: -0.2}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := SolveWith(8, cfg, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := SolveWith(8, cfg, goroutinePar); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

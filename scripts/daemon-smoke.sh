@@ -8,8 +8,11 @@
 #   3. resubmit the identical batch; assert the request-scoped cache hit
 #      rate exceeds 0.90
 #   4. assert /metrics exports nonzero cache-region hit counters
-#   5. SIGTERM; assert a clean exit that persisted the snapshot
-#   6. restart against the snapshot; assert a warm start
+#   5. submit one deep 36-qubit circuit with workers > 1 (the
+#      intra-circuit parallel path) and assert it completes and reports
+#      into the fastscd_batch_duration_seconds histogram
+#   6. SIGTERM; assert a clean exit that persisted the snapshot
+#   7. restart against the snapshot; assert a warm start
 #      (fastscd_snapshot_restored_entries > 0)
 set -euo pipefail
 
@@ -125,6 +128,69 @@ print(f"metrics: {hits} cache hits across regions")
 PYEOF
 grep -q '^fastscd_batches_done_total 2$' "$WORKDIR/metrics.txt" \
     || fail "expected fastscd_batches_done_total 2 on /metrics"
+
+echo "== single large circuit with workers > 1 must compile and report batch duration"
+LARGE_REQ="$WORKDIR/large-request.json"
+python3 - "$LARGE_REQ" <<'PYEOF'
+import json, random, sys
+# One deep circuit on a 6x6 grid: enough scattered slices that the
+# request exercises the intra-circuit parallel path (component fan-out,
+# pioneer prefetch) that workers > 1 enables for a single job.
+rows = cols = 6
+n = rows * cols
+couplers = []
+for r in range(rows):
+    for c in range(cols):
+        q = r * cols + c
+        if c + 1 < cols:
+            couplers.append((q, q + 1))
+        if r + 1 < rows:
+            couplers.append((q, q + cols))
+rng = random.Random(7)
+gates = []
+for _ in range(600):
+    roll = rng.randrange(4)
+    if roll == 0:
+        gates.append(f"h q[{rng.randrange(n)}];")
+    elif roll == 1:
+        gates.append(f"rz({rng.random():.6f}) q[{rng.randrange(n)}];")
+    else:
+        a, b = rng.choice(couplers)
+        gates.append(f"cz q[{a}],q[{b}];")
+qasm = "\n".join(
+    ["OPENQASM 2.0;", 'include "qelib1.inc";', f"qreg q[{n}];"] + gates
+) + "\n"
+req = {
+    "device": {"topology": "grid", "qubits": n},
+    "workers": 4,
+    "jobs": [{"id": "large-parallel", "strategy": "ColorDynamic", "qasm": qasm}],
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(req, f)
+PYEOF
+count_before=$(awk '/^fastscd_batch_duration_seconds_count / {print $2}' "$WORKDIR/metrics.txt")
+curl -fsS -N "$BASE/v1/compile" -d @"$LARGE_REQ" > "$WORKDIR/large.ndjson"
+python3 - "$WORKDIR/large.ndjson" <<'PYEOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+errors = [l for l in lines if l["type"] == "error"]
+results = [l for l in lines if l["type"] == "result"]
+assert not errors, f"error lines: {errors}"
+assert len(results) == 1, f"{len(results)} results, want 1"
+d = results[0]["result"]
+assert d["depth"] > 0 and d["total_ns"] > 0, "empty schedule from large circuit"
+done = [l for l in lines if l["type"] == "done"][0]
+assert done["jobs"] == 1 and done["failed"] == 0, done
+print("large-parallel: compiled ok")
+PYEOF
+curl -fsS "$BASE/metrics" > "$WORKDIR/metrics-large.txt"
+count_after=$(awk '/^fastscd_batch_duration_seconds_count / {print $2}' "$WORKDIR/metrics-large.txt")
+sum_after=$(awk '/^fastscd_batch_duration_seconds_sum / {print $2}' "$WORKDIR/metrics-large.txt")
+[ -n "$count_before" ] && [ -n "$count_after" ] && [ "$count_after" -eq $((count_before + 1)) ] \
+    || fail "fastscd_batch_duration_seconds_count went $count_before -> $count_after, want +1 for the workers>1 batch"
+awk -v s="$sum_after" 'BEGIN { if (s == "" || s + 0 <= 0) exit 1 }' \
+    || fail "fastscd_batch_duration_seconds_sum = '$sum_after', want > 0"
+echo "large-parallel: batch duration histogram count $count_before -> $count_after, sum ${sum_after}s"
 
 echo "== SIGTERM must drain cleanly and persist the snapshot"
 kill -TERM "$DAEMON_PID"
