@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"fastsc/internal/compile"
 	"fastsc/internal/faultpoint"
 	"fastsc/internal/server"
 )
@@ -48,6 +49,7 @@ func main() {
 		maxQueue      = flag.Int("max-queue", 0, "batches waiting for a slot before 429 (0 = default 16, -1 = none)")
 		maxJobs       = flag.Int("max-jobs", 0, "jobs per batch (0 = default 256)")
 		cacheFile     = flag.String("cache-file", "", "cache snapshot path: loaded at startup (cold start if missing/stale) and saved after a clean drain; a .gz suffix writes it compressed")
+		warmSetFile   = flag.String("warm-set", "", "read-only shared warm-set snapshot: probed after a local cache miss, never written; typically one file served to a whole fleet")
 		cacheCap      = flag.Int("cache-capacity", 0, "compile cache capacity in cost units (0 = default)")
 		storeFile     = flag.String("store-file", "", "durable batch-store path: async batch records survive restarts (in-flight ones poll as \"interrupted\")")
 		snapInterval  = flag.Duration("snapshot-interval", 0, "also save the cache snapshot periodically (0 = only on clean shutdown); makes warm starts survive kill -9")
@@ -86,6 +88,29 @@ func main() {
 		}
 	}
 
+	// The shared warm set attaches before the listener: its lazy load means
+	// attaching is free, and the first cache miss pays the one-time read.
+	// The eager Result check in the background surfaces a degraded file on
+	// stderr and /metrics instead of silently serving cold forever.
+	if *warmSetFile != "" {
+		ws := compile.OpenWarmSet(*warmSetFile)
+		srv.AttachWarmSet(ws)
+		go func() {
+			res, err := ws.Result()
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "fastscd: warm set: %v (serving without it)\n", err)
+			case res.Degraded != "":
+				srv.NoteSnapshotDegraded(res.Degraded)
+				fmt.Fprintf(os.Stderr, "fastscd: warm set %s degraded (%s): serving without it\n", *warmSetFile, res.Degraded)
+			case res.Missing:
+				fmt.Fprintf(os.Stderr, "fastscd: warm set %s missing: serving without it\n", *warmSetFile)
+			default:
+				fmt.Fprintf(os.Stderr, "fastscd: warm set: %d entries from %s (read-only tier)\n", ws.Len(), *warmSetFile)
+			}
+		}()
+	}
+
 	// The cache snapshot loads in the background: restoring a large
 	// snapshot can take seconds, and the daemon should accept (cold)
 	// traffic immediately. /readyz reports 503 "restoring" until the load
@@ -96,13 +121,18 @@ func main() {
 		go func() {
 			defer close(restoreDone)
 			defer srv.SetRestoring(false)
-			n, err := srv.Cache().Load(*cacheFile)
+			res, err := srv.Cache().LoadSnapshot(*cacheFile)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "fastscd: cache snapshot: %v (starting cold)\n", err)
 				return
 			}
-			srv.SetRestored(n)
-			fmt.Fprintf(os.Stderr, "fastscd: warm start: %d cache entries restored from %s\n", n, *cacheFile)
+			if res.Degraded != "" {
+				srv.NoteSnapshotDegraded(res.Degraded)
+				fmt.Fprintf(os.Stderr, "fastscd: cache snapshot %s degraded (%s): starting cold\n", *cacheFile, res.Degraded)
+				return
+			}
+			srv.SetRestored(res.Restored)
+			fmt.Fprintf(os.Stderr, "fastscd: warm start: %d cache entries restored from %s\n", res.Restored, *cacheFile)
 		}()
 	} else {
 		close(restoreDone)

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/topology"
+)
+
+// TestWorkloadsCanonicalRoundTrip runs the content-addressing property —
+// encode→decode→re-sign equals the original signature — over every
+// workload generator, so the canonical encoding is proven against the
+// exact circuits the warm set will carry (BV's star CNOTs, QAOA's random
+// parametric layers, Ising's Trotter steps, QGAN's entangling ladders,
+// XEB's supremacy-style tilings), not just synthetic random circuits.
+func TestWorkloadsCanonicalRoundTrip(t *testing.T) {
+	dev := topology.SquareGrid(4)
+	workloads := map[string]*circuit.Circuit{
+		"bv":    BV(12, 7),
+		"qaoa":  QAOA(10, 11),
+		"ising": Ising(9, 4),
+		"qgan":  QGAN(8, 3, 13),
+		"xeb":   XEB(dev, 6, 17),
+	}
+	for name, c := range workloads {
+		blob := c.EncodeCanonical()
+		got, err := circuit.DecodeCanonical(blob)
+		if err != nil {
+			t.Errorf("%s: decode: %v", name, err)
+			continue
+		}
+		if got.Signature() != c.Signature() {
+			t.Errorf("%s: decoded signature %s != original %s", name, got.Signature(), c.Signature())
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package bench_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fastsc/internal/circuit"
+	"fastsc/internal/compile"
+	"fastsc/internal/expt"
+	"fastsc/internal/mapping"
+	"fastsc/internal/topology"
+)
+
+// BenchmarkRouteWarmStart measures the layout/routing stage of the Fig 9
+// workload set served from a shared read-only warm set (the -warm-set
+// path) against computing it cold: one seed process routes everything and
+// saves a snapshot; each warm iteration starts a fresh cache, attaches the
+// snapshot as its warm tier, and re-routes the whole set, which must be
+// warm-set hits end to end. The cold variant bounds what the warm tier
+// saves; the warm variant's wall time is dominated by the one-time warm
+// set load plus canonical decode of the pooled circuits.
+func BenchmarkRouteWarmStart(b *testing.B) {
+	suite := expt.Suite()
+	circs := make([]*circuit.Circuit, len(suite))
+	devs := make([]*topology.Device, len(suite))
+	opts := make([]mapping.Options, len(suite))
+	for i, bm := range suite {
+		devs[i] = topology.SquareGrid(bm.Qubits)
+		circs[i] = bm.Circuit(devs[i])
+		opts[i] = mapping.Options{Placement: string(bm.Placement)}
+	}
+
+	seed := compile.NewContext(1)
+	for i, c := range circs {
+		if _, err := seed.Route(c, devs[i], opts[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	path := filepath.Join(b.TempDir(), "route-warm.snap")
+	if err := seed.Cache.Save(path); err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, warm bool) {
+		var stats compile.Stats
+		for i := 0; i < b.N; i++ {
+			ctx := compile.NewContext(1)
+			if warm {
+				ctx.Cache.AttachWarmSet(compile.OpenWarmSet(path))
+			}
+			for j, c := range circs {
+				if _, err := ctx.Route(c, devs[j], opts[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			stats = ctx.Cache.StatsByRegion()[compile.RegionRoute]
+			if warm && stats.WarmHits != uint64(len(suite)) {
+				b.Fatalf("route region not fully warm-served: %+v", stats)
+			}
+		}
+		b.ReportMetric(float64(stats.WarmHits), "warm-hits")
+	}
+	b.Run("cold", func(b *testing.B) { run(b, false) })
+	b.Run("warm", func(b *testing.B) { run(b, true) })
+}

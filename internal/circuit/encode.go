@@ -1,0 +1,134 @@
+package circuit
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Canonical binary circuit encoding — the wire form of the compile cache's
+// content-addressed circuit store. The format is deterministic by
+// construction (no maps, no pointer identity, no gob type negotiation):
+// content-identical circuits encode to identical bytes, and the bytes
+// cover exactly the fields Signature hashes, so
+//
+//	DecodeCanonical(EncodeCanonical(c)).Signature() == c.Signature()
+//
+// holds for every valid circuit (the round-trip property pinned by
+// encode_test.go). That makes the 128-bit content signature a safe storage
+// key: a snapshot can keep one canonical blob per signature and any number
+// of cache entries (routed circuits, analyses) referencing it.
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	magic   2 bytes  "fc"
+//	version 1 byte   canonicalVersion
+//	NumQubits
+//	len(Gates)
+//	per gate: Kind, len(Qubits), each qubit id, Theta as 8 fixed
+//	          little-endian bytes (Float64bits — always present, even for
+//	          non-parametric gates, mirroring Signature's unconditional mix)
+//
+// The version byte is bumped whenever the layout changes; DecodeCanonical
+// rejects unknown versions so a newer store never half-decodes on an older
+// binary.
+
+// canonicalMagic guards against feeding arbitrary blobs to DecodeCanonical.
+const canonicalMagic = "fc"
+
+// canonicalVersion is the canonical-encoding layout version.
+const canonicalVersion = 1
+
+// EncodeCanonical serializes the circuit into its canonical binary form.
+// The encoding covers NumQubits and every gate's Kind, operand list and
+// Theta — exactly the Signature inputs — and nothing else.
+func (c *Circuit) EncodeCanonical() []byte {
+	// 2 magic + 1 version + ~2 varints + ~(2 varint + 2 qubit + 8 theta)
+	// bytes per gate: preallocate generously to keep appends realloc-free.
+	buf := make([]byte, 0, 8+14*len(c.Gates))
+	buf = append(buf, canonicalMagic...)
+	buf = append(buf, canonicalVersion)
+	buf = binary.AppendUvarint(buf, uint64(c.NumQubits))
+	buf = binary.AppendUvarint(buf, uint64(len(c.Gates)))
+	for _, g := range c.Gates {
+		buf = binary.AppendUvarint(buf, uint64(g.Kind))
+		buf = binary.AppendUvarint(buf, uint64(len(g.Qubits)))
+		for _, q := range g.Qubits {
+			buf = binary.AppendUvarint(buf, uint64(q))
+		}
+		var theta [8]byte
+		binary.LittleEndian.PutUint64(theta[:], math.Float64bits(g.Theta))
+		buf = append(buf, theta[:]...)
+	}
+	return buf
+}
+
+// DecodeCanonical reconstructs a circuit from its canonical binary form.
+// It validates structure (magic, version, bounds) but deliberately not
+// gate-level invariants beyond operand ranges: the store's integrity check
+// is re-signing the decoded circuit and comparing against the storage key,
+// which any bit flip fails.
+func DecodeCanonical(data []byte) (*Circuit, error) {
+	if len(data) < len(canonicalMagic)+1 || string(data[:len(canonicalMagic)]) != canonicalMagic {
+		return nil, fmt.Errorf("circuit: canonical decode: bad magic")
+	}
+	if v := data[len(canonicalMagic)]; v != canonicalVersion {
+		return nil, fmt.Errorf("circuit: canonical decode: unknown version %d", v)
+	}
+	r := data[len(canonicalMagic)+1:]
+	next := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(r)
+		if n <= 0 {
+			return 0, fmt.Errorf("circuit: canonical decode: truncated %s", what)
+		}
+		r = r[n:]
+		return v, nil
+	}
+	nq, err := next("qubit count")
+	if err != nil {
+		return nil, err
+	}
+	ng, err := next("gate count")
+	if err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 28 // reject absurd counts before allocating
+	if nq == 0 || nq > maxReasonable || ng > maxReasonable {
+		return nil, fmt.Errorf("circuit: canonical decode: implausible counts (%d qubits, %d gates)", nq, ng)
+	}
+	c := &Circuit{NumQubits: int(nq), Gates: make([]Gate, 0, ng)}
+	for i := uint64(0); i < ng; i++ {
+		kind, err := next("gate kind")
+		if err != nil {
+			return nil, err
+		}
+		arity, err := next("gate arity")
+		if err != nil {
+			return nil, err
+		}
+		if arity == 0 || arity > 2 {
+			return nil, fmt.Errorf("circuit: canonical decode: gate %d has arity %d", i, arity)
+		}
+		qs := make([]int, arity)
+		for j := range qs {
+			q, err := next("qubit id")
+			if err != nil {
+				return nil, err
+			}
+			if q >= nq {
+				return nil, fmt.Errorf("circuit: canonical decode: gate %d qubit %d out of range [0,%d)", i, q, nq)
+			}
+			qs[j] = int(q)
+		}
+		if len(r) < 8 {
+			return nil, fmt.Errorf("circuit: canonical decode: truncated theta")
+		}
+		theta := math.Float64frombits(binary.LittleEndian.Uint64(r))
+		r = r[8:]
+		c.Gates = append(c.Gates, Gate{Kind: Kind(kind), Qubits: qs, Theta: theta})
+	}
+	if len(r) != 0 {
+		return nil, fmt.Errorf("circuit: canonical decode: %d trailing bytes", len(r))
+	}
+	return c, nil
+}

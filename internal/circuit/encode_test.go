@@ -1,0 +1,164 @@
+package circuit
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomEncCircuit builds a structurally valid random circuit: a mix of all
+// single-qubit kinds (parametric ones with random angles, including the
+// awkward float values) and all two-qubit kinds on distinct operands.
+func randomEncCircuit(rng *rand.Rand, maxQubits, maxGates int) *Circuit {
+	n := 2 + rng.Intn(maxQubits-1)
+	c := New(n)
+	singles := []Kind{I, X, Y, Z, H, S, Sdg, T, Tdg, SX, SY, SW}
+	params := []Kind{RX, RY, RZ}
+	doubles := []Kind{CZ, ISwap, SqrtISwap, CNOT, SWAP}
+	awkward := []float64{0, math.Copysign(0, -1), math.Pi, -math.Pi / 2, math.SmallestNonzeroFloat64, math.MaxFloat64}
+	for i, ng := 0, rng.Intn(maxGates+1); i < ng; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.Add(Gate{Kind: singles[rng.Intn(len(singles))], Qubits: []int{rng.Intn(n)}})
+		case 1:
+			theta := rng.NormFloat64()
+			if rng.Intn(4) == 0 {
+				theta = awkward[rng.Intn(len(awkward))]
+			}
+			c.Add(Gate{Kind: params[rng.Intn(len(params))], Qubits: []int{rng.Intn(n)}, Theta: theta})
+		default:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.Add(Gate{Kind: doubles[rng.Intn(len(doubles))], Qubits: []int{a, b}})
+		}
+	}
+	return c
+}
+
+// TestCanonicalRoundTripRandom is the core content-addressing property:
+// encode→decode→re-sign must reproduce the original signature (and the
+// re-encoded bytes must match, i.e. the canonical form is a fixed point).
+func TestCanonicalRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		c := randomEncCircuit(rng, 20, 60)
+		blob := c.EncodeCanonical()
+		got, err := DecodeCanonical(blob)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got.Signature() != c.Signature() {
+			t.Fatalf("case %d: decoded signature %s != original %s\noriginal:\n%s\ndecoded:\n%s",
+				i, got.Signature(), c.Signature(), c, got)
+		}
+		if !bytes.Equal(got.EncodeCanonical(), blob) {
+			t.Fatalf("case %d: re-encoding the decoded circuit changed the bytes", i)
+		}
+	}
+}
+
+// TestCanonicalRoundTripExact pins field-level equality, not just signature
+// equality, on a circuit exercising every gate family.
+func TestCanonicalRoundTripExact(t *testing.T) {
+	c := New(4)
+	c.H(0).X(1).RZ(2, math.Pi/3).RX(3, -1.25).CZ(0, 1).ISwap(1, 2).SqrtISwap(2, 3).CNOT(3, 0).SWAP(0, 2)
+	got, err := DecodeCanonical(c.EncodeCanonical())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.NumQubits != c.NumQubits || len(got.Gates) != len(c.Gates) {
+		t.Fatalf("shape changed: got %d qubits/%d gates, want %d/%d",
+			got.NumQubits, len(got.Gates), c.NumQubits, len(c.Gates))
+	}
+	for i, g := range c.Gates {
+		d := got.Gates[i]
+		if d.Kind != g.Kind || len(d.Qubits) != len(g.Qubits) ||
+			math.Float64bits(d.Theta) != math.Float64bits(g.Theta) {
+			t.Fatalf("gate %d changed: got %+v, want %+v", i, d, g)
+		}
+		for j := range g.Qubits {
+			if d.Qubits[j] != g.Qubits[j] {
+				t.Fatalf("gate %d operand %d changed: got %d, want %d", i, j, d.Qubits[j], g.Qubits[j])
+			}
+		}
+	}
+}
+
+// TestCanonicalEncodingInjective mirrors the SliceKey collision-proof test:
+// adversarially close circuit pairs — the kinds of near-misses a sloppy
+// encoding (skipping theta on non-parametric gates, concatenating qubit
+// ids without arity, folding counts together) would conflate — must encode
+// to distinct bytes.
+func TestCanonicalEncodingInjective(t *testing.T) {
+	pairs := []struct {
+		name string
+		a, b *Circuit
+	}{
+		{
+			// A theta on a non-parametric gate still changes the bytes:
+			// Signature mixes Theta unconditionally, so the encoding must too
+			// or round-tripped signatures would diverge.
+			name: "theta on non-parametric gate",
+			a:    &Circuit{NumQubits: 2, Gates: []Gate{{Kind: H, Qubits: []int{0}}}},
+			b:    &Circuit{NumQubits: 2, Gates: []Gate{{Kind: H, Qubits: []int{0}, Theta: 1}}},
+		},
+		{
+			name: "qubit count vs gate operand",
+			a:    New(2).H(1),
+			b:    New(3).H(1),
+		},
+		{
+			// One two-qubit gate on (0,1) vs two single-qubit gates on 0 and
+			// 1: same flattened operand stream, different arity structure.
+			name: "arity structure",
+			a:    New(2).CZ(0, 1),
+			b:    &Circuit{NumQubits: 2, Gates: []Gate{{Kind: CZ, Qubits: []int{0}}, {Kind: CZ, Qubits: []int{1}}}},
+		},
+		{
+			name: "operand order",
+			a:    New(3).CNOT(0, 1),
+			b:    New(3).CNOT(1, 0),
+		},
+		{
+			name: "zero vs negative-zero theta",
+			a:    New(1).RZ(0, 0),
+			b:    New(1).RZ(0, math.Copysign(0, -1)),
+		},
+		{
+			name: "trailing identity gate",
+			a:    New(2).CZ(0, 1),
+			b:    New(2).CZ(0, 1).I(0),
+		},
+	}
+	for _, p := range pairs {
+		if bytes.Equal(p.a.EncodeCanonical(), p.b.EncodeCanonical()) {
+			t.Errorf("%s: distinct circuits share one canonical encoding", p.name)
+		}
+	}
+}
+
+// TestDecodeCanonicalRejectsMalformed: corrupt inputs must fail loudly, not
+// produce a plausible wrong circuit for the store to serve.
+func TestDecodeCanonicalRejectsMalformed(t *testing.T) {
+	valid := New(3).H(0).CZ(0, 1).RZ(2, 0.5).EncodeCanonical()
+	cases := map[string][]byte{
+		"empty":          nil,
+		"bad magic":      append([]byte("zz"), valid[2:]...),
+		"bad version":    append([]byte{'f', 'c', 99}, valid[3:]...),
+		"truncated":      valid[:len(valid)-3],
+		"trailing bytes": append(append([]byte{}, valid...), 0),
+	}
+	// Qubit id out of range: one gate on qubit 7 of a 2-qubit circuit.
+	oob := (&Circuit{NumQubits: 8, Gates: []Gate{{Kind: H, Qubits: []int{7}}}}).EncodeCanonical()
+	oob[3] = 2 // NumQubits varint: 8 -> 2, leaving the operand out of range
+	cases["operand out of range"] = oob
+	for name, data := range cases {
+		if c, err := DecodeCanonical(data); err == nil {
+			t.Errorf("%s: decode accepted malformed input: %v", name, c)
+		}
+	}
+	if _, err := DecodeCanonical(valid); err != nil {
+		t.Fatalf("control: valid blob rejected: %v", err)
+	}
+}

@@ -1,5 +1,7 @@
 package compile
 
+import "sync/atomic"
+
 // DefaultCacheCapacity is the capacity (in cost units, see entryCost) used
 // when NewCache is given a non-positive capacity. One unit covers a small
 // entry — a slice solution or SMT solve of a few hundred bytes — so
@@ -9,18 +11,25 @@ package compile
 // sheds them at their real weight.
 const DefaultCacheCapacity = 8192
 
-// Stats are the hit/miss/eviction counters of one cache region.
+// Stats are the per-tier hit/miss/eviction counters of one cache region.
+// Hits counts lookups served by the in-process shards (tier 1); WarmHits
+// counts lookups that missed locally but were served by the attached
+// read-only warm set (tier 3) and promoted; Misses counts lookups that ran
+// their compute function.
 type Stats struct {
 	Hits, Misses, Evictions uint64
+	WarmHits                uint64
 }
 
-// HitRate returns hits / (hits + misses), or 0 when the region is unused.
+// HitRate returns (hits + warm hits) / (hits + warm hits + misses), or 0
+// when the region is unused: a warm-set hit spared the compute exactly like
+// a local hit, so it counts toward the rate.
 func (s Stats) HitRate() float64 {
-	total := s.Hits + s.Misses
+	total := s.Hits + s.WarmHits + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(total)
+	return float64(s.Hits+s.WarmHits) / float64(total)
 }
 
 // add accumulates counters (used to aggregate regions and shards).
@@ -29,8 +38,23 @@ func (s Stats) add(o Stats) Stats {
 		Hits:      s.Hits + o.Hits,
 		Misses:    s.Misses + o.Misses,
 		Evictions: s.Evictions + o.Evictions,
+		WarmHits:  s.WarmHits + o.WarmHits,
 	}
 }
+
+// Tier identifies which store satisfied a tiered lookup.
+type Tier uint8
+
+const (
+	// TierMiss: no tier had the entry; the caller's compute ran.
+	TierMiss Tier = iota
+	// TierLocal: served by the in-process shards (or by sharing another
+	// caller's in-flight computation through the single-flight group).
+	TierLocal
+	// TierWarm: served by the attached read-only warm set after a local
+	// miss, and promoted into the local shards.
+	TierWarm
+)
 
 // Cache is a concurrency-safe sharded LRU cache shared across compilation
 // jobs. Entries are namespaced by region (e.g. "smt", "slice", "xtalk") so
@@ -54,6 +78,11 @@ type Cache struct {
 	shards []*cacheShard
 	mask   uint64
 	flight flightGroup
+	// warm is the optional read-only warm set (tier 3), probed after a
+	// local miss and before compute. Stored atomically so AttachWarmSet is
+	// safe against concurrent lookups; the WarmSet itself is immutable
+	// after its lazy load.
+	warm atomic.Pointer[WarmSet]
 }
 
 // NewCache returns a cache holding at most ~capacity cost units (~entries,
@@ -111,10 +140,66 @@ func (c *Cache) NumShards() int {
 	return len(c.shards)
 }
 
-// Get looks up key in region, promoting it to most-recently-used on a hit.
-// Nil caches always miss without accounting.
+// AttachWarmSet attaches a read-only warm set as the cache's third tier:
+// lookups that miss the local shards probe it before computing, and warm
+// hits are promoted into the local shards (and counted as Stats.WarmHits).
+// The warm set is never written. Attaching nil detaches. No-op on a nil
+// cache.
+func (c *Cache) AttachWarmSet(w *WarmSet) {
+	if c == nil {
+		return
+	}
+	c.warm.Store(w)
+}
+
+// WarmSet returns the attached warm set, or nil.
+func (c *Cache) WarmSet() *WarmSet {
+	if c == nil {
+		return nil
+	}
+	return c.warm.Load()
+}
+
+// Get looks up key through the tiers (local shards, then the attached
+// warm set), promoting it to most-recently-used — and, on a warm hit, into
+// the local shards — on a hit. Nil caches always miss without accounting.
 func (c *Cache) Get(region, key string) (any, bool) {
-	return c.get(region, key, true)
+	v, tier := c.getTiered(region, key)
+	return v, tier != TierMiss
+}
+
+// getTiered is the accounting lookup behind Get and DoTiered: local shards
+// first (tier hit), then the warm set (warm hit, promoted), else a miss.
+// Exactly one counter is incremented per call.
+func (c *Cache) getTiered(region, key string) (any, Tier) {
+	if c == nil {
+		return nil, TierMiss
+	}
+	nk := namespaced(region, key)
+	s := c.shardFor(nk)
+	s.mu.Lock()
+	if v, ok := s.get(region, nk, false); ok {
+		s.regionStats(region).Hits++
+		s.mu.Unlock()
+		return v, TierLocal
+	}
+	s.mu.Unlock()
+	// Local miss: probe the warm set outside the shard lock — warm reads
+	// are lock-free (the set is immutable after load), so a slow lazy load
+	// or a large warm lookup never blocks the shard.
+	if w := c.warm.Load(); w != nil {
+		if v, ok := w.get(region, key); ok {
+			s.mu.Lock()
+			s.regionStats(region).WarmHits++
+			s.put(region, nk, v)
+			s.mu.Unlock()
+			return v, TierWarm
+		}
+	}
+	s.mu.Lock()
+	s.regionStats(region).Misses++
+	s.mu.Unlock()
+	return nil, TierMiss
 }
 
 // peek is Get without hit/miss accounting, used by the single-flight
@@ -156,13 +241,25 @@ func (c *Cache) Put(region, key string, value any) {
 // failed flight computes afresh; use a value type that embeds the error
 // (as the SMT memo does) when negative caching is wanted.
 func (c *Cache) Do(region, key string, compute func() (any, error)) (any, error) {
+	v, _, err := c.DoTiered(region, key, compute)
+	return v, err
+}
+
+// DoTiered is Do with tier attribution: it additionally reports which tier
+// satisfied the lookup — TierLocal for a shard hit (or for sharing another
+// caller's in-flight computation), TierWarm for a warm-set hit, TierMiss
+// when this caller's compute ran. Request-scoped Recorders use the tier to
+// attribute warm-set traffic separately from local hits.
+func (c *Cache) DoTiered(region, key string, compute func() (any, error)) (any, Tier, error) {
 	if c == nil {
-		return compute()
+		v, err := compute()
+		return v, TierMiss, err
 	}
-	if v, ok := c.Get(region, key); ok {
-		return v, nil
+	if v, tier := c.getTiered(region, key); tier != TierMiss {
+		return v, tier, nil
 	}
-	return c.flight.do(namespaced(region, key), func() (any, error) {
+	computed := false
+	v, err := c.flight.do(namespaced(region, key), func() (any, error) {
 		// Re-check: a previous flight may have stored the value between
 		// this caller's miss and its turn as leader. Without this, a
 		// caller overlapping the tail of a finished flight would compute
@@ -170,6 +267,7 @@ func (c *Cache) Do(region, key string, compute func() (any, error)) (any, error)
 		if v, ok := c.peek(region, key); ok {
 			return v, nil
 		}
+		computed = true
 		v, err := compute()
 		if err != nil {
 			return nil, err
@@ -177,6 +275,13 @@ func (c *Cache) Do(region, key string, compute func() (any, error)) (any, error)
 		c.Put(region, key, v)
 		return v, nil
 	})
+	if err != nil {
+		return nil, TierMiss, err
+	}
+	if computed {
+		return v, TierMiss, nil
+	}
+	return v, TierLocal, nil
 }
 
 // Len returns the current number of entries across all shards.

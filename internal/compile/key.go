@@ -35,16 +35,19 @@ const (
 	// RegionCircuit holds analyzed-circuit IRs (circuit.Analysis: CSR
 	// per-qubit gate streams, flat ASAP layers, criticality) keyed by the
 	// circuit content signature, so every strategy in a batch shares one
-	// analysis per circuit. Like RegionXtalk it is process-local (not
-	// persisted): an analysis rebuilds in microseconds and holds
-	// pointer-heavy flat tables that would bloat snapshots.
+	// analysis per circuit. Snapshots persist only the cheap part — the
+	// canonically encoded circuit, deduplicated through the
+	// content-addressed pool — and Load re-derives the flat tables with
+	// AnalyzeWithSignature (microseconds), so the pointer-heavy IR itself
+	// never bloats a snapshot.
 	RegionCircuit = "circ"
 	// RegionRoute holds routed circuits (mapping.Result) keyed by
 	// (circuit signature, device signature, placement, router config), so
 	// the 5–7 strategies of a batch route each circuit once instead of
-	// once per strategy. Process-local like RegionCircuit: a Result holds
-	// a pointer-heavy circuit that re-routes in microseconds and would
-	// bloat snapshots.
+	// once per strategy. Persisted since snapshot v6: the routed circuit
+	// is stored as a signature reference into the content-addressed
+	// canonical-circuit pool (identical routed circuits cost one blob),
+	// with the mapping and provenance flattened beside it.
 	RegionRoute = "route"
 )
 
@@ -66,8 +69,12 @@ const (
 // component-decomposed slice solving: the slice region additionally holds
 // per-component solutions under SliceComponentKey (a distinct "c"-tagged
 // shape that can never alias a whole-slice key), so snapshots written
-// before the decomposition are rejected wholesale.
-const KeyVersion = 5
+// before the decomposition are rejected wholesale. v6 accompanies the
+// tiered warm-cache subsystem: route and circ entries persist through the
+// content-addressed circuit store, and snapshots from the previous key
+// generation are no longer rejected wholesale — Load re-keys them through
+// the registered migration step (see migrate.go) instead.
+const KeyVersion = 6
 
 type hasher struct{ h uint64 }
 
@@ -212,6 +219,17 @@ func SliceKey(sysSig string, distance, budget int, activeVertices []int) string 
 // combination.
 func SliceComponentKey(sysSig string, distance, budget int, componentVerts []int) string {
 	return sliceKey("v%d|c|%s|%d|%d|", sysSig, distance, budget, componentVerts)
+}
+
+// CircuitKey is the cache key of one analyzed circuit (the circ region):
+// the exact qubit and gate counts plus the 128-bit content signature. The
+// cheap dimensions are encoded exactly — the same discipline as SliceKey
+// and RouteKey — so a hypothetical digest collision between
+// differently-shaped circuits can never alias. The memo and the snapshot
+// loader both build circ keys through this function, so a persisted
+// canonical circuit restores under exactly the key the memo will probe.
+func CircuitKey(circ *circuit.Circuit, sig string) string {
+	return fmt.Sprintf("%d|%d|%s", circ.NumQubits, len(circ.Gates), sig)
 }
 
 func sliceKey(format, sysSig string, distance, budget int, vertices []int) string {

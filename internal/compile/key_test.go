@@ -145,6 +145,23 @@ func TestKeySchemaDrift(t *testing.T) {
 		"Placement", "Router")
 	assertExactFields(t, reflect.TypeOf(mapping.RouterConfig{}), "RouteKey",
 		"Algorithm", "Window", "Decay")
+
+	// The snapshot codec structs are pinned for a different failure mode:
+	// they are on-disk gob shapes, so a field added to the in-memory type
+	// without a codec twin (plus a SnapshotVersion bump and a migration
+	// entry in migrate.go) would silently drop data across a Save/Load
+	// round trip rather than alias a key. persistedRoute flattens
+	// mapping.Result and mapping.Mapping field for field, so those two are
+	// pinned alongside it.
+	assertExactFields(t, reflect.TypeOf(diskSnapshot{}), "the snapshot codec (Save/Load)",
+		"Magic", "Version", "KeyVersion", "SMT", "Park",
+		"Slice", "SliceComp", "Static", "Circuits", "Route", "Circ")
+	assertExactFields(t, reflect.TypeOf(persistedRoute{}), "the snapshot codec (Save/Load)",
+		"RoutedSig", "LogToPhys", "PhysToLog", "Inserted", "SwapCount")
+	assertExactFields(t, reflect.TypeOf(mapping.Result{}), "the snapshot codec (persistedRoute)",
+		"Routed", "Final", "Inserted", "SwapCount")
+	assertExactFields(t, reflect.TypeOf(mapping.Mapping{}), "the snapshot codec (persistedRoute)",
+		"LogToPhys", "PhysToLog")
 }
 
 // TestRouteKeyDistinguishesConfigs checks RouteKey injectivity across the

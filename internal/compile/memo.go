@@ -1,8 +1,6 @@
 package compile
 
 import (
-	"fmt"
-
 	"fastsc/internal/circuit"
 	"fastsc/internal/faultpoint"
 	"fastsc/internal/graph"
@@ -36,14 +34,12 @@ func (c *Context) SolveSMT(k int, cfg smt.Config) ([]float64, float64, error) {
 		c.record(RegionSMT, false)
 		return smt.SolveWith(k, cfg, c.parallelFor())
 	}
-	hit := true
-	v, _ := cache.Do(RegionSMT, SMTKey(k, cfg), func() (any, error) {
-		hit = false
+	v, tier, _ := cache.DoTiered(RegionSMT, SMTKey(k, cfg), func() (any, error) {
 		faultpoint.Sleep(faultpoint.SolveSlow)
 		xs, delta, err := smt.SolveWith(k, cfg, c.parallelFor())
 		return smtResult{xs: xs, delta: delta, err: err}, nil
 	})
-	c.record(RegionSMT, hit)
+	c.recordTier(RegionSMT, tier)
 	r := v.(smtResult)
 	return r.xs, r.delta, r.err
 }
@@ -59,12 +55,10 @@ func (c *Context) Xtalk(dev *topology.Device, distance int) *xtalk.Graph {
 		c.record(RegionXtalk, false)
 		return xtalk.Build(dev, distance)
 	}
-	hit := true
-	v, _ := cache.Do(RegionXtalk, XtalkKey(dev, distance), func() (any, error) {
-		hit = false
+	v, tier, _ := cache.DoTiered(RegionXtalk, XtalkKey(dev, distance), func() (any, error) {
 		return xtalk.Build(dev, distance), nil
 	})
-	c.record(RegionXtalk, hit)
+	c.recordTier(RegionXtalk, tier)
 	return v.(*xtalk.Graph)
 }
 
@@ -82,19 +76,17 @@ func (c *Context) Analysis(circ *circuit.Circuit) *circuit.Analysis {
 		c.record(RegionCircuit, false)
 		return circuit.Analyze(circ)
 	}
-	// The key is the 128-bit content signature plus the exact qubit and
-	// gate counts — the cheap dimensions are encoded exactly (the same
-	// discipline as SliceKey), so a hypothetical digest collision between
-	// differently-shaped circuits can never alias. The signature computed
-	// here is reused on the miss path, so a miss hashes the gate list once.
+	// The key (CircuitKey) is the 128-bit content signature plus the exact
+	// qubit and gate counts — the cheap dimensions are encoded exactly
+	// (the same discipline as SliceKey), so a hypothetical digest
+	// collision between differently-shaped circuits can never alias. The
+	// signature computed here is reused on the miss path, so a miss hashes
+	// the gate list once.
 	sig := circ.Signature()
-	key := fmt.Sprintf("%d|%d|%s", circ.NumQubits, len(circ.Gates), sig)
-	hit := true
-	v, _ := cache.Do(RegionCircuit, key, func() (any, error) {
-		hit = false
+	v, tier, _ := cache.DoTiered(RegionCircuit, CircuitKey(circ, sig), func() (any, error) {
 		return circuit.AnalyzeWithSignature(circ, sig), nil
 	})
-	c.record(RegionCircuit, hit)
+	c.recordTier(RegionCircuit, tier)
 	return v.(*circuit.Analysis)
 }
 
@@ -103,8 +95,9 @@ func (c *Context) Analysis(circ *circuit.Circuit) *circuit.Analysis {
 // shared read-only by every strategy compiling that circuit — a 5-strategy
 // batch routes each (circuit, placement, router) exactly once instead of
 // five times. Routing is deterministic, so sharing cannot change output.
-// The route region is process-local like circ (never persisted) and
-// size-aware through mapping.Result.ApproxSize. Routers that read the
+// The route region persists across processes (snapshot v6 flattens each
+// Result against the content-addressed circuit pool; see persist.go) and
+// is size-aware through mapping.Result.ApproxSize. Routers that read the
 // dependency analysis (lookahead, degree placement) draw it from the circ
 // region, so route and schedule share one Analysis per circuit signature.
 func (c *Context) Route(circ *circuit.Circuit, dev *topology.Device, opts mapping.Options) (*mapping.Result, error) {
@@ -119,16 +112,14 @@ func (c *Context) Route(circ *circuit.Circuit, dev *topology.Device, opts mappin
 		return mapping.Plan(circ, ana, dev, opts)
 	}
 	key := RouteKey(circ, DeviceSignature(dev), opts)
-	hit := true
-	v, err := cache.Do(RegionRoute, key, func() (any, error) {
-		hit = false
+	v, tier, err := cache.DoTiered(RegionRoute, key, func() (any, error) {
 		var ana *circuit.Analysis
 		if opts.NeedsAnalysis() {
 			ana = c.Analysis(circ)
 		}
 		return mapping.Plan(circ, ana, dev, opts)
 	})
-	c.record(RegionRoute, hit)
+	c.recordTier(RegionRoute, tier)
 	if err != nil {
 		return nil, err
 	}
@@ -164,12 +155,10 @@ func (c *Context) Slice(key string, compute func() (SliceSolution, error)) (Slic
 		c.record(RegionSlice, false)
 		return compute()
 	}
-	hit := true
-	v, err := cache.Do(RegionSlice, key, func() (any, error) {
-		hit = false
+	v, tier, err := cache.DoTiered(RegionSlice, key, func() (any, error) {
 		return compute()
 	})
-	c.record(RegionSlice, hit)
+	c.recordTier(RegionSlice, tier)
 	if err != nil {
 		return SliceSolution{}, err
 	}
@@ -209,12 +198,10 @@ func (c *Context) SliceComponent(key string, compute func() (ComponentSolution, 
 		c.record(RegionSlice, false)
 		return compute()
 	}
-	hit := true
-	v, err := cache.Do(RegionSlice, key, func() (any, error) {
-		hit = false
+	v, tier, err := cache.DoTiered(RegionSlice, key, func() (any, error) {
 		return compute()
 	})
-	c.record(RegionSlice, hit)
+	c.recordTier(RegionSlice, tier)
 	if err != nil {
 		return ComponentSolution{}, err
 	}
@@ -230,12 +217,10 @@ func (c *Context) Parking(sysSig string, compute func() ([]float64, error)) ([]f
 		c.record(RegionParking, false)
 		return compute()
 	}
-	hit := true
-	v, err := cache.Do(RegionParking, sysSig, func() (any, error) {
-		hit = false
+	v, tier, err := cache.DoTiered(RegionParking, sysSig, func() (any, error) {
 		return compute()
 	})
-	c.record(RegionParking, hit)
+	c.recordTier(RegionParking, tier)
 	if err != nil {
 		return nil, err
 	}
@@ -252,11 +237,9 @@ func (c *Context) Static(key string, compute func() (any, error)) (any, error) {
 		c.record(RegionStatic, false)
 		return compute()
 	}
-	hit := true
-	v, err := cache.Do(RegionStatic, key, func() (any, error) {
-		hit = false
+	v, tier, err := cache.DoTiered(RegionStatic, key, func() (any, error) {
 		return compute()
 	})
-	c.record(RegionStatic, hit)
+	c.recordTier(RegionStatic, tier)
 	return v, err
 }

@@ -11,14 +11,18 @@ import (
 	"sort"
 	"strings"
 
+	"fastsc/internal/circuit"
 	"fastsc/internal/faultpoint"
+	"fastsc/internal/mapping"
 	"fastsc/internal/smt"
 )
 
 // SnapshotVersion is the on-disk snapshot format version. A snapshot
-// written with any other version (or any other KeyVersion) is rejected
-// wholesale on load and the cache starts cold — stale keys are never read
-// back.
+// written at an older version is migrated forward on load, one registered
+// step at a time (see migrate.go); a version with no registered migration
+// path — or a future version — degrades to a cold start. Stale keys are
+// never read back verbatim: every migration step re-keys and re-validates
+// the entries it carries forward.
 //
 // History: v3 switched the cached value shapes to the flat-core
 // representation (parking assignments and color→frequency maps became
@@ -29,8 +33,12 @@ import (
 // accompanies component-decomposed slice solving (KeyVersion 5): the
 // slice region now holds two value shapes — whole-slice SliceSolution
 // and per-component ComponentSolution — persisted in separate snapshot
-// sections so each decodes with its concrete type.
-const SnapshotVersion = 5
+// sections so each decodes with its concrete type. v6 accompanies the
+// tiered warm-cache subsystem (KeyVersion 6): the snapshot gains a
+// content-addressed pool of canonically encoded circuits plus route and
+// circ sections referencing it, and v5 snapshots are the first to migrate
+// forward (slice keys re-keyed v5|→v6|) instead of being dropped.
+const SnapshotVersion = 6
 
 // snapshotMagic guards against feeding an arbitrary gob stream (or a
 // truncated file) to Load.
@@ -40,11 +48,20 @@ const snapshotMagic = "fastsc-cache-snapshot"
 // process-independent. SMT solves, static palettes, parking assignments
 // and slice solutions are pure functions of content-hashed inputs (system
 // signatures, exact vertex sets), so an entry written by one process is
-// valid in every other. RegionXtalk, RegionCircuit and RegionRoute are
-// excluded: crosstalk graphs, circuit analyses and routed circuits hold
-// pointer-heavy structures that rebuild in milliseconds (or microseconds)
-// and would dominate the snapshot size.
-var PersistRegions = []string{RegionSMT, RegionStatic, RegionParking, RegionSlice}
+// valid in every other. Since v6, routed circuits and analyzed circuits
+// persist too: both flatten through the content-addressed pool of
+// canonically encoded circuits (route entries store the mapping plus a
+// signature reference; circ entries store only the signature and re-derive
+// the flat analysis tables on load). RegionXtalk remains excluded:
+// crosstalk graphs rebuild in milliseconds from the device alone and
+// would dominate the snapshot size.
+var PersistRegions = []string{RegionSMT, RegionStatic, RegionParking, RegionSlice, RegionRoute, RegionCircuit}
+
+// maxCanonicalCircuitBytes bounds the canonical blobs admitted into a
+// snapshot's circuit pool: a route or circ entry whose circuit encodes
+// larger is skipped (size-aware sections — one pathological million-gate
+// circuit must not balloon every fleet warm set that includes it).
+const maxCanonicalCircuitBytes = 1 << 20
 
 // gzipSuffix marks snapshot paths Save writes gzip-compressed. Load does
 // not consult the name: it sniffs the gzip magic bytes, so compressed and
@@ -61,7 +78,12 @@ func RegisterSnapshotType(v any) { gob.Register(v) }
 // diskSnapshot is the gob payload of a cache snapshot. The typed regions
 // decode in one pass; Static carries individually encoded blobs because
 // its values are opaque to this package and one unregistered type must
-// cost one entry, not the snapshot.
+// cost one entry, not the snapshot. Circuits is the content-addressed
+// pool: canonical circuit bytes keyed by the 128-bit content signature,
+// referenced by the Route and Circ sections so identical circuits cost
+// one blob no matter how many entries share them. The field set is pinned
+// by the keyfields analyzer (this struct is an on-disk codec: adding a
+// field without considering migration is a format change).
 type diskSnapshot struct {
 	Magic      string
 	Version    int
@@ -75,6 +97,17 @@ type diskSnapshot struct {
 	// section.
 	SliceComp map[string]ComponentSolution
 	Static    []diskEntry
+	// Circuits is the content-addressed canonical-circuit pool
+	// (signature → circuit.EncodeCanonical bytes), populated since v6.
+	Circuits map[string][]byte
+	// Route carries the route region: flattened mapping.Results whose
+	// routed circuit lives in the pool.
+	Route map[string]persistedRoute
+	// Circ lists the content signatures of the circ region's analyzed
+	// circuits, sorted (the analysis itself is re-derived on load). Sorted
+	// emission keeps snapshot bytes deterministic for identical contents —
+	// the same discipline as the Static section.
+	Circ []string
 }
 
 // diskEntry is one opaque static-region entry; Blob is the value
@@ -82,6 +115,20 @@ type diskSnapshot struct {
 type diskEntry struct {
 	Key  string
 	Blob []byte
+}
+
+// persistedRoute is the gob form of one route-region mapping.Result: the
+// routed circuit is replaced by its content signature into the snapshot's
+// canonical pool, and the final mapping and SWAP provenance are flattened
+// to plain slices. The field set is pinned by the keyfields analyzer
+// alongside mapping.Result and mapping.Mapping, whose fields it must
+// mirror.
+type persistedRoute struct {
+	RoutedSig string
+	LogToPhys []int
+	PhysToLog []int
+	Inserted  []bool
+	SwapCount int
 }
 
 // persistedSMT is the gob form of an smtResult: the error is flattened to
@@ -124,13 +171,31 @@ func fromPersistedSMT(p persistedSMT) smtResult {
 	return r
 }
 
+// poolCircuit admits one circuit into the content-addressed pool, keyed by
+// sig (which must be the circuit's content signature). It reports whether
+// the circuit is in the pool after the call — false only when the
+// canonical encoding exceeds the size bound, in which case the caller must
+// drop the referencing entry.
+func poolCircuit(pool map[string][]byte, sig string, c *circuit.Circuit) bool {
+	if _, ok := pool[sig]; ok {
+		return true
+	}
+	blob := c.EncodeCanonical()
+	if len(blob) > maxCanonicalCircuitBytes {
+		return false
+	}
+	pool[sig] = blob
+	return true
+}
+
 // Save writes a versioned snapshot of the process-independent cache
 // regions (PersistRegions) to path, atomically (temp file + rename). A
 // path ending in ".gz" is written gzip-compressed (gob streams of
 // repetitive float tables compress several-fold); Load auto-detects the
 // compression regardless of name. Static-region entries whose values
 // cannot be gob-encoded — an unregistered provider type — are skipped
-// silently: a snapshot is a best-effort warm start, never a source of
+// silently, as are route/circ entries whose circuit exceeds the canonical
+// size bound: a snapshot is a best-effort warm start, never a source of
 // truth. Save on a nil cache is a no-op.
 func (c *Cache) Save(path string) error {
 	if c == nil {
@@ -144,6 +209,8 @@ func (c *Cache) Save(path string) error {
 		Park:       make(map[string][]float64),
 		Slice:      make(map[string]SliceSolution),
 		SliceComp:  make(map[string]ComponentSolution),
+		Circuits:   make(map[string][]byte),
+		Route:      make(map[string]persistedRoute),
 	}
 	for k, v := range c.regionEntries(RegionSMT) {
 		snap.SMT[k] = toPersistedSMT(v.(smtResult))
@@ -159,11 +226,38 @@ func (c *Cache) Save(path string) error {
 			snap.SliceComp[k] = sol
 		}
 	}
-	// Emit static entries in sorted key order: the other regions are gob
-	// maps, but this one is a slice, and appending it in map-range order
-	// would make the snapshot bytes differ from run to run for identical
-	// cache contents (the fig13 nondeterminism class, caught by the
-	// maporder analyzer).
+	for k, v := range c.regionEntries(RegionRoute) {
+		r, ok := v.(*mapping.Result)
+		if !ok || r == nil || r.Routed == nil || r.Final == nil {
+			continue
+		}
+		sig := r.Routed.Signature()
+		if !poolCircuit(snap.Circuits, sig, r.Routed) {
+			continue
+		}
+		snap.Route[k] = persistedRoute{
+			RoutedSig: sig,
+			LogToPhys: r.Final.LogToPhys,
+			PhysToLog: r.Final.PhysToLog,
+			Inserted:  r.Inserted,
+			SwapCount: r.SwapCount,
+		}
+	}
+	for _, v := range c.regionEntries(RegionCircuit) {
+		a, ok := v.(*circuit.Analysis)
+		if !ok || a.Source() == nil {
+			continue
+		}
+		if poolCircuit(snap.Circuits, a.Sig, a.Source()) {
+			snap.Circ = append(snap.Circ, a.Sig)
+		}
+	}
+	// Sort the circ signatures: the section is a slice built from a map
+	// range, and emitting it unsorted would make the snapshot bytes differ
+	// from run to run for identical cache contents (the fig13
+	// nondeterminism class, caught by the maporder analyzer).
+	sort.Strings(snap.Circ)
+	// Emit static entries in sorted key order, for the same reason.
 	static := c.regionEntries(RegionStatic)
 	staticKeys := make([]string, 0, len(static))
 	for k := range static {
@@ -209,57 +303,123 @@ func (c *Cache) Save(path string) error {
 	return nil
 }
 
-// Load restores a snapshot written by Save into the cache and returns the
-// number of entries restored. Compressed snapshots are detected by their
-// gzip magic bytes, not their name, so a ".gz" snapshot renamed plain (or
-// vice versa) still loads. Degradation is deliberate and silent: a
-// missing file, a corrupt or truncated snapshot, a version or key-version
-// mismatch, or an undecodable static entry all leave the cache cold (or
-// partially warm) and return nil — a compilation must never fail because
-// its warm start did. The returned error is non-nil only for genuine I/O
-// failures on an existing file. Load on a nil cache is a no-op.
-func (c *Cache) Load(path string) (int, error) {
-	if c == nil {
-		return 0, nil
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return 0, nil
-		}
-		return 0, fmt.Errorf("compile: read cache snapshot: %w", err)
-	}
+// Degradation reasons reported in LoadResult.Degraded (and exported by
+// fastscd as fastscd_snapshot_degraded_total{reason=...}). Empty means the
+// load was clean (including the missing-file cold-by-choice case).
+const (
+	// DegradedCorrupt: the file exists but is not a decodable snapshot
+	// (truncated, bit-flipped, or not gob at all).
+	DegradedCorrupt = "corrupt"
+	// DegradedBadMagic: a well-formed gob stream that is not a cache
+	// snapshot.
+	DegradedBadMagic = "bad-magic"
+	// DegradedFutureVersion: written by a newer binary; this one cannot
+	// know how to read it.
+	DegradedFutureVersion = "future-version"
+	// DegradedNoMigration: an old version with no registered migration
+	// path to the current format.
+	DegradedNoMigration = "no-migration-path"
+	// DegradedKeySkew: the snapshot (after any migrations) still carries a
+	// key generation this binary does not use — its keys could never hit.
+	DegradedKeySkew = "key-version-skew"
+)
+
+// LoadResult describes one snapshot load: how many entries were restored,
+// how many passed through a re-key migration, which on-disk version the
+// file carried, and — when the cache stayed cold — whether that was by
+// choice (Missing: no file) or by degradation (Degraded: a reason
+// constant). Operators use the distinction to tell "first boot" from
+// "corrupt snapshot silently discarded".
+type LoadResult struct {
+	Restored    int
+	Migrated    int
+	FromVersion int
+	Missing     bool
+	Degraded    string
+}
+
+// decodeSnapshot sniffs, decompresses, decodes and migrates one snapshot
+// payload. On success the returned snapshot is at the current
+// SnapshotVersion/KeyVersion; on degradation it is nil and the result
+// carries the reason.
+func decodeSnapshot(data []byte) (*diskSnapshot, LoadResult) {
+	var res LoadResult
 	var src io.Reader = bytes.NewReader(data)
 	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b { // gzip magic
 		gz, err := gzip.NewReader(bytes.NewReader(data))
 		if err != nil {
-			return 0, nil // corrupt: cold start
+			res.Degraded = DegradedCorrupt
+			return nil, res
 		}
 		defer gz.Close()
 		src = gz
 	}
 	var snap diskSnapshot
 	if err := gob.NewDecoder(src).Decode(&snap); err != nil {
-		return 0, nil // corrupt: cold start
+		res.Degraded = DegradedCorrupt
+		return nil, res
 	}
-	if snap.Magic != snapshotMagic || snap.Version != SnapshotVersion || snap.KeyVersion != KeyVersion {
-		return 0, nil // other format/key generation: cold start
+	if snap.Magic != snapshotMagic {
+		res.Degraded = DegradedBadMagic
+		return nil, res
 	}
+	res.FromVersion = snap.Version
+	if snap.Version > SnapshotVersion {
+		res.Degraded = DegradedFutureVersion
+		return nil, res
+	}
+	for snap.Version < SnapshotVersion {
+		step, ok := snapshotMigrations[snap.Version]
+		if !ok {
+			res.Degraded = DegradedNoMigration
+			return nil, res
+		}
+		res.Migrated += step(&snap)
+	}
+	if snap.KeyVersion != KeyVersion {
+		res.Degraded = DegradedKeySkew
+		return nil, res
+	}
+	return &snap, res
+}
+
+// decodeCircuitPool materializes and re-validates the content-addressed
+// pool: every blob must decode and re-sign to exactly the signature it is
+// stored under, so a corrupted or tampered blob can never surface as a
+// plausible wrong circuit. Invalid blobs are dropped (with their
+// referencing entries), never fatal.
+func (snap *diskSnapshot) decodeCircuitPool() map[string]*circuit.Circuit {
+	pool := make(map[string]*circuit.Circuit, len(snap.Circuits))
+	for sig, blob := range snap.Circuits {
+		c, err := circuit.DecodeCanonical(blob)
+		if err != nil || c.Signature() != sig {
+			continue
+		}
+		pool[sig] = c
+	}
+	return pool
+}
+
+// restore walks every entry of a decoded snapshot, materializing values
+// (static blobs decoded, route results rebuilt from the pool, circ
+// analyses re-derived) and handing them to put. It returns the number of
+// entries restored; undecodable or inconsistent entries are skipped.
+func (snap *diskSnapshot) restore(put func(region, key string, value any)) int {
 	restored := 0
 	for k, p := range snap.SMT {
-		c.Put(RegionSMT, k, fromPersistedSMT(p))
+		put(RegionSMT, k, fromPersistedSMT(p))
 		restored++
 	}
 	for k, v := range snap.Park {
-		c.Put(RegionParking, k, v)
+		put(RegionParking, k, v)
 		restored++
 	}
 	for k, v := range snap.Slice {
-		c.Put(RegionSlice, k, v)
+		put(RegionSlice, k, v)
 		restored++
 	}
 	for k, v := range snap.SliceComp {
-		c.Put(RegionSlice, k, v)
+		put(RegionSlice, k, v)
 		restored++
 	}
 	for _, ent := range snap.Static {
@@ -267,8 +427,84 @@ func (c *Cache) Load(path string) (int, error) {
 		if err := gob.NewDecoder(bytes.NewReader(ent.Blob)).Decode(&v); err != nil {
 			continue
 		}
-		c.Put(RegionStatic, ent.Key, v)
+		put(RegionStatic, ent.Key, v)
 		restored++
 	}
-	return restored, nil
+	pool := snap.decodeCircuitPool()
+	for k, pr := range snap.Route {
+		routed, ok := pool[pr.RoutedSig]
+		if !ok {
+			continue
+		}
+		r := &mapping.Result{
+			Routed:    routed,
+			Final:     &mapping.Mapping{LogToPhys: pr.LogToPhys, PhysToLog: pr.PhysToLog},
+			Inserted:  pr.Inserted,
+			SwapCount: pr.SwapCount,
+		}
+		if r.Validate() != nil {
+			continue
+		}
+		put(RegionRoute, k, r)
+		restored++
+	}
+	for _, sig := range snap.Circ {
+		c, ok := pool[sig]
+		if !ok {
+			continue
+		}
+		put(RegionCircuit, CircuitKey(c, sig), circuit.AnalyzeWithSignature(c, sig))
+		restored++
+	}
+	return restored
+}
+
+// readSnapshot reads and decodes path. A missing file is a clean cold
+// start (Missing set, no error); only genuine I/O failures on an existing
+// file return an error.
+func readSnapshot(path string) (*diskSnapshot, LoadResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		var res LoadResult
+		if os.IsNotExist(err) {
+			res.Missing = true
+			return nil, res, nil
+		}
+		return nil, res, fmt.Errorf("compile: read cache snapshot: %w", err)
+	}
+	snap, res := decodeSnapshot(data)
+	return snap, res, nil
+}
+
+// LoadSnapshot restores a snapshot written by Save into the cache.
+// Compressed snapshots are detected by their gzip magic bytes, not their
+// name, so a ".gz" snapshot renamed plain (or vice versa) still loads.
+// Snapshots written at an older version are migrated forward — re-keyed
+// and re-validated — by the registered per-version steps, so a KeyVersion
+// bump degrades to a partial warm start instead of a cold one.
+// Degradation is deliberate and never fatal: a missing file, a corrupt or
+// truncated snapshot, an unknown version, or an undecodable entry all
+// leave the cache cold (or partially warm) with the reason in
+// LoadResult.Degraded — a compilation must never fail because its warm
+// start did. The returned error is non-nil only for genuine I/O failures
+// on an existing file. LoadSnapshot on a nil cache is a no-op.
+func (c *Cache) LoadSnapshot(path string) (LoadResult, error) {
+	if c == nil {
+		return LoadResult{}, nil
+	}
+	snap, res, err := readSnapshot(path)
+	if snap == nil || err != nil {
+		return res, err
+	}
+	res.Restored = snap.restore(func(region, key string, value any) {
+		c.Put(region, key, value)
+	})
+	return res, nil
+}
+
+// Load is LoadSnapshot reduced to the restored-entry count, for callers
+// that do not report degradation reasons.
+func (c *Cache) Load(path string) (int, error) {
+	res, err := c.LoadSnapshot(path)
+	return res.Restored, err
 }

@@ -31,14 +31,28 @@ func NewRecorder() *Recorder {
 
 // record counts one lookup against region.
 func (r *Recorder) record(region string, hit bool) {
+	if hit {
+		r.recordTier(region, TierLocal)
+	} else {
+		r.recordTier(region, TierMiss)
+	}
+}
+
+// recordTier counts one tiered lookup against region: local hits, warm-set
+// hits and misses are attributed separately (Stats.HitRate folds warm hits
+// into the rate, since they spared the compute).
+func (r *Recorder) recordTier(region string, tier Tier) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	s := r.regions[region]
-	if hit {
+	switch tier {
+	case TierLocal:
 		s.Hits++
-	} else {
+	case TierWarm:
+		s.WarmHits++
+	default:
 		s.Misses++
 	}
 	r.regions[region] = s
@@ -75,6 +89,15 @@ func (c *Context) record(region string, hit bool) {
 		return
 	}
 	c.Record.record(region, hit)
+}
+
+// recordTier is record with warm-set attribution, used by the memo methods
+// that go through Cache.DoTiered.
+func (c *Context) recordTier(region string, tier Tier) {
+	if c == nil || c.Record == nil {
+		return
+	}
+	c.Record.recordTier(region, tier)
 }
 
 // Scoped returns a child Context for one request: it shares c's cache (and

@@ -1,0 +1,102 @@
+package compile
+
+import "sync"
+
+// WarmSet is the read-only third cache tier: a snapshot file (the same
+// format Save writes, typically shipped once per release and shared by a
+// fleet of daemons) loaded lazily into immutable per-region maps. It is
+// probed after a local shard miss and before compute (see
+// Cache.getTiered), is never written, and takes no locks on the read path
+// — after the one-time load the maps are immutable, so concurrent readers
+// share them without contending with the local shards' mutexes. Hits are
+// promoted into the local shards and counted as Stats.WarmHits.
+//
+// Because the warm-set file is an ordinary snapshot, it goes through the
+// same decode path as Cache.LoadSnapshot — including the per-version
+// migration steps — so a warm set built by the previous release still
+// serves (re-keyed) after an upgrade.
+type WarmSet struct {
+	path string
+	once sync.Once
+	// regions is region → key → value, immutable once built. A nil map
+	// (load degraded or file missing) serves every probe a miss.
+	regions map[string]map[string]any
+	res     LoadResult
+	err     error
+}
+
+// OpenWarmSet prepares a warm set backed by the snapshot at path. The file
+// is not touched until the first probe (or Result call): opening is free,
+// so CLIs and daemons can attach a warm set unconditionally and let the
+// first compilation pay the one-time load.
+func OpenWarmSet(path string) *WarmSet {
+	return &WarmSet{path: path}
+}
+
+// load reads and indexes the snapshot exactly once. Degradation follows
+// the snapshot contract: corrupt, version-skewed or missing files leave
+// the warm set empty (every probe misses), never broken.
+func (w *WarmSet) load() {
+	w.once.Do(func() {
+		snap, res, err := readSnapshot(w.path)
+		w.res, w.err = res, err
+		if snap == nil {
+			return
+		}
+		regions := make(map[string]map[string]any)
+		w.res.Restored = snap.restore(func(region, key string, value any) {
+			m, ok := regions[region]
+			if !ok {
+				m = make(map[string]any)
+				regions[region] = m
+			}
+			m[key] = value
+		})
+		w.regions = regions
+	})
+}
+
+// get probes the warm set for (region, key), loading the backing snapshot
+// on first use. Nil-safe: a nil warm set always misses.
+func (w *WarmSet) get(region, key string) (any, bool) {
+	if w == nil {
+		return nil, false
+	}
+	w.load()
+	v, ok := w.regions[region][key]
+	return v, ok
+}
+
+// Result forces the load and reports it: entry count, migration count,
+// on-disk version and degradation reason, plus any genuine I/O error.
+// Callers surface degraded warm sets to operators (fastscd exports the
+// reason on /metrics) — a fleet silently serving cold because its warm
+// set got truncated is exactly the failure this distinguishes.
+func (w *WarmSet) Result() (LoadResult, error) {
+	if w == nil {
+		return LoadResult{}, nil
+	}
+	w.load()
+	return w.res, w.err
+}
+
+// Len forces the load and returns the number of resident entries.
+func (w *WarmSet) Len() int {
+	if w == nil {
+		return 0
+	}
+	w.load()
+	n := 0
+	for _, m := range w.regions {
+		n += len(m)
+	}
+	return n
+}
+
+// Path returns the backing snapshot path.
+func (w *WarmSet) Path() string {
+	if w == nil {
+		return ""
+	}
+	return w.path
+}

@@ -1,0 +1,36 @@
+package compile
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"fastsc/internal/graph"
+)
+
+// BenchmarkWarmSetLoad times the one-time lazy load of a warm set: reading
+// a populated snapshot from disk and indexing it into the immutable
+// region maps. This is the latency the first cache miss of a warm-attached
+// process pays (CLIs attach for free and defer the read until then), so a
+// regression here directly delays a fleet's first compilation.
+func BenchmarkWarmSetLoad(b *testing.B) {
+	src := NewCache(0)
+	for i := 0; i < 512; i++ {
+		src.Put(RegionSMT, fmt.Sprintf("3|sig%04d|a|b|c", i), smtResult{xs: []float64{6.1, 6.3, 6.5}, delta: 0.2})
+		src.Put(RegionSlice, SliceKey(fmt.Sprintf("%016x", i), 2, 3, []int{i % 7, i%7 + 9}), SliceSolution{
+			Coloring: graph.Coloring{0, 1}, NumColors: 2, Assign: []float64{6.2, 6.6}, Delta: 0.4,
+		})
+		src.Put(RegionParking, fmt.Sprintf("park%04d", i), []float64{5.0, 5.2, 5.4, 5.6})
+	}
+	path := filepath.Join(b.TempDir(), "warm.snap")
+	if err := src.Save(path); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := OpenWarmSet(path)
+		if w.Len() == 0 {
+			b.Fatal("warm set loaded empty")
+		}
+	}
+}

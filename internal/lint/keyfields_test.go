@@ -16,6 +16,10 @@ func TestKeyFieldsFixture(t *testing.T) {
 		pkg + "Missing":   {KeyFunc: "fixtureKey", Fields: []string{"Y", "Gone"}},
 		pkg + "NotStruct": {KeyFunc: "fixtureKey", Fields: []string{"Z"}},
 		pkg + "Absent":    {KeyFunc: "fixtureKey", Fields: []string{"Q"}},
+		// Unexported, mirroring the production pins on the compile
+		// snapshot codec structs.
+		pkg + "pinnedCodec":  {KeyFunc: "fixtureCodec", Fields: []string{"Blob", "Ver"}},
+		pkg + "driftedCodec": {KeyFunc: "fixtureCodec", Fields: []string{"Blob"}},
 	})
 	linttest.Run(t, "keyfields", ana)
 }
@@ -28,7 +32,7 @@ func TestKeyFieldsFixture(t *testing.T) {
 func TestDefaultKeySchemaCovered(t *testing.T) {
 	pkgs, err := lint.Load(".", []string{
 		"fastsc/internal/smt", "fastsc/internal/topology", "fastsc/internal/phys",
-		"fastsc/internal/circuit", "fastsc/internal/mapping",
+		"fastsc/internal/circuit", "fastsc/internal/mapping", "fastsc/internal/compile",
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -28,3 +28,16 @@ type Reordered struct {
 	Earlier int
 	Later   int
 }
+
+// Unexported structs resolve through the same scope lookup as exported
+// ones — the production table pins the snapshot codec shapes
+// (compile.diskSnapshot, compile.persistedRoute), which are unexported.
+type pinnedCodec struct {
+	Blob []byte
+	Ver  int
+}
+
+type driftedCodec struct { // want `keyfields: driftedCodec gained field\(s\) Extra not enumerated in the key schema`
+	Blob  []byte
+	Extra int
+}

@@ -507,6 +507,8 @@ func TestMeta(t *testing.T) {
 func TestMetricsEndpoint(t *testing.T) {
 	srv := New(Config{})
 	srv.SetRestored(17)
+	srv.NoteSnapshotDegraded("corrupt")
+	srv.NoteSnapshotDegraded("corrupt")
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -525,6 +527,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		`fastscd_cache_hits_total{region="smt"}`,
 		`fastscd_cache_misses_total{region="slice"}`,
 		"fastscd_snapshot_restored_entries 17",
+		`fastscd_snapshot_degraded_total{reason="corrupt"} 2`,
+		`fastscd_cache_warm_hits_total{region="smt"}`,
 		`fastscd_requests_total{endpoint="compile"} 2`,
 		"fastscd_batches_done_total 2",
 		"fastscd_jobs_total 2",

@@ -33,6 +33,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, region := range regions {
 		fmt.Fprintf(&b, "fastscd_cache_hits_total{region=%q} %d\n", region, stats[region].Hits)
 	}
+	writeHelp("fastscd_cache_warm_hits_total", "Memoized lookups served by the read-only warm set (and promoted), by region.", "counter")
+	for _, region := range regions {
+		fmt.Fprintf(&b, "fastscd_cache_warm_hits_total{region=%q} %d\n", region, stats[region].WarmHits)
+	}
 	writeHelp("fastscd_cache_misses_total", "Memoized lookups that ran their compute function, by region.", "counter")
 	for _, region := range regions {
 		fmt.Fprintf(&b, "fastscd_cache_misses_total{region=%q} %d\n", region, stats[region].Misses)
@@ -45,6 +49,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "fastscd_cache_entries %d\n", s.base.Cache.Len())
 	writeHelp("fastscd_snapshot_restored_entries", "Cache entries restored from the warm-start snapshot at boot.", "gauge")
 	fmt.Fprintf(&b, "fastscd_snapshot_restored_entries %d\n", s.snapshotRestored.Load())
+	if degraded := s.snapshotDegraded(); len(degraded) > 0 {
+		reasons := make([]string, 0, len(degraded))
+		for reason := range degraded {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		writeHelp("fastscd_snapshot_degraded_total", "Snapshot or warm-set loads that degraded to a cold start, by reason.", "counter")
+		for _, reason := range reasons {
+			fmt.Fprintf(&b, "fastscd_snapshot_degraded_total{reason=%q} %d\n", reason, degraded[reason])
+		}
+	}
+	if ws := s.base.Cache.WarmSet(); ws != nil {
+		writeHelp("fastscd_warmset_entries", "Entries resident in the attached read-only warm set.", "gauge")
+		fmt.Fprintf(&b, "fastscd_warmset_entries %d\n", ws.Len())
+	}
 
 	writeHelp("fastscd_requests_total", "HTTP requests accepted for decoding, by endpoint.", "counter")
 	fmt.Fprintf(&b, "fastscd_requests_total{endpoint=\"compile\"} %d\n", s.mStreams.Load())

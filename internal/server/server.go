@@ -92,17 +92,22 @@ type Server struct {
 	restoring atomic.Bool // background snapshot restore in progress
 
 	snapshotRestored atomic.Int64
-	mStreams         atomic.Int64
-	mSubmits         atomic.Int64
-	mPolls           atomic.Int64
-	mBatchesDone     atomic.Int64
-	mJobs            atomic.Int64
-	mJobsFailed      atomic.Int64
-	mJobPanics       atomic.Int64
-	mRejectQueue     atomic.Int64
-	mRejectDrain     atomic.Int64
-	mShed            atomic.Int64
-	mExpired         atomic.Int64
+	// degraded counts snapshot loads (local or warm-set) that fell back to
+	// cold, by compile.LoadResult.Degraded reason — the "silent degrade"
+	// signal exported as fastscd_snapshot_degraded_total{reason=...}.
+	degradedMu     sync.Mutex
+	degradedTotals map[string]int64
+	mStreams       atomic.Int64
+	mSubmits       atomic.Int64
+	mPolls         atomic.Int64
+	mBatchesDone   atomic.Int64
+	mJobs          atomic.Int64
+	mJobsFailed    atomic.Int64
+	mJobPanics     atomic.Int64
+	mRejectQueue   atomic.Int64
+	mRejectDrain   atomic.Int64
+	mShed          atomic.Int64
+	mExpired       atomic.Int64
 
 	// batchEWMA holds the float64 bits of an exponentially weighted moving
 	// average of batch wall time (seconds), feeding Retry-After.
@@ -120,14 +125,15 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:           cfg,
-		base:          &compile.Context{Cache: compile.NewCache(cfg.CacheCapacity)},
-		adm:           newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue),
-		store:         newBatchStore(cfg.StoredBatches),
-		systems:       systemCache{m: make(map[sysKey]*phys.System)},
-		started:       time.Now(),
-		hBatchSeconds: newHistogram(),
-		hWaitSeconds:  newHistogram(),
+		cfg:            cfg,
+		base:           &compile.Context{Cache: compile.NewCache(cfg.CacheCapacity)},
+		adm:            newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue),
+		store:          newBatchStore(cfg.StoredBatches),
+		systems:        systemCache{m: make(map[sysKey]*phys.System)},
+		started:        time.Now(),
+		hBatchSeconds:  newHistogram(),
+		hWaitSeconds:   newHistogram(),
+		degradedTotals: make(map[string]int64),
 	}
 	s.routes()
 	return s
@@ -140,6 +146,35 @@ func (s *Server) Cache() *compile.Cache { return s.base.Cache }
 // SetRestored records how many snapshot entries warmed the cache at
 // startup, exported as fastscd_snapshot_restored_entries.
 func (s *Server) SetRestored(n int) { s.snapshotRestored.Store(int64(n)) }
+
+// NoteSnapshotDegraded records one snapshot load (local cache file or
+// warm set) that degraded to cold, by reason (a compile.Degraded*
+// constant). Exported as fastscd_snapshot_degraded_total{reason=...} so a
+// fleet silently serving cold from a truncated snapshot is visible.
+func (s *Server) NoteSnapshotDegraded(reason string) {
+	if reason == "" {
+		return
+	}
+	s.degradedMu.Lock()
+	s.degradedTotals[reason]++
+	s.degradedMu.Unlock()
+}
+
+// snapshotDegraded returns a copy of the per-reason degraded-load counts.
+func (s *Server) snapshotDegraded() map[string]int64 {
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	out := make(map[string]int64, len(s.degradedTotals))
+	for k, v := range s.degradedTotals {
+		out[k] = v
+	}
+	return out
+}
+
+// AttachWarmSet attaches a read-only shared warm set as the compile
+// cache's third tier (see compile.Cache.AttachWarmSet); warm-set traffic
+// shows up as fastscd_cache_warm_hits_total and the warmset gauges.
+func (s *Server) AttachWarmSet(w *compile.WarmSet) { s.base.Cache.AttachWarmSet(w) }
 
 // SetRestoring flags that a background snapshot restore is in progress.
 // While set, /readyz reports 503 (the instance serves but is not warm);
